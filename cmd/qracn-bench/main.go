@@ -1,0 +1,241 @@
+// Command qracn-bench regenerates the paper's evaluation (Figure 4, panels
+// a-f): it runs each experiment for QR-DTM, QR-CN, and QR-ACN under an
+// identical workload schedule on the in-process cluster and prints the
+// per-interval throughput table plus the headline improvements next to the
+// paper's numbers.
+//
+// Usage:
+//
+//	qracn-bench -fig all
+//	qracn-bench -fig 4e -interval 2s -clients 16 -repeat 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qracn/internal/harness"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to reproduce: 4a..4f or 'all'")
+		interval = flag.Duration("interval", 400*time.Millisecond, "measurement interval length (paper: 10s)")
+		clients  = flag.Int("clients", 8, "client nodes (paper: up to 20)")
+		threads  = flag.Int("threads", 2, "concurrent transactions per client")
+		servers  = flag.Int("servers", 10, "quorum nodes (paper: 10)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		repeat   = flag.Int("repeat", 1, "repetitions to average (paper: 4)")
+		modesArg = flag.String("modes", "all", "systems to run: all, dtm, cn, acn, cp (comma-separated; 'all' = the paper's three)")
+		ablation = flag.Bool("ablation", false, "run the ACN step-ablation study instead of the system comparison")
+		sweep    = flag.String("sweep", "", "comma-separated client counts for a scalability sweep (e.g. 2,4,8,16)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	scale := harness.Scale{
+		IntervalLength:   *interval,
+		Clients:          *clients,
+		ThreadsPerClient: *threads,
+		Servers:          *servers,
+		Seed:             *seed,
+	}
+
+	modes, err := parseModes(*modesArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var figures []harness.Figure
+	if *fig == "all" {
+		figures = harness.Figures()
+	} else {
+		f, ok := harness.FigureByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (use 4a..4f or all)\n", *fig)
+			os.Exit(2)
+		}
+		figures = []harness.Figure{f}
+	}
+
+	ctx := context.Background()
+	for _, f := range figures {
+		fmt.Printf("=== Figure %s: %s ===\n", f.ID, f.Title)
+		fmt.Printf("paper: %s\n\n", f.Expect)
+		if *ablation {
+			if err := runAblation(ctx, f, scale); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s ablation: %v\n", f.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		if *sweep != "" {
+			counts, err := parseInts(*sweep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			sr, err := harness.SweepClients(ctx, f.Options(scale), modes, counts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s sweep: %v\n", f.ID, err)
+				os.Exit(1)
+			}
+			fmt.Print(sr.Table())
+			fmt.Println()
+			continue
+		}
+		res, err := runAveraged(ctx, f, scale, modes, *repeat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			data, err := res.ExportJSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		fmt.Print(res.Table())
+		fmt.Println()
+		fmt.Print(res.Summary())
+		fmt.Println()
+	}
+}
+
+// runAblation measures QR-ACN with each algorithm step disabled in turn,
+// quantifying what re-attachment, merging, and contention sorting each
+// contribute (the design-choice index in DESIGN.md).
+func runAblation(ctx context.Context, f harness.Figure, scale harness.Scale) error {
+	variants := []struct {
+		name string
+		mut  func(*harness.Options)
+	}{
+		{"full ACN", func(*harness.Options) {}},
+		{"no reattach (step 1 off)", func(o *harness.Options) { o.Algo.DisableReattach = true }},
+		{"no merge (step 2 off)", func(o *harness.Options) { o.Algo.DisableMerge = true }},
+		{"no sort (step 3 off)", func(o *harness.Options) { o.Algo.DisableSort = true }},
+		{"static only (all off)", func(o *harness.Options) {
+			o.Algo.DisableReattach = true
+			o.Algo.DisableMerge = true
+			o.Algo.DisableSort = true
+		}},
+	}
+	fmt.Printf("%-28s %12s %12s\n", "variant", "mean tx/s", "commits")
+	for _, v := range variants {
+		opts := f.Options(scale)
+		v.mut(&opts)
+		res, err := harness.Run(ctx, opts, []harness.Mode{harness.ModeQRACN})
+		if err != nil {
+			return err
+		}
+		s := res.Series[harness.ModeQRACN]
+		var mean float64
+		for _, tp := range s.Throughput {
+			mean += tp
+		}
+		mean /= float64(len(s.Throughput))
+		fmt.Printf("%-28s %12.0f %12d\n", v.name, mean, s.Commits)
+	}
+	return nil
+}
+
+func parseModes(arg string) ([]harness.Mode, error) {
+	if arg == "all" {
+		return harness.AllModes, nil
+	}
+	var modes []harness.Mode
+	for _, tok := range splitComma(arg) {
+		switch tok {
+		case "dtm":
+			modes = append(modes, harness.ModeQRDTM)
+		case "cn":
+			modes = append(modes, harness.ModeQRCN)
+		case "acn":
+			modes = append(modes, harness.ModeQRACN)
+		case "cp":
+			modes = append(modes, harness.ModeQRCP)
+		default:
+			return nil, fmt.Errorf("unknown mode %q (use dtm, cn, acn, cp)", tok)
+		}
+	}
+	return modes, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range splitComma(s) {
+		n := 0
+		for _, r := range tok {
+			if r < '0' || r > '9' {
+				return nil, fmt.Errorf("invalid count %q", tok)
+			}
+			n = n*10 + int(r-'0')
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("invalid count %q", tok)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// runAveraged repeats the experiment with shifted seeds and averages the
+// per-interval throughput, as the paper does over four runs.
+func runAveraged(ctx context.Context, f harness.Figure, scale harness.Scale, modes []harness.Mode, repeat int) (*harness.Result, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var acc *harness.Result
+	for r := 0; r < repeat; r++ {
+		s := scale
+		s.Seed = scale.Seed + int64(r)*100
+		res, err := harness.Run(ctx, f.Options(s), modes)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = res
+			continue
+		}
+		for m, series := range res.Series {
+			a := acc.Series[m]
+			for i := range a.Throughput {
+				a.Throughput[i] += series.Throughput[i]
+			}
+			a.Commits += series.Commits
+			a.Metrics.Commits += series.Metrics.Commits
+			a.Metrics.ParentAborts += series.Metrics.ParentAborts
+			a.Metrics.SubAborts += series.Metrics.SubAborts
+			a.Metrics.BusyBackoffs += series.Metrics.BusyBackoffs
+			a.Metrics.RemoteReads += series.Metrics.RemoteReads
+		}
+	}
+	for _, series := range acc.Series {
+		for i := range series.Throughput {
+			series.Throughput[i] /= float64(repeat)
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,191 @@
+// Command qracn-client drives a workload against a TCP-deployed cluster of
+// qracn-node processes and reports throughput per interval for the chosen
+// system (QR-DTM, QR-CN, or QR-ACN).
+//
+// Usage:
+//
+//	qracn-node -id 0 -listen :7450 & qracn-node -id 1 -listen :7451 & ...
+//	qracn-client -nodes 127.0.0.1:7450,127.0.0.1:7451,127.0.0.1:7452,127.0.0.1:7453 \
+//	    -workload bank -mode acn -threads 4 -intervals 6 -interval 2s -seed-data
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"qracn/internal/acn"
+	"qracn/internal/dtm"
+	"qracn/internal/metrics"
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/transport"
+	"qracn/internal/unitgraph"
+	"qracn/internal/workload"
+	"qracn/internal/workload/bank"
+	"qracn/internal/workload/tpcc"
+	"qracn/internal/workload/vacation"
+)
+
+func main() {
+	var (
+		nodesArg  = flag.String("nodes", "", "comma-separated node addresses, tree order (node 0 first)")
+		wlArg     = flag.String("workload", "bank", "workload: bank, tpcc, vacation")
+		modeArg   = flag.String("mode", "acn", "system: dtm, cn, acn")
+		threads   = flag.Int("threads", 4, "concurrent transactions")
+		intervals = flag.Int("intervals", 6, "measurement intervals")
+		interval  = flag.Duration("interval", 2*time.Second, "interval length")
+		seed      = flag.Int64("seed", 1, "random seed")
+		clientID  = flag.Int("client", 1, "client identity (spreads quorum selection)")
+		seedData  = flag.Bool("seed-data", false, "install the workload's initial objects before running")
+		compress  = flag.Bool("compress", false, "flate-compress large frames")
+	)
+	flag.Parse()
+
+	addrs := map[quorum.NodeID]string{}
+	parts := strings.Split(*nodesArg, ",")
+	if *nodesArg == "" || len(parts) == 0 {
+		fmt.Fprintln(os.Stderr, "-nodes is required")
+		os.Exit(2)
+	}
+	for i, a := range parts {
+		addrs[quorum.NodeID(i)] = strings.TrimSpace(a)
+	}
+
+	var w workload.Workload
+	switch *wlArg {
+	case "bank":
+		w = bank.New(bank.Config{})
+	case "tpcc":
+		w = tpcc.New(tpcc.Config{MixNewOrder: 50, MixPayment: 30, MixDelivery: 20})
+	case "vacation":
+		w = vacation.New(vacation.Config{})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlArg)
+		os.Exit(2)
+	}
+
+	client := transport.NewTCPClient(addrs, *compress)
+	defer client.Close()
+	tree := quorum.NewTree(len(addrs), 3)
+	rt := dtm.New(dtm.Config{
+		Tree:       tree,
+		Client:     client,
+		ClientSeed: *clientID,
+		Seed:       *seed,
+	})
+	ctx := context.Background()
+
+	if *seedData {
+		if err := seedObjects(ctx, rt, w.SeedObjects()); err != nil {
+			fmt.Fprintf(os.Stderr, "seeding: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("seeded %d objects\n", len(w.SeedObjects()))
+	}
+
+	execs, ctrls, err := buildExecutors(rt, w, *modeArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	meter := metrics.NewThroughputMeter(*intervals)
+	runCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for th := 0; th < *threads; th++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for runCtx.Err() == nil {
+				prof, params := w.Generate(rng, 0)
+				if err := execs[prof].Execute(runCtx, params); err != nil {
+					return
+				}
+				meter.Record()
+			}
+		}(*seed + int64(th))
+	}
+
+	for i := 0; i < *intervals; i++ {
+		time.Sleep(*interval)
+		for _, ctrl := range ctrls {
+			if err := ctrl.RefreshOnce(runCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
+			}
+		}
+		counts := meter.Counts()
+		fmt.Printf("t%d: %.0f tx/s\n", i+1, float64(counts[i])/interval.Seconds())
+		meter.Advance()
+	}
+	cancel()
+	wg.Wait()
+	m := rt.Metrics().Snapshot()
+	fmt.Printf("total commits=%d full-aborts=%d partial-aborts=%d\n",
+		m.Commits, m.ParentAborts, m.SubAborts)
+}
+
+func buildExecutors(rt *dtm.Runtime, w workload.Workload, mode string) ([]*acn.Executor, []*acn.Controller, error) {
+	var execs []*acn.Executor
+	var ctrls []*acn.Controller
+	for _, prof := range w.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyze %s: %w", prof.Name, err)
+		}
+		var comp *acn.Composition
+		switch mode {
+		case "dtm":
+			comp = acn.Flat(an)
+		case "cn":
+			if prof.Manual == nil {
+				comp = acn.Flat(an)
+			} else if comp, err = acn.Manual(an, prof.Manual); err != nil {
+				return nil, nil, err
+			}
+		case "acn":
+			comp = acn.Static(an)
+		default:
+			return nil, nil, fmt.Errorf("unknown mode %q (use dtm, cn, acn)", mode)
+		}
+		exec := acn.NewExecutor(rt, an, comp)
+		execs = append(execs, exec)
+		if mode == "acn" {
+			ctrls = append(ctrls, acn.NewController(exec, acn.ControllerConfig{}))
+		}
+	}
+	return execs, ctrls, nil
+}
+
+// seedObjects installs initial data in batches of small transactions.
+func seedObjects(ctx context.Context, rt *dtm.Runtime, objs map[store.ObjectID]store.Value) error {
+	const batch = 64
+	ids := make([]store.ObjectID, 0, len(objs))
+	for id := range objs {
+		ids = append(ids, id)
+	}
+	for from := 0; from < len(ids); from += batch {
+		to := from + batch
+		if to > len(ids) {
+			to = len(ids)
+		}
+		chunk := ids[from:to]
+		if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+			for _, id := range chunk {
+				if err := tx.Write(id, objs[id]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

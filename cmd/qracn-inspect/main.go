@@ -1,0 +1,130 @@
+// Command qracn-inspect explains what ACN's static and algorithm modules do
+// to a transaction program: it prints the UnitBlock decomposition, the
+// dependency model, the UnitGraph in Graphviz format, and — given a
+// hypothetical contention assignment — the Block sequence the algorithm
+// module would produce.
+//
+// Usage:
+//
+//	qracn-inspect -list
+//	qracn-inspect -program bank/transfer
+//	qracn-inspect -program tpcc/new-order -levels 1=40,0=2 -threshold 0.3
+//	qracn-inspect -program vacation/reserve -dot > reserve.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qracn/internal/acn"
+	"qracn/internal/unitgraph"
+	"qracn/internal/workload"
+
+	// Register the workload programs.
+	_ "qracn/internal/workload/bank"
+	_ "qracn/internal/workload/tpcc"
+	_ "qracn/internal/workload/vacation"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list registered programs")
+		name      = flag.String("program", "", "program to inspect (workload/profile)")
+		levelsArg = flag.String("levels", "", "hypothetical contention levels, e.g. 0=40,1=2 (unlisted UnitBlocks are 0)")
+		threshold = flag.Float64("threshold", 0.3, "step-2 merge threshold")
+		dot       = flag.Bool("dot", false, "emit the UnitGraph in Graphviz format and exit")
+	)
+	flag.Parse()
+
+	if *list || *name == "" {
+		fmt.Println("registered programs:")
+		for _, n := range workload.ProgramNames() {
+			fmt.Println(" ", n)
+		}
+		if *name == "" {
+			return
+		}
+	}
+
+	prog, ok := workload.LookupProgram(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown program %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	an, err := unitgraph.Analyze(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(an.Dot())
+		return
+	}
+
+	fmt.Print(prog.String())
+	fmt.Printf("\nUnitBlocks (%d):\n", an.NumAnchors)
+	for id := 0; id < an.NumAnchors; id++ {
+		stmt := an.Stmts[an.AnchorStmt[id]]
+		fmt.Printf("  %2d  class=%-10s anchor=%s\n", id, an.AnchorClass[id], stmt.Stmt)
+		if len(stmt.DepAnchors) > 0 {
+			fmt.Printf("      depends on UnitBlocks %v\n", stmt.DepAnchors)
+		}
+	}
+	fmt.Println("\nattached operations:")
+	for _, info := range an.Stmts {
+		if info.IsAnchor {
+			continue
+		}
+		switch {
+		case info.Floating:
+			fmt.Printf("  %s\n      floats (pure parameter computation)\n", info.Stmt)
+		default:
+			fmt.Printf("  %s\n      host=%d eligible=%v\n", info.Stmt, info.StaticHost, info.DepAnchors)
+		}
+	}
+
+	fmt.Printf("\nstatic composition:  %s\n", acn.Static(an))
+	fmt.Printf("flat composition:    %s\n", acn.Flat(an))
+
+	levels, err := parseLevels(*levelsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(levels) > 0 {
+		alg := acn.NewAlgorithm(an, acn.AlgoConfig{MergeThreshold: *threshold})
+		comp := alg.Recompose(func(id int) float64 { return levels[id] })
+		fmt.Printf("\nwith contention %v (merge threshold %.2f):\n", levels, *threshold)
+		fmt.Printf("recomposed:          %s\n", comp)
+		if err := acn.ValidateComposition(an, comp); err != nil {
+			fmt.Fprintf(os.Stderr, "BUG: invalid composition: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func parseLevels(arg string) (map[int]float64, error) {
+	out := map[int]float64{}
+	if arg == "" {
+		return out, nil
+	}
+	for _, tok := range strings.Split(arg, ",") {
+		parts := strings.SplitN(strings.TrimSpace(tok), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("invalid level %q (want block=level)", tok)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("invalid UnitBlock id %q", parts[0])
+		}
+		lv, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid level %q", parts[1])
+		}
+		out[id] = lv
+	}
+	return out, nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"qracn/internal/workload"
+)
+
+func TestParseLevels(t *testing.T) {
+	got, err := parseLevels("0=40, 1=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 40 || got[1] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+	if m, err := parseLevels(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty: %v %v", m, err)
+	}
+	for _, bad := range []string{"x=1", "0=y", "noequals"} {
+		if _, err := parseLevels(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRegistryLinkedIn(t *testing.T) {
+	// The blank imports must have populated the registry for this binary.
+	if _, ok := workload.LookupProgram("tpcc/new-order"); !ok {
+		t.Fatal("registry empty in qracn-inspect")
+	}
+}

@@ -1,0 +1,51 @@
+// Command qracn-node runs one quorum node as a standalone TCP server, for
+// multi-process (or multi-machine) deployments of the DTM. Clients connect
+// with cmd/qracn-client or a TCPClient built from the library.
+//
+// Usage:
+//
+//	qracn-node -id 0 -listen :7450
+//	qracn-node -id 1 -listen :7451 -stats-window 10s -compress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qracn/internal/quorum"
+	"qracn/internal/server"
+	"qracn/internal/transport"
+)
+
+func main() {
+	var (
+		id          = flag.Int("id", 0, "this node's position in the quorum tree (0 = root)")
+		listen      = flag.String("listen", ":7450", "TCP listen address")
+		statsWindow = flag.Duration("stats-window", 10*time.Second, "contention observation window (paper: 10s)")
+		protectTTL  = flag.Duration("protect-ttl", 30*time.Second, "lease expiry for protections left by crashed clients (0 disables)")
+		compress    = flag.Bool("compress", false, "flate-compress large frames")
+	)
+	flag.Parse()
+
+	node := server.NewNode(quorum.NodeID(*id), server.Config{StatsWindow: *statsWindow})
+	if *protectTTL > 0 {
+		node.Store().SetProtectTTL(*protectTTL, nil)
+	}
+	srv := transport.NewTCPServer(node.Handle, *compress)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("qracn-node %d serving on %s (stats window %v)\n", *id, addr, *statsWindow)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,103 @@
+package qracn_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"qracn"
+)
+
+// transferExample is the paper's Fig. 1 Bank transaction: two hot branch
+// accesses followed by two cool account accesses.
+func transferExample() *qracn.Program {
+	p := qracn.NewProgram("transfer")
+	p.ReadP("branch", "b1", "src")
+	p.ReadP("branch", "b2", "dst")
+	p.Local(func(e *qracn.Env) error {
+		e.SetInt64("nb1", e.GetInt64("b1")-1)
+		e.SetInt64("nb2", e.GetInt64("b2")+1)
+		return nil
+	}, []qracn.Var{"b1", "b2"}, []qracn.Var{"nb1", "nb2"})
+	p.WriteP("branch", "nb1", "src")
+	p.WriteP("branch", "nb2", "dst")
+	p.ReadP("account", "a1", "srcAcct")
+	p.ReadP("account", "a2", "dstAcct")
+	return p
+}
+
+// ExampleAnalyze shows the static module extracting UnitBlocks from a flat
+// transaction.
+func ExampleAnalyze() {
+	an, err := qracn.Analyze(transferExample())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("UnitBlocks:", an.NumAnchors)
+	fmt.Println("initial sequence:", qracn.Static(an))
+	fmt.Println("flat (QR-DTM):", qracn.Flat(an))
+	// Output:
+	// UnitBlocks: 4
+	// initial sequence: [0][1][2][3]
+	// flat (QR-DTM): [0 1 2 3]
+}
+
+// ExampleManual builds the programmer's QR-CN decomposition and shows that
+// dependency-violating decompositions are rejected.
+func ExampleManual() {
+	an, err := qracn.Analyze(transferExample())
+	if err != nil {
+		panic(err)
+	}
+	comp, err := qracn.Manual(an, [][]int{{2}, {3}, {0, 1}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("manual:", comp)
+	fmt.Println("valid:", qracn.ValidateComposition(an, comp) == nil)
+	// Output:
+	// manual: [2][3][0 1]
+	// valid: true
+}
+
+// Example demonstrates the end-to-end flow: deploy a cluster, execute a
+// transaction adaptively, read the result back.
+func Example() {
+	c := qracn.NewCluster(qracn.ClusterConfig{Servers: 10, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(map[qracn.ObjectID]qracn.Value{
+		qracn.ID("branch", 0):  qracn.Int64(100),
+		qracn.ID("branch", 1):  qracn.Int64(100),
+		qracn.ID("account", 0): qracn.Int64(100),
+		qracn.ID("account", 1): qracn.Int64(100),
+	})
+
+	an, err := qracn.Analyze(transferExample())
+	if err != nil {
+		panic(err)
+	}
+	rt := c.Runtime(1, qracn.RuntimeConfig{Seed: 1})
+	exec := qracn.NewExecutor(rt, an, qracn.Static(an))
+
+	ctx := context.Background()
+	params := map[string]any{"src": 0, "dst": 1, "srcAcct": 0, "dstAcct": 1}
+	for i := 0; i < 3; i++ {
+		if err := exec.Execute(ctx, params); err != nil {
+			panic(err)
+		}
+	}
+
+	balance, err := qracn.Result(ctx, rt, func(tx *qracn.Tx) (int64, error) {
+		v, err := tx.Read(qracn.ID("branch", 1))
+		if err != nil {
+			return 0, err
+		}
+		return qracn.AsInt64(v), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("branch 1 after 3 transfers:", balance)
+	// Output:
+	// branch 1 after 3 transfers: 103
+}

@@ -1,0 +1,105 @@
+// Observability: trace the protocol events behind an adaptive run, persist
+// the learned Block sequence, and warm-start a "restarted" client from it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"qracn"
+)
+
+func main() {
+	c := qracn.NewCluster(qracn.ClusterConfig{
+		Servers:     10,
+		Network:     qracn.NetworkConfig{Latency: 50 * time.Microsecond, Seed: 1},
+		StatsWindow: 150 * time.Millisecond,
+	})
+	defer c.Close()
+
+	w := qracn.NewBank(qracn.BankConfig{Branches: 8, Accounts: 100, HotBranches: 2})
+	c.Seed(w.SeedObjects())
+
+	transfer := w.Profiles()[0]
+	an, err := qracn.Analyze(transfer.Program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A tracer on the runtime records reads, aborts, and commits; the
+	// controller records every recomposition.
+	tracer := qracn.NewTracer(256)
+	rt := c.Runtime(1, qracn.RuntimeConfig{Seed: 7, Tracer: tracer})
+	exec := qracn.NewExecutor(rt, an, qracn.Static(an))
+	ctrl := qracn.NewController(exec, qracn.ControllerConfig{Interval: time.Hour, Tracer: tracer})
+
+	ctx := context.Background()
+	params := func(i int) map[string]any {
+		return map[string]any{
+			"srcBranch": i % 2, "dstBranch": (i + 1) % 2, // hot branches
+			"srcAcct": i % 100, "dstAcct": (i + 37) % 100,
+			"amount": 1,
+		}
+	}
+	deadline := time.Now().Add(350 * time.Millisecond)
+	n := 0
+	for time.Now().Before(deadline) {
+		if err := exec.Execute(ctx, params(n)); err != nil {
+			log.Fatal(err)
+		}
+		n++
+	}
+	if err := ctrl.RefreshOnce(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	counts := tracer.Count()
+	fmt.Printf("ran %d transfers; trace ring holds %d event kinds:\n", n, len(counts))
+	for _, k := range []string{"read", "commit", "full-abort", "partial-abort", "busy", "recompose"} {
+		for kind, cnt := range counts {
+			if kind.String() == k {
+				fmt.Printf("  %-14s %d\n", k, cnt)
+			}
+		}
+	}
+
+	// Persist the adapted composition...
+	adapted := exec.Composition()
+	blob, err := adapted.Encode(an)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadapted composition %s persisted as %d bytes of JSON\n", adapted, len(blob))
+
+	// ...and warm-start a fresh client from it: no monitoring interval
+	// needed before it runs the adapted sequence.
+	restored, err := qracn.LoadComposition(an, blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt2 := c.Runtime(2, qracn.RuntimeConfig{Seed: 8})
+	exec2 := qracn.NewExecutor(rt2, an, restored)
+	if err := exec2.Execute(ctx, params(0)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restarted client warm-started with %s\n", exec2.Composition())
+
+	// Typed read-back through the generic helper.
+	total, err := qracn.Result(ctx, rt2, func(tx *qracn.Tx) (int64, error) {
+		var sum int64
+		for i := 0; i < 8; i++ {
+			v, err := tx.Read(qracn.ID("branch", i))
+			if err != nil {
+				return 0, err
+			}
+			sum += qracn.AsInt64(v)
+		}
+		return sum, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch total after %d transfers: %d (conserved)\n", n+1, total)
+}

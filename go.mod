@@ -1,0 +1,3 @@
+module qracn
+
+go 1.22

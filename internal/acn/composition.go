@@ -1,0 +1,125 @@
+// Package acn implements the paper's core contribution: the Automated
+// Closed Nesting framework. It consumes the static module's dependency model
+// (internal/unitgraph) and the dynamic module's contention levels
+// (internal/contention), periodically recomposes each transaction's Block
+// sequence with the three-step algorithm of §V-C3, and executes the current
+// sequence as closed-nested transactions on the QR-CN runtime
+// (internal/dtm).
+package acn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qracn/internal/unitgraph"
+)
+
+// BlockSpec is one Block of a composition: a set of UnitBlocks executed as a
+// single closed-nested transaction.
+type BlockSpec struct {
+	// AnchorIDs are the UnitBlocks merged into this Block.
+	AnchorIDs []int
+	// StmtIdx are the statements the Block executes, ascending (original
+	// program order within the Block).
+	StmtIdx []int
+}
+
+// Composition is an executable Block sequence for one program.
+type Composition struct {
+	Blocks []BlockSpec
+}
+
+// String renders the composition compactly, e.g. "[0 2][1 3]".
+func (c *Composition) String() string {
+	var b strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&b, "%v", blk.AnchorIDs)
+	}
+	return b.String()
+}
+
+// NumBlocks returns the number of closed-nested transactions per execution.
+func (c *Composition) NumBlocks() int { return len(c.Blocks) }
+
+// build assembles a composition from a host assignment and an ordered
+// grouping of anchors. Floating statements (pure parameter computations)
+// join the first Block so their values exist before any consumer runs.
+func build(an *unitgraph.Analysis, hosts []int, groups [][]int) *Composition {
+	members := an.BlockMembers(hosts)
+	comp := &Composition{Blocks: make([]BlockSpec, 0, len(groups))}
+	for gi, g := range groups {
+		spec := BlockSpec{AnchorIDs: append([]int(nil), g...)}
+		if gi == 0 {
+			spec.StmtIdx = append(spec.StmtIdx, an.FloatingStmts()...)
+		}
+		for _, a := range g {
+			spec.StmtIdx = append(spec.StmtIdx, members[a]...)
+		}
+		sort.Ints(spec.StmtIdx)
+		comp.Blocks = append(comp.Blocks, spec)
+	}
+	return comp
+}
+
+// Flat returns the flat-nesting composition: the whole program as one block
+// (QR-DTM behaviour — no partial rollback).
+func Flat(an *unitgraph.Analysis) *Composition {
+	all := make([]int, an.NumAnchors)
+	for i := range all {
+		all[i] = i
+	}
+	return build(an, an.StaticHosts(), [][]int{all})
+}
+
+// Static returns ACN's initial composition (§V-C1): one Block per UnitBlock
+// in dependency order, local operations attached per the static analysis.
+// UnitBlocks whose precedence constraints are circular (operations on one
+// object attached across blocks in contradictory order) are contracted into
+// a single Block. This is what QR-ACN runs before the first contention
+// observation.
+func Static(an *unitgraph.Analysis) *Composition {
+	hosts := an.StaticHosts()
+	return build(an, hosts, baseGroups(an, hosts))
+}
+
+// baseGroups returns the finest sound Block partition for a host
+// assignment: the strongly connected components of the block-precedence
+// graph, in topological order.
+func baseGroups(an *unitgraph.Analysis, hosts []int) [][]int {
+	return unitgraph.SCC(an.NumAnchors, an.BlockEdges(hosts))
+}
+
+// Manual builds the composition a programmer would write by hand (the QR-CN
+// baseline): groups of UnitBlock IDs in the intended execution order, local
+// operations attached per the static analysis. It verifies that every
+// UnitBlock appears exactly once and that the order respects the dependency
+// model.
+func Manual(an *unitgraph.Analysis, groups [][]int) (*Composition, error) {
+	seen := make(map[int]bool)
+	groupOf := make(map[int]int)
+	for gi, g := range groups {
+		for _, a := range g {
+			if a < 0 || a >= an.NumAnchors {
+				return nil, fmt.Errorf("acn: manual composition names unknown UnitBlock %d", a)
+			}
+			if seen[a] {
+				return nil, fmt.Errorf("acn: manual composition lists UnitBlock %d twice", a)
+			}
+			seen[a] = true
+			groupOf[a] = gi
+		}
+	}
+	if len(seen) != an.NumAnchors {
+		return nil, fmt.Errorf("acn: manual composition covers %d of %d UnitBlocks", len(seen), an.NumAnchors)
+	}
+	hosts := an.StaticHosts()
+	for u, vs := range an.BlockEdges(hosts) {
+		for v := range vs {
+			if groupOf[u] > groupOf[v] {
+				return nil, fmt.Errorf("acn: manual composition violates dependency %d -> %d", u, v)
+			}
+		}
+	}
+	return build(an, hosts, groups), nil
+}

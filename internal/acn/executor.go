@@ -1,0 +1,134 @@
+package acn
+
+import (
+	"context"
+	"sync/atomic"
+
+	"qracn/internal/contention"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+	"qracn/internal/txir"
+	"qracn/internal/unitgraph"
+)
+
+// Executor is the executor engine (§V-B): it maintains the current Block
+// sequence for one program and runs each invocation through it, one
+// closed-nested transaction per Block. The sequence can be swapped at any
+// time by the Algorithm module; in-flight transactions finish on the
+// sequence they started with.
+type Executor struct {
+	rt       *dtm.Runtime
+	an       *unitgraph.Analysis
+	comp     atomic.Pointer[Composition]
+	samplers []*contention.Sampler
+}
+
+// SamplerCapacity bounds how many distinct recent object IDs are remembered
+// per UnitBlock for contention estimation.
+const SamplerCapacity = 32
+
+// NewExecutor creates an executor with the given initial composition.
+func NewExecutor(rt *dtm.Runtime, an *unitgraph.Analysis, initial *Composition) *Executor {
+	e := &Executor{rt: rt, an: an}
+	e.comp.Store(initial)
+	e.samplers = make([]*contention.Sampler, an.NumAnchors)
+	for i := range e.samplers {
+		e.samplers[i] = contention.NewSampler(SamplerCapacity)
+	}
+	return e
+}
+
+// Analysis exposes the dependency model the executor runs over.
+func (e *Executor) Analysis() *unitgraph.Analysis { return e.an }
+
+// Runtime exposes the underlying DTM runtime.
+func (e *Executor) Runtime() *dtm.Runtime { return e.rt }
+
+// Composition returns the current Block sequence.
+func (e *Executor) Composition() *Composition { return e.comp.Load() }
+
+// SetComposition atomically swaps the Block sequence (Algorithm module
+// output → Executor input).
+func (e *Executor) SetComposition(c *Composition) { e.comp.Store(c) }
+
+// AnchorSample returns the recent accesses of UnitBlock id, duplicates
+// included, so contention estimates weight objects by access frequency.
+func (e *Executor) AnchorSample(id int) []store.ObjectID { return e.samplers[id].Recent() }
+
+// SampledIDs returns the union of recent object IDs across all UnitBlocks —
+// the object list the dynamic module requests contention levels for.
+func (e *Executor) SampledIDs() []store.ObjectID {
+	var out []store.ObjectID
+	seen := make(map[store.ObjectID]bool)
+	for _, s := range e.samplers {
+		for _, id := range s.IDs() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Execute runs one invocation of the program with the given parameters.
+// params must contain every randomness the transaction needs (drawn before
+// the first attempt) so that retries re-execute deterministically.
+func (e *Executor) Execute(ctx context.Context, params map[string]any) error {
+	comp := e.comp.Load()
+	return e.rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		env := txir.NewEnv(params)
+		if len(comp.Blocks) == 1 {
+			// A single block is flat nesting: no sub-transaction needed.
+			return e.runStmts(tx, env, comp.Blocks[0].StmtIdx)
+		}
+		for i := range comp.Blocks {
+			blk := &comp.Blocks[i]
+			if err := tx.Sub(func(sub *dtm.Tx) error {
+				return e.runStmts(sub, env, blk.StmtIdx)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (e *Executor) runStmts(tx *dtm.Tx, env *txir.Env, stmtIdx []int) error {
+	for _, idx := range stmtIdx {
+		if err := e.runStmt(tx, env, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Executor) runStmt(tx *dtm.Tx, env *txir.Env, idx int) error {
+	info := &e.an.Stmts[idx]
+	s := info.Stmt
+	switch s.Kind {
+	case txir.KindRead:
+		id := s.Ref(env)
+		if info.IsAnchor {
+			e.samplers[info.AnchorID].Record(id)
+		}
+		v, err := tx.Read(id)
+		if err != nil {
+			return err
+		}
+		env.Set(s.Dst, v)
+	case txir.KindWrite:
+		id := s.Ref(env)
+		if info.IsAnchor {
+			e.samplers[info.AnchorID].Record(id)
+		}
+		if err := tx.Write(id, env.Get(s.Src)); err != nil {
+			return err
+		}
+	case txir.KindLocal:
+		if err := s.Fn(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package acn
+
+import (
+	"context"
+	"sync"
+
+	"qracn/internal/contention"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+)
+
+// Hub coordinates ACN across every transaction profile of one client node:
+// the controllers share a single contention table and one stats query per
+// refresh covers the union of all profiles' recently-touched objects —
+// which is how the paper's client works (one list of accessed objects per
+// request, §V-C2), and which lets contention observed through one profile
+// inform another profile touching the same objects.
+type Hub struct {
+	rt    *dtm.Runtime
+	table *contention.Table
+
+	mu    sync.Mutex
+	execs []*Executor
+	algos []*Algorithm
+}
+
+// HubConfig tunes a Hub.
+type HubConfig struct {
+	// Algo configures every profile's algorithm module.
+	Algo AlgoConfig
+	// TableAlpha is the EMA weight of the shared table (0: 0.6).
+	TableAlpha float64
+}
+
+// NewHub creates an empty hub over a runtime.
+func NewHub(rt *dtm.Runtime, cfg HubConfig) *Hub {
+	alpha := cfg.TableAlpha
+	if alpha == 0 {
+		alpha = 0.6
+	}
+	return &Hub{rt: rt, table: contention.NewTable(alpha)}
+}
+
+// Register adds a profile's executor; its Block sequence will be recomposed
+// on every refresh with the given algorithm configuration.
+func (h *Hub) Register(exec *Executor, cfg AlgoConfig) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.execs = append(h.execs, exec)
+	h.algos = append(h.algos, NewAlgorithm(exec.Analysis(), cfg))
+}
+
+// Table exposes the shared contention table.
+func (h *Hub) Table() *contention.Table { return h.table }
+
+// Wanted implements the piggyback hook over all registered profiles.
+func (h *Hub) Wanted() []store.ObjectID {
+	h.mu.Lock()
+	execs := append([]*Executor(nil), h.execs...)
+	h.mu.Unlock()
+	seen := make(map[store.ObjectID]bool)
+	var out []store.ObjectID
+	for _, e := range execs {
+		for _, id := range e.SampledIDs() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Sink implements the piggyback hook: reported levels feed the shared
+// table.
+func (h *Hub) Sink(levels map[store.ObjectID]float64) { h.table.ObserveAll(levels) }
+
+// RefreshOnce fetches contention for the union of all profiles' objects
+// with a single query and recomposes every profile's Block sequence.
+func (h *Hub) RefreshOnce(ctx context.Context) error {
+	ids := h.Wanted()
+	if len(ids) > 0 {
+		levels, err := h.rt.FetchStats(ctx, ids)
+		if err != nil {
+			return err
+		}
+		h.table.ObserveAll(levels)
+	}
+	h.mu.Lock()
+	execs := append([]*Executor(nil), h.execs...)
+	algos := append([]*Algorithm(nil), h.algos...)
+	h.mu.Unlock()
+	for i, exec := range execs {
+		e := exec
+		comp := algos[i].Recompose(func(anchor int) float64 {
+			return h.table.Mean(e.AnchorSample(anchor))
+		})
+		e.SetComposition(comp)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package acn_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qracn/internal/acn"
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+	"qracn/internal/txir"
+	"qracn/internal/unitgraph"
+	"qracn/internal/workload/bank"
+)
+
+func TestHubSharedAdaptation(t *testing.T) {
+	w := bank.New(bank.Config{Branches: 4, Accounts: 100, HotBranches: 2})
+	c := cluster.New(cluster.Config{Servers: 10, StatsWindow: 50 * time.Millisecond})
+	defer c.Close()
+	c.Seed(w.SeedObjects())
+
+	rt := c.Runtime(1, dtm.Config{Seed: 5})
+	hub := acn.NewHub(rt, acn.HubConfig{})
+
+	var execs []*acn.Executor
+	for _, prof := range w.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec := acn.NewExecutor(rt, an, acn.Static(an))
+		execs = append(execs, exec)
+		hub.Register(exec, acn.AlgoConfig{})
+	}
+
+	ctx := context.Background()
+	transfer := func(i int) map[string]any {
+		return map[string]any{
+			"srcBranch": i % 2, "dstBranch": (i + 1) % 2,
+			"srcAcct": i % 100, "dstAcct": (i + 37) % 100,
+			"amount": 1,
+		}
+	}
+	// Drive write traffic through the transfer profile only; the hot
+	// branches become hot in the *shared* table.
+	for i := 0; i < 40; i++ {
+		if err := execs[bank.ProfileTransfer].Execute(ctx, transfer(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(60 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if err := execs[bank.ProfileTransfer].Execute(ctx, transfer(i)); err != nil {
+			t.Fatal(err)
+		}
+		// The read-only balance profile touches the same branches.
+		if err := execs[bank.ProfileBalance].Execute(ctx, map[string]any{
+			"srcBranch": i % 2, "srcAcct": i % 100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := hub.RefreshOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The transfer profile must have moved branches toward commit.
+	comp := execs[bank.ProfileTransfer].Composition()
+	pos := map[int]int{}
+	for bi, b := range comp.Blocks {
+		for _, a := range b.AnchorIDs {
+			pos[a] = bi
+		}
+	}
+	if !(pos[0] > pos[2] && pos[1] > pos[3]) {
+		t.Fatalf("transfer profile did not adapt: %s (branch level %.1f)",
+			comp, hub.Table().Level(store.ID("branch", 0)))
+	}
+	// The balance profile shares the table: its branch block (anchor 0)
+	// must also now run after its account block (anchor 1), even though all
+	// write traffic flowed through the *other* profile.
+	bcomp := execs[bank.ProfileBalance].Composition()
+	bpos := map[int]int{}
+	for bi, b := range bcomp.Blocks {
+		for _, a := range b.AnchorIDs {
+			bpos[a] = bi
+		}
+	}
+	if bpos[0] <= bpos[1] {
+		t.Fatalf("balance profile did not benefit from shared contention: %s", bcomp)
+	}
+	// And the shared table actually knows the hot branches.
+	if hub.Table().Level(store.ID("branch", 0)) <= 0 {
+		t.Fatal("shared table has no branch contention")
+	}
+}
+
+func TestHubWantedUnion(t *testing.T) {
+	c := cluster.New(cluster.Config{Servers: 4, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(map[store.ObjectID]store.Value{"x": store.Int64(1), "y": store.Int64(1)})
+	rt := c.Runtime(1, dtm.Config{Seed: 2})
+	hub := acn.NewHub(rt, acn.HubConfig{TableAlpha: 1})
+
+	mk := func(name, obj string) *acn.Executor {
+		p := newSingleReadProgram(name, obj)
+		an, err := unitgraph.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := acn.NewExecutor(rt, an, acn.Static(an))
+		hub.Register(e, acn.AlgoConfig{})
+		return e
+	}
+	e1, e2 := mk("p1", "x"), mk("p2", "y")
+	ctx := context.Background()
+	if err := e1.Execute(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Execute(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	ids := hub.Wanted()
+	if len(ids) != 2 {
+		t.Fatalf("Wanted = %v, want union of both profiles", ids)
+	}
+	hub.Sink(map[store.ObjectID]float64{"x": 5})
+	if hub.Table().Level("x") != 5 {
+		t.Fatal("Sink did not reach the shared table")
+	}
+	if err := hub.RefreshOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newSingleReadProgram(name, obj string) *txir.Program {
+	p := txir.NewProgram(name)
+	id := store.ObjectID(obj)
+	p.Read(obj, obj, func(*txir.Env) store.ObjectID { return id }, "v")
+	return p
+}

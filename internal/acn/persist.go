@@ -1,0 +1,122 @@
+package acn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"qracn/internal/unitgraph"
+)
+
+// Compositions learned at run time can be persisted and restored, so a
+// restarted client warm-starts from the last adapted Block sequence instead
+// of re-learning from the static one. Because the program may have changed
+// between runs, LoadComposition re-validates the sequence against the
+// current dependency model and refuses anything unsound.
+
+// persistedComposition is the stable JSON schema.
+type persistedComposition struct {
+	Program string      `json:"program"`
+	Version int         `json:"version"`
+	Blocks  []BlockSpec `json:"blocks"`
+}
+
+const persistVersion = 1
+
+// Encode serializes the composition for the given analysis.
+func (c *Composition) Encode(an *unitgraph.Analysis) ([]byte, error) {
+	if err := ValidateComposition(an, c); err != nil {
+		return nil, fmt.Errorf("acn: refusing to encode invalid composition: %w", err)
+	}
+	return json.Marshal(persistedComposition{
+		Program: an.Program.Name,
+		Version: persistVersion,
+		Blocks:  c.Blocks,
+	})
+}
+
+// LoadComposition parses a persisted composition and validates it against
+// the current analysis.
+func LoadComposition(an *unitgraph.Analysis, data []byte) (*Composition, error) {
+	var p persistedComposition
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("acn: parse composition: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("acn: composition version %d not supported", p.Version)
+	}
+	if p.Program != an.Program.Name {
+		return nil, fmt.Errorf("acn: composition is for program %q, analysis is %q", p.Program, an.Program.Name)
+	}
+	c := &Composition{Blocks: p.Blocks}
+	if err := ValidateComposition(an, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ValidateComposition checks every structural invariant a composition must
+// satisfy to execute soundly over the analysis: each UnitBlock and each
+// statement appears exactly once, statements ascend within a Block, and the
+// Block order respects every ordering constraint of the dependency model.
+func ValidateComposition(an *unitgraph.Analysis, c *Composition) error {
+	if c == nil || len(c.Blocks) == 0 {
+		return fmt.Errorf("acn: empty composition")
+	}
+	anchorBlock := make(map[int]int)
+	stmtBlock := make(map[int]int)
+	for bi, b := range c.Blocks {
+		for _, a := range b.AnchorIDs {
+			if a < 0 || a >= an.NumAnchors {
+				return fmt.Errorf("acn: unknown UnitBlock %d", a)
+			}
+			if _, dup := anchorBlock[a]; dup {
+				return fmt.Errorf("acn: UnitBlock %d appears twice", a)
+			}
+			anchorBlock[a] = bi
+		}
+		prev := -1
+		for _, s := range b.StmtIdx {
+			if s < 0 || s >= len(an.Stmts) {
+				return fmt.Errorf("acn: unknown statement %d", s)
+			}
+			if _, dup := stmtBlock[s]; dup {
+				return fmt.Errorf("acn: statement %d appears twice", s)
+			}
+			if s <= prev {
+				return fmt.Errorf("acn: block %d statements not ascending", bi)
+			}
+			prev = s
+			stmtBlock[s] = bi
+		}
+	}
+	if len(anchorBlock) != an.NumAnchors {
+		return fmt.Errorf("acn: composition covers %d of %d UnitBlocks", len(anchorBlock), an.NumAnchors)
+	}
+	if len(stmtBlock) != len(an.Stmts) {
+		return fmt.Errorf("acn: composition covers %d of %d statements", len(stmtBlock), len(an.Stmts))
+	}
+	// Anchors must live in the block that lists them.
+	for id, stmtIdx := range an.AnchorStmt {
+		if stmtBlock[stmtIdx] != anchorBlock[id] {
+			return fmt.Errorf("acn: anchor %d's statement is in block %d but the anchor is listed in block %d",
+				id, stmtBlock[stmtIdx], anchorBlock[id])
+		}
+	}
+	// Every ordering constraint must point forward (or stay in-block, where
+	// ascending statement order already satisfies it).
+	for _, e := range an.OrderEdges {
+		if stmtBlock[e[0]] > stmtBlock[e[1]] {
+			return fmt.Errorf("acn: ordering %d->%d violated by block order %d > %d",
+				e[0], e[1], stmtBlock[e[0]], stmtBlock[e[1]])
+		}
+	}
+	// Forced anchor dependencies.
+	for id, stmtIdx := range an.AnchorStmt {
+		for _, dep := range an.Stmts[stmtIdx].DepAnchors {
+			if anchorBlock[dep] > anchorBlock[id] {
+				return fmt.Errorf("acn: UnitBlock %d depends on %d but runs first", id, dep)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package acn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qracn/internal/store"
+	"qracn/internal/txir"
+	"qracn/internal/txir/txirtest"
+	"qracn/internal/unitgraph"
+)
+
+func TestEncodeLoadRoundTrip(t *testing.T) {
+	an := analyzeBank(t)
+	alg := NewAlgorithm(an, AlgoConfig{})
+	comp := alg.Recompose(levels(map[int]float64{0: 50, 1: 48, 2: 1, 3: 1}))
+
+	data, err := comp.Encode(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadComposition(an, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != comp.String() {
+		t.Fatalf("round trip changed composition: %s vs %s", got, comp)
+	}
+	assertCoverage(t, an, got)
+}
+
+func TestLoadRejectsWrongProgram(t *testing.T) {
+	an := analyzeBank(t)
+	comp := Static(an)
+	data, err := comp.Encode(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := unitgraph.Analyze(txirtest.RandomProgram(rand.New(rand.NewSource(1)), 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadComposition(other, data); err == nil || !strings.Contains(err.Error(), "program") {
+		t.Fatalf("err = %v, want program mismatch", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	an := analyzeBank(t)
+	if _, err := LoadComposition(an, []byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadComposition(an, []byte(`{"program":"bank-transfer","version":99}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestValidateCompositionCatchesCorruption(t *testing.T) {
+	an := analyzeBank(t)
+	base := Static(an)
+
+	for name, corrupt := range map[string]func(*Composition){
+		"missing block": func(c *Composition) { c.Blocks = c.Blocks[:len(c.Blocks)-1] },
+		"duplicate anchor": func(c *Composition) {
+			c.Blocks[0].AnchorIDs = append(c.Blocks[0].AnchorIDs, c.Blocks[1].AnchorIDs...)
+		},
+		"duplicate stmt": func(c *Composition) {
+			c.Blocks[1].StmtIdx = append(c.Blocks[1].StmtIdx, c.Blocks[0].StmtIdx[0])
+		},
+		"descending stmts": func(c *Composition) {
+			s := c.Blocks[0].StmtIdx
+			if len(s) < 2 {
+				c.Blocks[0].StmtIdx = []int{s[0], s[0] - 1}
+			} else {
+				s[0], s[1] = s[1], s[0]
+			}
+		},
+		"unknown anchor": func(c *Composition) { c.Blocks[0].AnchorIDs[0] = 99 },
+		"unknown stmt":   func(c *Composition) { c.Blocks[0].StmtIdx[0] = 999 },
+	} {
+		// Deep-copy the base composition.
+		c := &Composition{}
+		for _, b := range base.Blocks {
+			c.Blocks = append(c.Blocks, BlockSpec{
+				AnchorIDs: append([]int(nil), b.AnchorIDs...),
+				StmtIdx:   append([]int(nil), b.StmtIdx...),
+			})
+		}
+		corrupt(c)
+		if err := ValidateComposition(an, c); err == nil {
+			t.Fatalf("%s: corruption accepted: %s", name, c)
+		}
+	}
+	if err := ValidateComposition(an, nil); err == nil {
+		t.Fatal("nil composition accepted")
+	}
+}
+
+func TestValidateCompositionCatchesOrderViolation(t *testing.T) {
+	// Chain X -> Y(keyed by X): swapping their blocks must be rejected.
+	an, err := unitgraph.Analyze(chainProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Static(an)
+	if err := ValidateComposition(an, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Composition{Blocks: []BlockSpec{good.Blocks[1], good.Blocks[0]}}
+	if err := ValidateComposition(an, bad); err == nil {
+		t.Fatal("dependency-violating composition accepted")
+	}
+}
+
+// TestValidateAcceptsAllRecompositions fuzzes the validator against the
+// algorithm: everything Recompose produces must validate.
+func TestValidateAcceptsAllRecompositions(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		an, err := unitgraph.Analyze(txirtest.RandomProgram(rng, 5, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := NewAlgorithm(an, AlgoConfig{MergeThreshold: rng.Float64()})
+		comp := alg.Recompose(func(id int) float64 { return rng.Float64() * 20 })
+		if err := ValidateComposition(an, comp); err != nil {
+			t.Fatalf("trial %d: recomposition rejected: %v\ncomposition %s", trial, err, comp)
+		}
+		data, err := comp.Encode(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadComposition(an, data); err != nil {
+			t.Fatalf("trial %d: round trip failed: %v", trial, err)
+		}
+	}
+}
+
+// chainProgram: Read(X) then Read(Y) keyed by X's value — a forced
+// dependency between the two UnitBlocks.
+func chainProgram() *txir.Program {
+	p := txir.NewProgram("chain-persist")
+	p.Read("X", "X", sref("X"), "x")
+	p.Read("Y", "Y", func(e *txir.Env) store.ObjectID {
+		return store.ID("Y", e.GetInt64("x"))
+	}, "y", "x")
+	return p
+}

@@ -1,0 +1,110 @@
+// Package cluster assembles an in-process QR-DTM deployment: N quorum-node
+// servers arranged in a logical ternary tree, joined by the simulated
+// channel network, plus factories for client runtimes. It stands in for the
+// paper's 30-node testbed (10 servers, up to 20 client nodes on a 1 Gbps
+// switched network); the network latency is injected per message.
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"qracn/internal/dtm"
+	"qracn/internal/quorum"
+	"qracn/internal/server"
+	"qracn/internal/store"
+	"qracn/internal/transport"
+)
+
+// Config sizes and tunes a cluster.
+type Config struct {
+	// Servers is the number of quorum nodes (default 10, like the paper).
+	Servers int
+	// Degree is the quorum tree fan-out (default 3, the paper's ternary
+	// tree).
+	Degree int
+	// Network tunes the simulated interconnect.
+	Network transport.ChannelConfig
+	// StatsWindow is the contention observation window on every node.
+	StatsWindow time.Duration
+	// ProtectTTL, when positive, enables lease expiry of protections so the
+	// cluster self-heals from clients killed mid-commit (failure tests).
+	ProtectTTL time.Duration
+	// Now injects a clock for server meters (nil: time.Now).
+	Now func() time.Time
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	Tree  *quorum.Tree
+	Net   *transport.ChannelNetwork
+	Nodes []*server.Node
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Servers == 0 {
+		cfg.Servers = 10
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = 3
+	}
+	c := &Cluster{
+		Tree: quorum.NewTree(cfg.Servers, cfg.Degree),
+		Net:  transport.NewChannelNetwork(cfg.Network),
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		n := server.NewNode(quorum.NodeID(i), server.Config{StatsWindow: cfg.StatsWindow, Now: cfg.Now})
+		if cfg.ProtectTTL > 0 {
+			n.Store().SetProtectTTL(cfg.ProtectTTL, cfg.Now)
+		}
+		c.Nodes = append(c.Nodes, n)
+		c.Net.Register(n.ID(), n.Handle)
+	}
+	return c
+}
+
+// Seed installs the same objects on every replica (full replication).
+func (c *Cluster) Seed(objs map[store.ObjectID]store.Value) {
+	for _, n := range c.Nodes {
+		cp := make(map[store.ObjectID]store.Value, len(objs))
+		for id, v := range objs {
+			if v != nil {
+				cp[id] = v.CloneValue()
+			} else {
+				cp[id] = nil
+			}
+		}
+		n.Store().SeedBatch(cp)
+	}
+}
+
+// Runtime creates a client runtime attached to this cluster. Fields of cfg
+// that identify the cluster (Tree, Client, Alive) are filled in; the rest
+// are taken as given.
+func (c *Cluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
+	cfg.Tree = c.Tree
+	cfg.Client = c.Net
+	cfg.Alive = c.Net.Alive
+	cfg.ClientSeed = clientSeed
+	return dtm.New(cfg)
+}
+
+// Kill marks a server unreachable.
+func (c *Cluster) Kill(id quorum.NodeID) { c.Net.SetDown(id, true) }
+
+// Revive marks a server reachable again. Its replica kept its state (a
+// partition heal rather than a cold restart).
+func (c *Cluster) Revive(id quorum.NodeID) { c.Net.SetDown(id, false) }
+
+// Close shuts the network down.
+func (c *Cluster) Close() { c.Net.Close() }
+
+// ReviveAndRepair brings a node back and runs anti-entropy against a live
+// peer so the healed replica serves fresh state immediately instead of
+// waiting for future commits to overwrite it. It returns the number of
+// objects repaired.
+func (c *Cluster) ReviveAndRepair(ctx context.Context, id, peer quorum.NodeID) (int, error) {
+	c.Revive(id)
+	return c.Nodes[id].RepairFrom(ctx, c.Net, peer)
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qracn/internal/dtm"
+	"qracn/internal/quorum"
+	"qracn/internal/server"
+	"qracn/internal/store"
+	"qracn/internal/transport"
+)
+
+// TCPConfig sizes a loopback TCP deployment.
+type TCPConfig struct {
+	// Servers is the number of quorum nodes (default 4).
+	Servers int
+	// Degree is the quorum tree fan-out (default 3).
+	Degree int
+	// StatsWindow is the contention observation window.
+	StatsWindow time.Duration
+	// Compress enables flate compression of large frames.
+	Compress bool
+	// Now injects a clock for server meters (nil: time.Now).
+	Now func() time.Time
+}
+
+// TCPCluster is a multi-listener deployment on the loopback interface: the
+// same quorum-node logic as the in-process cluster, but every message
+// crosses a real TCP connection through the wire codec. Useful for
+// integration tests and as a template for multi-machine deployment with
+// cmd/qracn-node.
+type TCPCluster struct {
+	Tree  *quorum.Tree
+	Nodes []*server.Node
+
+	servers []*transport.TCPServer
+	addrs   map[quorum.NodeID]string
+
+	mu      sync.Mutex
+	clients []*transport.TCPClient
+}
+
+// NewTCP starts the servers and returns the running cluster.
+func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
+	if cfg.Servers == 0 {
+		cfg.Servers = 4
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = 3
+	}
+	c := &TCPCluster{
+		Tree:  quorum.NewTree(cfg.Servers, cfg.Degree),
+		addrs: make(map[quorum.NodeID]string),
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		n := server.NewNode(quorum.NodeID(i), server.Config{StatsWindow: cfg.StatsWindow, Now: cfg.Now})
+		srv := transport.NewTCPServer(n.Handle, cfg.Compress)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, n)
+		c.servers = append(c.servers, srv)
+		c.addrs[n.ID()] = addr
+	}
+	return c, nil
+}
+
+// Addrs returns the node address map (for external clients).
+func (c *TCPCluster) Addrs() map[quorum.NodeID]string {
+	out := make(map[quorum.NodeID]string, len(c.addrs))
+	for k, v := range c.addrs {
+		out[k] = v
+	}
+	return out
+}
+
+// Seed installs the same objects on every replica.
+func (c *TCPCluster) Seed(objs map[store.ObjectID]store.Value) {
+	for _, n := range c.Nodes {
+		cp := make(map[store.ObjectID]store.Value, len(objs))
+		for id, v := range objs {
+			if v != nil {
+				cp[id] = v.CloneValue()
+			} else {
+				cp[id] = nil
+			}
+		}
+		n.Store().SeedBatch(cp)
+	}
+}
+
+// Runtime creates a client runtime connected over TCP. The cluster owns the
+// connection and closes it on Close. Safe for concurrent use.
+func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
+	client := transport.NewTCPClient(c.Addrs(), false)
+	c.mu.Lock()
+	c.clients = append(c.clients, client)
+	c.mu.Unlock()
+	cfg.Tree = c.Tree
+	cfg.Client = client
+	cfg.ClientSeed = clientSeed
+	return dtm.New(cfg)
+}
+
+// Close tears down all clients and servers.
+func (c *TCPCluster) Close() {
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,192 @@
+package contention
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"qracn/internal/store"
+)
+
+// manualClock is a test clock advanced explicitly.
+type manualClock struct{ t time.Time }
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC)}
+}
+func (c *manualClock) now() time.Time          { return c.t }
+func (c *manualClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestMeterBeforeFirstRotation(t *testing.T) {
+	c := newManualClock()
+	m := NewMeter(10*time.Second, c.now)
+	m.RecordWrite("a")
+	m.RecordWrite("a")
+	if got := m.Level("a"); got != 2 {
+		t.Fatalf("Level = %v, want 2 (current window before first rotation)", got)
+	}
+}
+
+func TestMeterReportsLastCompletedWindow(t *testing.T) {
+	c := newManualClock()
+	m := NewMeter(10*time.Second, c.now)
+	for i := 0; i < 5; i++ {
+		m.RecordWrite("a")
+	}
+	c.advance(10 * time.Second)
+	m.RecordWrite("a") // lands in the new window
+	if got := m.Level("a"); got != 5 {
+		t.Fatalf("Level = %v, want 5 (previous window)", got)
+	}
+	c.advance(10 * time.Second)
+	if got := m.Level("a"); got != 1 {
+		t.Fatalf("Level = %v, want 1 after second rotation", got)
+	}
+}
+
+func TestMeterIdleWindowsClearLevel(t *testing.T) {
+	c := newManualClock()
+	m := NewMeter(10*time.Second, c.now)
+	m.RecordWrite("a")
+	c.advance(35 * time.Second) // 3 windows elapsed with no writes in the last
+	if got := m.Level("a"); got != 0 {
+		t.Fatalf("Level = %v, want 0 after idle windows", got)
+	}
+}
+
+func TestMeterLevelsBatch(t *testing.T) {
+	c := newManualClock()
+	m := NewMeter(time.Second, c.now)
+	m.RecordWrite("a")
+	m.RecordWrite("b")
+	m.RecordWrite("b")
+	got := m.Levels([]store.ObjectID{"a", "b", "c"})
+	if got["a"] != 1 || got["b"] != 2 || got["c"] != 0 {
+		t.Fatalf("Levels = %v", got)
+	}
+}
+
+func TestMeterPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMeter(0, nil)
+}
+
+func TestTableEMA(t *testing.T) {
+	tb := NewTable(0.5)
+	tb.Observe("a", 10)
+	if got := tb.Level("a"); got != 10 {
+		t.Fatalf("first observation should seed directly, got %v", got)
+	}
+	tb.Observe("a", 20)
+	if got := tb.Level("a"); got != 15 {
+		t.Fatalf("Level = %v, want 15", got)
+	}
+	tb.Observe("a", 15)
+	if got := tb.Level("a"); got != 15 {
+		t.Fatalf("Level = %v, want 15", got)
+	}
+}
+
+func TestTableAlphaOneKeepsLatest(t *testing.T) {
+	tb := NewTable(1)
+	tb.Observe("a", 3)
+	tb.Observe("a", 9)
+	if got := tb.Level("a"); got != 9 {
+		t.Fatalf("Level = %v, want 9", got)
+	}
+}
+
+func TestTableObserveAllAndMean(t *testing.T) {
+	tb := NewTable(1)
+	tb.ObserveAll(map[store.ObjectID]float64{"a": 2, "b": 4})
+	if got := tb.Mean([]store.ObjectID{"a", "b"}); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+	if got := tb.Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	// Unknown IDs count as zero contention.
+	if got := tb.Mean([]store.ObjectID{"a", "zzz"}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Mean = %v, want 1", got)
+	}
+}
+
+func TestTablePanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%v) did not panic", a)
+				}
+			}()
+			NewTable(a)
+		}()
+	}
+}
+
+func TestSamplerDistinctIDs(t *testing.T) {
+	s := NewSampler(4)
+	s.Record("a")
+	s.Record("b")
+	s.Record("a")
+	ids := s.IDs()
+	if len(ids) != 2 {
+		t.Fatalf("IDs = %v, want 2 distinct", ids)
+	}
+	if got := s.Recent(); len(got) != 3 {
+		t.Fatalf("Recent = %v, want 3 accesses with duplicates", got)
+	}
+}
+
+func TestSamplerEvictsOldest(t *testing.T) {
+	s := NewSampler(3)
+	for i := 0; i < 5; i++ {
+		s.Record(store.ObjectID(fmt.Sprintf("o%d", i)))
+	}
+	recent := s.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("Recent = %v, want capacity 3", recent)
+	}
+	seen := map[store.ObjectID]bool{}
+	for _, id := range recent {
+		seen[id] = true
+	}
+	// Oldest two (o0, o1) must have aged out.
+	if seen["o0"] || seen["o1"] {
+		t.Fatalf("old accesses not evicted: %v", recent)
+	}
+}
+
+func TestSamplerFrequencyWeighting(t *testing.T) {
+	// After a phase shift the window must be dominated by the new hot
+	// objects even though old distinct IDs were seen before.
+	s := NewSampler(8)
+	for i := 0; i < 8; i++ {
+		s.Record(store.ObjectID(fmt.Sprintf("cold%d", i)))
+	}
+	for i := 0; i < 8; i++ {
+		s.Record("hot")
+	}
+	for _, id := range s.Recent() {
+		if id != "hot" {
+			t.Fatalf("stale access %s survived a full window of hot accesses", id)
+		}
+	}
+	if ids := s.IDs(); len(ids) != 1 || ids[0] != "hot" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestSamplerPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSampler(0)
+}

@@ -1,0 +1,151 @@
+package dtm_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+)
+
+func TestCheckpointRestoreTruncatesReads(t *testing.T) {
+	c := newCluster(t, 4)
+	c.Seed(map[store.ObjectID]store.Value{
+		"a": store.Int64(1), "b": store.Int64(2), "c": store.Int64(3),
+	})
+	rt := rtFor(c, 1)
+	err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		if _, err := tx.Read("a"); err != nil {
+			return err
+		}
+		cp := tx.Checkpoint()
+		if cp.ReadLen() != 1 {
+			t.Fatalf("ReadLen = %d, want 1", cp.ReadLen())
+		}
+		if _, err := tx.Read("b"); err != nil {
+			return err
+		}
+		if err := tx.Write("c", store.Int64(9)); err != nil {
+			return err
+		}
+		if _, ok := tx.ReadPosition("b"); !ok {
+			t.Fatal("b should be in the read set")
+		}
+		tx.Restore(cp)
+		if _, ok := tx.ReadPosition("b"); ok {
+			t.Fatal("b should be forgotten after restore")
+		}
+		if _, ok := tx.ReadPosition("c"); ok {
+			t.Fatal("c should be forgotten after restore")
+		}
+		if p, ok := tx.ReadPosition("a"); !ok || p != 0 {
+			t.Fatalf("a position = %d/%v", p, ok)
+		}
+		// Reading b again must hit the network anew.
+		before := rt.Metrics().RemoteReads.Load()
+		if _, err := tx.Read("b"); err != nil {
+			return err
+		}
+		if rt.Metrics().RemoteReads.Load() != before+1 {
+			t.Fatal("restored read set served a forgotten object locally")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRestoresWriteBuffer(t *testing.T) {
+	c := newCluster(t, 4)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Int64(1)})
+	rt := rtFor(c, 1)
+	ctx := context.Background()
+	err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		if err := tx.Write("a", store.Int64(10)); err != nil {
+			return err
+		}
+		cp := tx.Checkpoint()
+		if err := tx.Write("a", store.Int64(20)); err != nil {
+			return err
+		}
+		tx.Restore(cp)
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		if store.AsInt64(v) != 10 {
+			t.Fatalf("buffered write after restore = %v, want 10", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored buffer is what commits.
+	var got int64
+	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		got = store.AsInt64(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("committed value = %d, want 10", got)
+	}
+}
+
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	c := newCluster(t, 4)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Bytes{1}})
+	rt := rtFor(c, 1)
+	err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		if err := tx.Write("a", store.Bytes{5}); err != nil {
+			return err
+		}
+		cp := tx.Checkpoint()
+		// Overwrite with a different value; the checkpoint must keep 5.
+		if err := tx.Write("a", store.Bytes{7}); err != nil {
+			return err
+		}
+		tx.Restore(cp)
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		if v.(store.Bytes)[0] != 5 {
+			t.Fatalf("restore lost the checkpointed value: %v", v)
+		}
+		// Restoring twice from the same checkpoint must work (copies).
+		tx.Restore(cp)
+		v, err = tx.Read("a")
+		if err != nil {
+			return err
+		}
+		if v.(store.Bytes)[0] != 5 {
+			t.Fatalf("second restore broken: %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPositionUnknown(t *testing.T) {
+	c := cluster.New(cluster.Config{Servers: 4, StatsWindow: time.Hour})
+	t.Cleanup(c.Close)
+	rt := c.Runtime(1, dtm.Config{Seed: 1})
+	_ = rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		if _, ok := tx.ReadPosition("nothing"); ok {
+			t.Fatal("unknown object reported a position")
+		}
+		return nil
+	})
+}

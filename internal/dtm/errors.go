@@ -1,0 +1,72 @@
+// Package dtm implements the client side of the QR-DTM / QR-CN protocols:
+// transaction contexts with read/write sets, remote reads served by a read
+// quorum with incremental validation, closed nesting with one level of
+// sub-transactions (partial rollback), and a two-phase-commit coordinator
+// over a write quorum.
+package dtm
+
+import (
+	"errors"
+	"fmt"
+
+	"qracn/internal/store"
+)
+
+// AbortLevel distinguishes partial from full rollback.
+type AbortLevel int
+
+// Abort levels.
+const (
+	// AbortSub: the invalidated objects were first accessed by the
+	// currently executing sub-transaction; only it re-executes (partial
+	// rollback).
+	AbortSub AbortLevel = iota
+	// AbortParent: an object already merged into the parent's history was
+	// invalidated (or the commit failed); the whole transaction re-executes.
+	AbortParent
+)
+
+func (l AbortLevel) String() string {
+	if l == AbortSub {
+		return "sub"
+	}
+	return "parent"
+}
+
+// AbortError reports that (part of) a transaction must re-execute.
+type AbortError struct {
+	Level   AbortLevel
+	Invalid []store.ObjectID
+	// Busy marks aborts caused by protected objects (2PC in progress
+	// elsewhere) rather than invalidated reads.
+	Busy   bool
+	Reason string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("dtm: %s-level abort (%s): invalid=%v busy=%v", e.Level, e.Reason, e.Invalid, e.Busy)
+}
+
+// AsAbort extracts an AbortError from err.
+func AsAbort(err error) (*AbortError, bool) {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}
+
+// Errors returned by the runtime.
+var (
+	// ErrNestingDepth reports an attempt to open a sub-transaction inside a
+	// sub-transaction; ACN decomposes with exactly one level of nesting
+	// (paper §IV).
+	ErrNestingDepth = errors.New("dtm: sub-transactions cannot be nested (one level only)")
+	// ErrRetriesExhausted reports that a transaction kept aborting past the
+	// configured retry budget.
+	ErrRetriesExhausted = errors.New("dtm: retries exhausted")
+	// ErrQuorumUnreachable reports that no quorum could be assembled or
+	// reached.
+	ErrQuorumUnreachable = errors.New("dtm: quorum unreachable")
+)

@@ -1,0 +1,171 @@
+package dtm_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+)
+
+func leanCluster(t *testing.T, servers int) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(cluster.Config{Servers: servers, StatsWindow: time.Hour})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestLeanReadBasic(t *testing.T) {
+	c := leanCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Int64(7)})
+	rt := c.Runtime(1, dtm.Config{Seed: 1, ReadStrategy: dtm.ReadLean})
+	var got int64
+	if err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		got = store.AsInt64(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+// TestLeanReadFetchesNewestFromStaleDesignate forces the designated
+// full-value member to be stale: the lean read must notice the newer
+// version at another member and follow up there.
+func TestLeanReadFetchesNewestFromStaleDesignate(t *testing.T) {
+	c := leanCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Int64(1)})
+
+	// Apply a newer version directly on a subset of replicas so that some
+	// read-quorum members are stale no matter which is designated.
+	// Replicas 0..4 get version 5, replicas 5..9 stay at 1. Any level
+	// majority contains at least one updated node:
+	// level 0 = {0}; level 1 = {1,2,3} majority >= 2 of them updated;
+	// level 2 = {4..9} majority 4 includes node 4 or... not guaranteed —
+	// so update 4,5,6 too: make replicas 0..6 fresh, 7..9 stale.
+	for i := 0; i <= 6; i++ {
+		if err := c.Nodes[i].Store().Apply(store.WriteDesc{ID: "a", Value: store.Int64(99), NewVersion: 5}, "tx-ext"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Try many client seeds so various members act as the designated
+	// full-value node; every read must still see version 5's value.
+	for seed := 1; seed <= 12; seed++ {
+		rt := c.Runtime(seed, dtm.Config{Seed: int64(seed), ReadStrategy: dtm.ReadLean})
+		var got int64
+		if err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+			v, err := tx.Read("a")
+			if err != nil {
+				return err
+			}
+			got = store.AsInt64(v)
+			return nil
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != 99 {
+			t.Fatalf("seed %d read stale value %d", seed, got)
+		}
+	}
+}
+
+func TestLeanReadWriteWorkloadEquivalent(t *testing.T) {
+	c := leanCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"ctr": store.Int64(0)})
+	ctx := context.Background()
+	// Alternate increments between a lean client and a full client.
+	leanRT := c.Runtime(1, dtm.Config{Seed: 1, ReadStrategy: dtm.ReadLean})
+	fullRT := c.Runtime(2, dtm.Config{Seed: 2})
+	inc := func(rt *dtm.Runtime) {
+		if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+			v, err := tx.Read("ctr")
+			if err != nil {
+				return err
+			}
+			return tx.Write("ctr", store.Int64(store.AsInt64(v)+1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		inc(leanRT)
+		inc(fullRT)
+	}
+	var got int64
+	if err := fullRT.Atomic(ctx, func(tx *dtm.Tx) error {
+		v, err := tx.Read("ctr")
+		if err != nil {
+			return err
+		}
+		got = store.AsInt64(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("ctr = %d, want 20 (lean/full interleaving lost updates)", got)
+	}
+}
+
+func TestLeanIncrementalValidationStillFires(t *testing.T) {
+	c := leanCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Int64(1), "b": store.Int64(1)})
+	rt := c.Runtime(1, dtm.Config{Seed: 1, ReadStrategy: dtm.ReadLean})
+	other := c.Runtime(2, dtm.Config{Seed: 2})
+	ctx := context.Background()
+
+	attempts := 0
+	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		attempts++
+		if _, err := tx.Read("a"); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			if err := other.Atomic(ctx, func(o *dtm.Tx) error {
+				return o.Write("a", store.Int64(9))
+			}); err != nil {
+				return err
+			}
+		}
+		if _, err := tx.Read("b"); err != nil {
+			return err
+		}
+		return tx.Write("b", store.Int64(2))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (validation must fire under lean reads)", attempts)
+	}
+}
+
+func TestLeanSingleNodeQuorumFallsBackToFull(t *testing.T) {
+	// A one-member read quorum has nobody to version-check: the lean
+	// strategy must degrade to a plain full read (no VersionOnly request).
+	c := leanCluster(t, 1)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Bytes{1, 2, 3}})
+	rt := c.Runtime(1, dtm.Config{Seed: 1, ReadStrategy: dtm.ReadLean})
+	if err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		if len(v.(store.Bytes)) != 3 {
+			t.Fatalf("value = %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = quorum.NodeID(0)
+}

@@ -1,0 +1,47 @@
+package dtm
+
+import "sync/atomic"
+
+// Metrics aggregates protocol-level counters for one Runtime. All fields are
+// updated atomically and may be read at any time.
+type Metrics struct {
+	Commits       atomic.Uint64 // top-level commits
+	ParentAborts  atomic.Uint64 // full re-executions
+	SubAborts     atomic.Uint64 // partial rollbacks (sub-transaction retries)
+	BusyBackoffs  atomic.Uint64 // waits caused by protected objects
+	RemoteReads   atomic.Uint64 // quorum read round-trips
+	Prepares      atomic.Uint64 // 2PC prepare rounds
+	PrepareFails  atomic.Uint64 // prepare rounds that voted no
+	ReadOnlyFasts atomic.Uint64 // read-only validations (no 2PC)
+	// CheckpointRollbacks counts partial rollbacks performed by the
+	// checkpointing executor (the QR-CP comparison system).
+	CheckpointRollbacks atomic.Uint64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Commits             uint64
+	ParentAborts        uint64
+	SubAborts           uint64
+	BusyBackoffs        uint64
+	RemoteReads         uint64
+	Prepares            uint64
+	PrepareFails        uint64
+	ReadOnlyFasts       uint64
+	CheckpointRollbacks uint64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Commits:             m.Commits.Load(),
+		ParentAborts:        m.ParentAborts.Load(),
+		SubAborts:           m.SubAborts.Load(),
+		BusyBackoffs:        m.BusyBackoffs.Load(),
+		RemoteReads:         m.RemoteReads.Load(),
+		Prepares:            m.Prepares.Load(),
+		PrepareFails:        m.PrepareFails.Load(),
+		ReadOnlyFasts:       m.ReadOnlyFasts.Load(),
+		CheckpointRollbacks: m.CheckpointRollbacks.Load(),
+	}
+}

@@ -1,0 +1,289 @@
+package dtm
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/trace"
+	"qracn/internal/transport"
+	"qracn/internal/wire"
+)
+
+// Config parameterizes a client-side Runtime.
+type Config struct {
+	// Tree is the logical quorum tree shared by the whole cluster.
+	Tree *quorum.Tree
+	// Client is the transport used to reach quorum nodes.
+	Client transport.Client
+	// Alive filters nodes believed reachable (nil: all alive).
+	Alive quorum.AliveFunc
+	// ClientSeed differentiates quorum selection across client nodes so
+	// load spreads over tree levels and level members.
+	ClientSeed int
+
+	// MaxAttempts bounds top-level re-executions (0: 10000).
+	MaxAttempts int
+	// MaxSubAttempts bounds partial rollbacks of one sub-transaction before
+	// escalating to a parent abort (0: 1000).
+	MaxSubAttempts int
+	// ReadBusyRetries bounds re-reads of a protected object (0: 50).
+	ReadBusyRetries int
+	// QuorumAttempts bounds re-selection of a quorum when members are
+	// unreachable (0: 4).
+	QuorumAttempts int
+
+	// BackoffBase/BackoffMax shape the randomized exponential backoff
+	// applied after aborts and busy objects (0: 100µs / 5ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RequestTimeout bounds one RPC (0: 5s).
+	RequestTimeout time.Duration
+
+	// StatsEveryNReads piggybacks a contention-stats query on every Nth
+	// remote read (0: never). StatsWanted supplies the object IDs to ask
+	// about and StatsSink receives the levels servers report.
+	StatsEveryNReads int
+	StatsWanted      func() []store.ObjectID
+	StatsSink        func(map[store.ObjectID]float64)
+
+	// ReadStrategy selects how quorum reads move object values (default
+	// ReadFull).
+	ReadStrategy ReadStrategy
+
+	// Seed makes backoff jitter reproducible (0: from the clock).
+	Seed int64
+
+	// Tracer, when non-nil, records protocol events (reads, aborts,
+	// commits) for debugging; nil disables tracing at zero cost.
+	Tracer *trace.Tracer
+}
+
+// ReadStrategy selects the quorum-read variant.
+type ReadStrategy int
+
+const (
+	// ReadFull requests the object's value from every read-quorum member
+	// (QR-DTM's behaviour): one round trip, value bytes on every link.
+	ReadFull ReadStrategy = iota
+	// ReadLean requests the value from a single member and versions-only
+	// from the rest; if another member reports a newer version, a follow-up
+	// fetch retrieves the fresh value from it. Saves value bandwidth on
+	// large objects at the cost of an extra round trip when the designated
+	// member is stale.
+	ReadLean
+)
+
+func (c *Config) fillDefaults() {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 10000
+	}
+	if c.MaxSubAttempts == 0 {
+		c.MaxSubAttempts = 1000
+	}
+	if c.ReadBusyRetries == 0 {
+		c.ReadBusyRetries = 50
+	}
+	if c.QuorumAttempts == 0 {
+		c.QuorumAttempts = 4
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 100 * time.Microsecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+}
+
+// Runtime is one client node's DTM engine. It is safe for concurrent use;
+// a client node typically runs many transaction goroutines over one Runtime.
+type Runtime struct {
+	cfg     Config
+	metrics Metrics
+
+	txSeq   uint64
+	readSeq uint64
+	seqMu   sync.Mutex
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New creates a Runtime. It panics if Tree or Client is missing.
+func New(cfg Config) *Runtime {
+	if cfg.Tree == nil || cfg.Client == nil {
+		panic("dtm: Config.Tree and Config.Client are required")
+	}
+	cfg.fillDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Runtime{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Metrics exposes the runtime's counters.
+func (rt *Runtime) Metrics() *Metrics { return &rt.metrics }
+
+func (rt *Runtime) nextTxSeq() uint64 {
+	rt.seqMu.Lock()
+	defer rt.seqMu.Unlock()
+	rt.txSeq++
+	return rt.txSeq
+}
+
+func (rt *Runtime) nextReadSeq() uint64 {
+	rt.seqMu.Lock()
+	defer rt.seqMu.Unlock()
+	rt.readSeq++
+	return rt.readSeq
+}
+
+func (rt *Runtime) backoff(ctx context.Context, attempt int) error {
+	d := rt.cfg.BackoffBase << uint(min(attempt, 16))
+	if d > rt.cfg.BackoffMax {
+		d = rt.cfg.BackoffMax
+	}
+	rt.rngMu.Lock()
+	jittered := d/2 + time.Duration(rt.rng.Int63n(int64(d)+1))
+	rt.rngMu.Unlock()
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Backoff sleeps the runtime's randomized exponential backoff for the given
+// attempt number (exposed for rollback mechanisms layered on the runtime).
+func (rt *Runtime) Backoff(ctx context.Context, attempt int) error {
+	return rt.backoff(ctx, attempt)
+}
+
+// Atomic runs fn as a top-level transaction, retrying on aborts until it
+// commits, the context is cancelled, or the attempt budget is exhausted.
+// fn must be idempotent: it may run many times.
+func (rt *Runtime) Atomic(ctx context.Context, fn func(*Tx) error) error {
+	seq := rt.nextTxSeq()
+	for attempt := 0; attempt < rt.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tx := &Tx{
+			rt:       rt,
+			ctx:      ctx,
+			id:       fmt.Sprintf("c%d-t%d-a%d", rt.cfg.ClientSeed, seq, attempt),
+			seed:     rt.cfg.ClientSeed + int(seq),
+			reads:    make(map[store.ObjectID]uint64),
+			readVals: make(map[store.ObjectID]store.Value),
+			writes:   make(map[store.ObjectID]store.Value),
+		}
+		err := fn(tx)
+		if err == nil {
+			err = rt.commit(ctx, tx)
+		}
+		if err == nil {
+			rt.metrics.Commits.Add(1)
+			rt.cfg.Tracer.Record(trace.KindCommit, tx.id, "")
+			return nil
+		}
+		ae, ok := AsAbort(err)
+		if !ok {
+			return err
+		}
+		rt.metrics.ParentAborts.Add(1)
+		rt.cfg.Tracer.Record(trace.KindFullAbort, tx.id, ae.Reason)
+		if ae.Busy {
+			rt.metrics.BusyBackoffs.Add(1)
+		}
+		if err := rt.backoff(ctx, attempt); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("%w after %d attempts", ErrRetriesExhausted, rt.cfg.MaxAttempts)
+}
+
+type callResult struct {
+	node quorum.NodeID
+	resp *wire.Response
+	err  error
+}
+
+// fanout issues req to every node in parallel and collects all results.
+func (rt *Runtime) fanout(ctx context.Context, nodes []quorum.NodeID, req *wire.Request) []callResult {
+	return rt.fanoutEach(ctx, nodes, func(int) *wire.Request { return req })
+}
+
+// fanoutEach issues a per-node request to every node in parallel.
+func (rt *Runtime) fanoutEach(ctx context.Context, nodes []quorum.NodeID, makeReq func(i int) *wire.Request) []callResult {
+	cctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+	defer cancel()
+	out := make([]callResult, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n quorum.NodeID) {
+			defer wg.Done()
+			resp, err := rt.cfg.Client.Call(cctx, n, makeReq(i))
+			out[i] = callResult{node: n, resp: resp, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+// FetchStats asks one read-quorum node for the contention level of the given
+// objects (the explicit form of the dynamic module's query; the piggybacked
+// form rides on reads).
+func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[store.ObjectID]float64, error) {
+	if len(ids) == 0 {
+		return map[store.ObjectID]float64{}, nil
+	}
+	req := &wire.Request{Kind: wire.KindStats, Stats: &wire.StatsRequest{Objects: ids}}
+	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
+		q, err := rt.cfg.Tree.ReadQuorum(rt.cfg.ClientSeed+attempt, rt.cfg.Alive)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrQuorumUnreachable, err)
+		}
+		// Stats are approximate; any single quorum node's view will do.
+		for _, n := range q {
+			cctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+			resp, err := rt.cfg.Client.Call(cctx, n, req)
+			cancel()
+			if err == nil && resp.Status == wire.StatusOK && resp.Stats != nil {
+				return resp.Stats.Levels, nil
+			}
+		}
+	}
+	return nil, ErrQuorumUnreachable
+}
+
+// Result runs fn as a top-level transaction via rt.Atomic and returns the
+// value computed by the committed execution. fn must be idempotent; only
+// the final (committed) attempt's value is returned.
+func Result[T any](ctx context.Context, rt *Runtime, fn func(*Tx) (T, error)) (T, error) {
+	var out T
+	err := rt.Atomic(ctx, func(tx *Tx) error {
+		v, err := fn(tx)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out, nil
+}

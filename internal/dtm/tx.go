@@ -1,0 +1,544 @@
+package dtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/trace"
+	"qracn/internal/wire"
+)
+
+// Tx is a transaction context. A top-level context (parent == nil) holds the
+// merged history of every committed sub-transaction; a child context holds
+// only the accesses made since the sub-transaction began, so aborting it
+// discards exactly the work the closed-nesting model allows to be redone.
+type Tx struct {
+	rt   *Runtime
+	ctx  context.Context
+	id   string
+	seed int
+
+	parent *Tx
+
+	// reads maps first-accessed objects to the version observed at fetch
+	// time; readOrder preserves access order for commit messages.
+	reads     map[store.ObjectID]uint64
+	readOrder []store.ObjectID
+	readVals  map[store.ObjectID]store.Value
+	// writes buffers this context's writes (QR-CN write-set).
+	writes map[store.ObjectID]store.Value
+}
+
+// ID returns the transaction identifier (unique per top-level attempt).
+func (tx *Tx) ID() string { return tx.id }
+
+// InSub reports whether tx is a sub-transaction context.
+func (tx *Tx) InSub() bool { return tx.parent != nil }
+
+// lookupWrite finds a buffered write in this context chain.
+func (tx *Tx) lookupWrite(id store.ObjectID) (store.Value, bool) {
+	for c := tx; c != nil; c = c.parent {
+		if v, ok := c.writes[id]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// lookupRead finds a cached read in this context chain.
+func (tx *Tx) lookupRead(id store.ObjectID) (store.Value, bool) {
+	for c := tx; c != nil; c = c.parent {
+		if _, ok := c.reads[id]; ok {
+			return c.readVals[id], true
+		}
+	}
+	return nil, false
+}
+
+// firstAccessedHere reports whether the *current* context (not an ancestor)
+// first accessed the object.
+func (tx *Tx) firstAccessedHere(id store.ObjectID) bool {
+	_, ok := tx.reads[id]
+	return ok
+}
+
+// validationList gathers the chain's full read-set for incremental
+// validation.
+func (tx *Tx) validationList() []store.ReadDesc {
+	var out []store.ReadDesc
+	for c := tx; c != nil; c = c.parent {
+		for _, id := range c.readOrder {
+			out = append(out, store.ReadDesc{ID: id, Version: c.reads[id]})
+		}
+	}
+	return out
+}
+
+// abortFor classifies an invalidation: if every invalid object was first
+// accessed by the currently executing sub-transaction, the rollback is
+// partial (AbortSub); any object owned by the parent's history forces a full
+// re-execution. At top level every invalidation is a full abort.
+func (tx *Tx) abortFor(invalid []store.ObjectID, busy bool, reason string) *AbortError {
+	level := AbortParent
+	if tx.parent != nil {
+		level = AbortSub
+		for _, id := range invalid {
+			if !tx.firstAccessedHere(id) {
+				level = AbortParent
+				break
+			}
+		}
+	}
+	return &AbortError{Level: level, Invalid: invalid, Busy: busy, Reason: reason}
+}
+
+// busyAbort classifies a busy object the same way: a busy object being read
+// for the first time belongs to the current context, so in a sub-transaction
+// the retry scope is the sub-transaction.
+func (tx *Tx) busyAbort(id store.ObjectID, reason string) *AbortError {
+	level := AbortParent
+	if tx.parent != nil {
+		level = AbortSub
+	}
+	return &AbortError{Level: level, Invalid: []store.ObjectID{id}, Busy: true, Reason: reason}
+}
+
+// Read returns the value of a shared object. The first access of an object
+// in the transaction fetches it from a read quorum (remote interaction,
+// QR-CN §II-B) and incrementally validates all previous reads; later
+// accesses are served from the private read/write sets.
+func (tx *Tx) Read(id store.ObjectID) (store.Value, error) {
+	if v, ok := tx.lookupWrite(id); ok {
+		if v == nil {
+			return nil, nil
+		}
+		return v.CloneValue(), nil
+	}
+	if v, ok := tx.lookupRead(id); ok {
+		if v == nil {
+			return nil, nil
+		}
+		return v.CloneValue(), nil
+	}
+	return tx.remoteRead(id)
+}
+
+// Write buffers a new value for the object in the current context. Per
+// QR-CN, the first access of an object — even a write — fetches it remotely
+// so the transaction learns its current version.
+func (tx *Tx) Write(id store.ObjectID, v store.Value) error {
+	if _, ok := tx.lookupWrite(id); !ok {
+		if _, ok := tx.lookupRead(id); !ok {
+			if _, err := tx.remoteRead(id); err != nil {
+				return err
+			}
+		}
+	}
+	tx.writes[id] = v
+	return nil
+}
+
+// remoteRead performs the quorum read protocol for a first access.
+func (tx *Tx) remoteRead(id store.ObjectID) (store.Value, error) {
+	rt := tx.rt
+	validate := tx.validationList()
+
+	req := &wire.Request{
+		Kind: wire.KindRead,
+		TxID: tx.id,
+		Read: &wire.ReadRequest{Object: id, Validate: validate},
+	}
+	// Piggyback a contention-stats query every Nth read (dynamic module).
+	if n := rt.cfg.StatsEveryNReads; n > 0 && rt.cfg.StatsWanted != nil {
+		if rt.nextReadSeq()%uint64(n) == 0 {
+			if ids := rt.cfg.StatsWanted(); len(ids) > 0 {
+				req.Read.StatsFor = ids
+			}
+		}
+	}
+
+	for busyTry := 0; ; busyTry++ {
+		results, fullIdx, err := tx.quorumRead(req)
+		if err != nil {
+			return nil, err
+		}
+
+		// Union the incremental-validation reports from all replicas.
+		var invalid []store.ObjectID
+		seen := make(map[store.ObjectID]bool)
+		busy := false
+		var best *wire.ReadResponse
+		bestNode := quorum.NodeID(-1)
+		okCount := 0
+		for i, r := range results {
+			if r.resp.Read != nil {
+				for _, inv := range r.resp.Read.Invalid {
+					if !seen[inv] {
+						seen[inv] = true
+						invalid = append(invalid, inv)
+					}
+				}
+				if r.resp.Read.Stats != nil && rt.cfg.StatsSink != nil {
+					rt.cfg.StatsSink(r.resp.Read.Stats)
+				}
+			}
+			switch r.resp.Status {
+			case wire.StatusOK:
+				okCount++
+				if best == nil || r.resp.Read.Version > best.Version ||
+					(r.resp.Read.Version == best.Version && i == fullIdx) {
+					best = r.resp.Read
+					bestNode = r.node
+				}
+			case wire.StatusNotFound:
+				okCount++ // absence is an answer: version 0
+			case wire.StatusBusy:
+				busy = true
+			}
+		}
+
+		if len(invalid) > 0 {
+			return nil, tx.abortFor(invalid, false, "incremental validation on read of "+string(id))
+		}
+
+		// Under the lean strategy the newest version may have been reported
+		// by a versions-only member: fetch the value from it.
+		if best != nil && fullIdx >= 0 && best.Value == nil && best.Version > 0 {
+			follow, err := tx.followUpRead(id, bestNode)
+			if err != nil {
+				// The member vanished or is busy mid-commit; retry the
+				// whole quorum read after a pause.
+				rt.metrics.BusyBackoffs.Add(1)
+				if busyTry >= rt.cfg.ReadBusyRetries {
+					return nil, tx.busyAbort(id, "lean follow-up failed past retry budget")
+				}
+				if err := rt.backoff(tx.ctx, busyTry); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if len(follow.Invalid) > 0 {
+				return nil, tx.abortFor(follow.Invalid, false, "incremental validation on read of "+string(id))
+			}
+			best = follow
+		}
+
+		if best == nil && busy {
+			// The object is protected everywhere we asked: a commit is in
+			// flight. Back off and retry the read in place a few times
+			// before aborting this context.
+			if busyTry < rt.cfg.ReadBusyRetries {
+				rt.metrics.BusyBackoffs.Add(1)
+				rt.cfg.Tracer.Record(trace.KindBusy, tx.id, string(id))
+				if err := rt.backoff(tx.ctx, busyTry); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, tx.busyAbort(id, "object busy past retry budget")
+		}
+		if okCount == 0 {
+			return nil, ErrQuorumUnreachable
+		}
+
+		var val store.Value
+		var ver uint64
+		if best != nil {
+			val = best.Value
+			ver = best.Version
+		}
+		tx.reads[id] = ver
+		tx.readOrder = append(tx.readOrder, id)
+		tx.readVals[id] = val
+		if val == nil {
+			return nil, nil
+		}
+		return val.CloneValue(), nil
+	}
+}
+
+// quorumRead selects a read quorum and fans the request out. If a member
+// died mid-call the level majority we picked is no longer intact and the
+// versions we saw may miss the latest commit, so the read is retried against
+// a freshly selected quorum (the alive view is maintained by the cluster).
+// The returned index marks the member asked for the full value under the
+// lean strategy (-1: every member was asked for the value).
+func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
+	rt := tx.rt
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
+		q, err := rt.cfg.Tree.ReadQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if err != nil {
+			return nil, -1, errors.Join(ErrQuorumUnreachable, err)
+		}
+		rt.metrics.RemoteReads.Add(1)
+		rt.cfg.Tracer.Record(trace.KindRead, tx.id, string(req.Read.Object))
+
+		fullIdx := -1
+		var results []callResult
+		switch {
+		case rt.cfg.ReadStrategy == ReadLean && len(q) > 1:
+			fullIdx = 0
+			versionOnly := req.Clone()
+			versionOnly.Read.VersionOnly = true
+			versionOnly.Read.StatsFor = nil // one stats copy is enough
+			results = rt.fanoutEach(tx.ctx, q, func(i int) *wire.Request {
+				if i == fullIdx {
+					return req
+				}
+				return versionOnly
+			})
+		case len(req.Read.StatsFor) > 0 && len(q) > 1:
+			// The piggybacked stats query needs only one member's answer;
+			// don't pay for the ID list and the reply map on every link.
+			plain := req.Clone()
+			plain.Read.StatsFor = nil
+			results = rt.fanoutEach(tx.ctx, q, func(i int) *wire.Request {
+				if i == 0 {
+					return req
+				}
+				return plain
+			})
+		default:
+			results = rt.fanout(tx.ctx, q, req)
+		}
+
+		allReachable := true
+		for _, r := range results {
+			if r.err != nil {
+				allReachable = false
+				lastErr = r.err
+			}
+		}
+		if allReachable {
+			return results, fullIdx, nil
+		}
+		if err := tx.ctx.Err(); err != nil {
+			return nil, -1, err
+		}
+	}
+	return nil, -1, errors.Join(ErrQuorumUnreachable, lastErr)
+}
+
+// followUpRead fetches the full value of an object from a specific member
+// that reported the newest version under the lean strategy.
+func (tx *Tx) followUpRead(id store.ObjectID, node quorum.NodeID) (*wire.ReadResponse, error) {
+	rt := tx.rt
+	req := &wire.Request{
+		Kind: wire.KindRead,
+		TxID: tx.id,
+		Read: &wire.ReadRequest{Object: id, Validate: tx.validationList()},
+	}
+	cctx, cancel := context.WithTimeout(tx.ctx, rt.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := rt.cfg.Client.Call(cctx, node, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StatusOK || resp.Read == nil {
+		return nil, fmt.Errorf("dtm: follow-up read: %s", resp.Status)
+	}
+	return resp.Read, nil
+}
+
+// Sub runs fn as a closed-nested sub-transaction. Conflicts on objects first
+// accessed inside fn abort and re-run only fn (partial rollback); conflicts
+// on the parent's history propagate as parent-level aborts. On success the
+// child's read/write sets merge into the parent (closed-nesting commit);
+// nothing becomes globally visible until the parent commits.
+func (tx *Tx) Sub(fn func(*Tx) error) error {
+	if tx.parent != nil {
+		return ErrNestingDepth
+	}
+	rt := tx.rt
+	for attempt := 0; attempt < rt.cfg.MaxSubAttempts; attempt++ {
+		child := &Tx{
+			rt:       rt,
+			ctx:      tx.ctx,
+			id:       tx.id,
+			seed:     tx.seed,
+			parent:   tx,
+			reads:    make(map[store.ObjectID]uint64),
+			readVals: make(map[store.ObjectID]store.Value),
+			writes:   make(map[store.ObjectID]store.Value),
+		}
+		err := fn(child)
+		if err == nil {
+			tx.merge(child)
+			return nil
+		}
+		ae, ok := AsAbort(err)
+		if !ok || ae.Level != AbortSub {
+			return err
+		}
+		rt.metrics.SubAborts.Add(1)
+		rt.cfg.Tracer.Record(trace.KindPartialAbort, tx.id, ae.Reason)
+		if err := rt.backoff(tx.ctx, attempt); err != nil {
+			return err
+		}
+	}
+	return &AbortError{Level: AbortParent, Reason: "sub-transaction retry budget exhausted"}
+}
+
+// merge folds a committed child into the parent (closed-nesting commit).
+func (tx *Tx) merge(child *Tx) {
+	for _, id := range child.readOrder {
+		if _, dup := tx.reads[id]; !dup {
+			tx.reads[id] = child.reads[id]
+			tx.readOrder = append(tx.readOrder, id)
+			tx.readVals[id] = child.readVals[id]
+		}
+	}
+	for id, v := range child.writes {
+		tx.writes[id] = v
+	}
+}
+
+// commit finalizes a top-level transaction with two-phase commit against a
+// write quorum (read-only transactions validate against a read quorum and
+// skip 2PC).
+func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
+	reads := make([]store.ReadDesc, 0, len(tx.readOrder))
+	for _, id := range tx.readOrder {
+		reads = append(reads, store.ReadDesc{ID: id, Version: tx.reads[id]})
+	}
+
+	if len(tx.writes) == 0 {
+		return rt.commitReadOnly(ctx, tx, reads)
+	}
+
+	writes := make([]store.WriteDesc, 0, len(tx.writes))
+	for _, id := range tx.readOrder { // deterministic order
+		if v, ok := tx.writes[id]; ok {
+			writes = append(writes, store.WriteDesc{ID: id, Value: v, NewVersion: tx.reads[id] + 1})
+		}
+	}
+	release := make([]store.ObjectID, 0, len(reads))
+	for _, r := range reads {
+		release = append(release, r.ID)
+	}
+
+	prepare := &wire.Request{
+		Kind:    wire.KindPrepare,
+		TxID:    tx.id,
+		Prepare: &wire.PrepareRequest{Reads: reads, Writes: writes},
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
+		wq, err := rt.cfg.Tree.WriteQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if err != nil {
+			return errors.Join(ErrQuorumUnreachable, err)
+		}
+		rt.metrics.Prepares.Add(1)
+		results := rt.fanout(ctx, wq, prepare)
+
+		var invalid []store.ObjectID
+		var busyIDs []store.ObjectID
+		yes := 0
+		unreachable := false
+		var preparedOn []quorum.NodeID
+		for _, r := range results {
+			if r.err != nil {
+				unreachable = true
+				lastErr = r.err
+				continue
+			}
+			if r.resp.Status != wire.StatusOK || r.resp.Prepare == nil {
+				unreachable = true
+				continue
+			}
+			if r.resp.Prepare.Vote {
+				yes++
+				preparedOn = append(preparedOn, r.node)
+				continue
+			}
+			invalid = append(invalid, r.resp.Prepare.Invalid...)
+			busyIDs = append(busyIDs, r.resp.Prepare.Busy...)
+		}
+
+		if yes == len(wq) {
+			rt.decide(ctx, wq, tx.id, true, writes, release)
+			return nil
+		}
+
+		// Some participant said no or vanished: abort-release everywhere we
+		// might have left protections.
+		rt.metrics.PrepareFails.Add(1)
+		rt.decide(ctx, preparedOn, tx.id, false, nil, release)
+
+		if len(invalid) > 0 || len(busyIDs) > 0 {
+			return &AbortError{
+				Level:   AbortParent,
+				Invalid: append(invalid, busyIDs...),
+				Busy:    len(busyIDs) > 0 && len(invalid) == 0,
+				Reason:  "commit validation failed",
+			}
+		}
+		if unreachable {
+			continue // re-select the write quorum against the alive view
+		}
+		return &AbortError{Level: AbortParent, Reason: "prepare rejected"}
+	}
+	return errors.Join(ErrQuorumUnreachable, lastErr)
+}
+
+func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.ReadDesc) error {
+	if len(reads) == 0 {
+		return nil
+	}
+	req := &wire.Request{
+		Kind:    wire.KindPrepare,
+		TxID:    tx.id,
+		Prepare: &wire.PrepareRequest{Reads: reads},
+	}
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
+		q, err := rt.cfg.Tree.ReadQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if err != nil {
+			return errors.Join(ErrQuorumUnreachable, err)
+		}
+		rt.metrics.ReadOnlyFasts.Add(1)
+		results := rt.fanout(ctx, q, req)
+		var invalid []store.ObjectID
+		ok := true
+		for _, r := range results {
+			if r.err != nil || r.resp.Status != wire.StatusOK || r.resp.Prepare == nil {
+				ok = false
+				lastErr = r.err
+				continue
+			}
+			if !r.resp.Prepare.Vote {
+				invalid = append(invalid, r.resp.Prepare.Invalid...)
+			}
+		}
+		if len(invalid) > 0 {
+			return &AbortError{Level: AbortParent, Invalid: invalid, Reason: "read-only validation failed"}
+		}
+		if ok {
+			return nil
+		}
+	}
+	return errors.Join(ErrQuorumUnreachable, lastErr)
+}
+
+// decide delivers the 2PC outcome to the participants (best effort; a
+// participant that misses the decision recovers via the protection lease).
+func (rt *Runtime) decide(ctx context.Context, nodes []quorum.NodeID, txID string, commit bool, writes []store.WriteDesc, release []store.ObjectID) {
+	if len(nodes) == 0 {
+		return
+	}
+	req := &wire.Request{
+		Kind: wire.KindDecision,
+		TxID: txID,
+		Decision: &wire.DecisionRequest{
+			Commit:  commit,
+			Writes:  writes,
+			Release: release,
+		},
+	}
+	rt.fanout(ctx, nodes, req)
+}

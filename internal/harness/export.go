@@ -1,0 +1,80 @@
+package harness
+
+import "encoding/json"
+
+// exportedSeries is the stable JSON schema for one system's measurements.
+type exportedSeries struct {
+	System         string    `json:"system"`
+	Throughput     []float64 `json:"throughput_tx_per_s"`
+	Commits        uint64    `json:"commits"`
+	MeanLatencyUS  int64     `json:"mean_latency_us"`
+	P99LatencyUS   int64     `json:"p99_latency_us"`
+	FullAborts     uint64    `json:"full_aborts"`
+	PartialAborts  uint64    `json:"partial_aborts"`
+	BusyBackoffs   uint64    `json:"busy_backoffs"`
+	RemoteReads    uint64    `json:"remote_reads"`
+	CPRollbacks    uint64    `json:"checkpoint_rollbacks,omitempty"`
+	ReadOnlyFastOK uint64    `json:"read_only_validations"`
+}
+
+// exportedResult is the stable JSON schema for one experiment.
+type exportedResult struct {
+	Workload         string           `json:"workload"`
+	Servers          int              `json:"servers"`
+	Clients          int              `json:"clients"`
+	ThreadsPerClient int              `json:"threads_per_client"`
+	IntervalMS       int64            `json:"interval_ms"`
+	Phases           []int            `json:"phase_schedule,omitempty"`
+	Seed             int64            `json:"seed"`
+	Series           []exportedSeries `json:"series"`
+}
+
+// ExportJSON renders the result in a stable schema for external plotting
+// and archival (the figures_output.txt companion in machine-readable form).
+func (r *Result) ExportJSON() ([]byte, error) {
+	out := exportedResult{
+		Servers:          r.Options.Servers,
+		Clients:          r.Options.Clients,
+		ThreadsPerClient: r.Options.ThreadsPerClient,
+		IntervalMS:       r.Options.IntervalLength.Milliseconds(),
+		Phases:           r.Options.PhaseSchedule,
+		Seed:             r.Options.Seed,
+	}
+	if r.Options.Workload != nil {
+		out.Workload = r.Options.Workload.Name()
+	}
+	for _, m := range AllModesWithCheckpoint {
+		s := r.Series[m]
+		if s == nil {
+			continue
+		}
+		out.Series = append(out.Series, exportedSeries{
+			System:         m.String(),
+			Throughput:     s.Throughput,
+			Commits:        s.Commits,
+			MeanLatencyUS:  s.MeanLatency.Microseconds(),
+			P99LatencyUS:   s.P99Latency.Microseconds(),
+			FullAborts:     s.Metrics.ParentAborts,
+			PartialAborts:  s.Metrics.SubAborts,
+			BusyBackoffs:   s.Metrics.BusyBackoffs,
+			RemoteReads:    s.Metrics.RemoteReads,
+			CPRollbacks:    s.Metrics.CheckpointRollbacks,
+			ReadOnlyFastOK: s.Metrics.ReadOnlyFasts,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ParseExportedThroughput reads back the throughput series per system from
+// an ExportJSON blob (round-trip helper for tooling and tests).
+func ParseExportedThroughput(data []byte) (map[string][]float64, error) {
+	var in exportedResult
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(in.Series))
+	for _, s := range in.Series {
+		out[s.System] = s.Throughput
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"time"
+
+	"qracn/internal/workload/bank"
+	"qracn/internal/workload/tpcc"
+	"qracn/internal/workload/vacation"
+)
+
+// Scale maps the paper's testbed (10 servers, up to 20 clients, 10-second
+// intervals) onto the in-process cluster. The default runs each figure in a
+// few seconds; cmd/qracn-bench exposes flags to stretch it back out.
+type Scale struct {
+	IntervalLength   time.Duration
+	Clients          int
+	ThreadsPerClient int
+	Servers          int
+	Seed             int64
+}
+
+// DefaultScale is used by the benchmark suite.
+func DefaultScale() Scale {
+	return Scale{
+		IntervalLength:   400 * time.Millisecond,
+		Clients:          8,
+		ThreadsPerClient: 2,
+		Servers:          10,
+		Seed:             1,
+	}
+}
+
+func (s Scale) apply(o Options) Options {
+	o.IntervalLength = s.IntervalLength
+	o.Clients = s.Clients
+	o.ThreadsPerClient = s.ThreadsPerClient
+	o.Servers = s.Servers
+	o.Seed = s.Seed
+	return o
+}
+
+// Figure describes one panel of the paper's Figure 4.
+type Figure struct {
+	// ID is the panel label ("4a".."4f").
+	ID string
+	// Title describes the workload.
+	Title string
+	// Expect quotes the paper's headline numbers for the panel.
+	Expect string
+	// Options builds the experiment for a given scale.
+	Options func(Scale) Options
+}
+
+// Figures returns every panel of the evaluation, in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{
+			ID:     "4a",
+			Title:  "TPC-C, 100% NewOrder",
+			Expect: "after kick-in: QR-ACN +53% vs QR-DTM, +38% vs QR-CN (District is the hot spot)",
+			Options: func(s Scale) Options {
+				return s.apply(Options{
+					Workload: tpcc.New(tpcc.Config{
+						Warehouses: 1, Districts: 4, CustomersPerDistrict: 20,
+						Items: 100, MixNewOrder: 100,
+					}),
+					Intervals: 6,
+				})
+			},
+		},
+		{
+			ID:     "4b",
+			Title:  "TPC-C, 100% Payment",
+			Expect: "QR-ACN below baselines at t1, then +53% vs QR-DTM, +45% vs QR-CN (District+Warehouse hot)",
+			Options: func(s Scale) Options {
+				return s.apply(Options{
+					Workload: tpcc.New(tpcc.Config{
+						Warehouses: 1, Districts: 4, CustomersPerDistrict: 20,
+						Items: 100, MixPayment: 100,
+					}),
+					Intervals: 6,
+				})
+			},
+		},
+		{
+			ID:     "4c",
+			Title:  "TPC-C, 50% NewOrder + 50% Payment",
+			Expect: "after kick-in: QR-ACN +28% vs QR-DTM, +9% vs QR-CN",
+			Options: func(s Scale) Options {
+				return s.apply(Options{
+					Workload: tpcc.New(tpcc.Config{
+						Warehouses: 1, Districts: 4, CustomersPerDistrict: 20,
+						Items: 100, MixNewOrder: 50, MixPayment: 50,
+					}),
+					Intervals: 6,
+				})
+			},
+		},
+		{
+			ID:     "4d",
+			Title:  "TPC-C, 100% Delivery (uniformly low contention)",
+			Expect: "no system wins; QR-ACN within 3% of QR-CN (overhead bound)",
+			Options: func(s Scale) Options {
+				return s.apply(Options{
+					Workload: tpcc.New(tpcc.Config{
+						Warehouses: 4, Districts: 10, CustomersPerDistrict: 20,
+						Items: 100, MixDelivery: 100,
+					}),
+					Intervals: 6,
+				})
+			},
+		},
+		{
+			ID:     "4e",
+			Title:  "Vacation, hot table shifts at t2 and t4",
+			Expect: "t2: QR-ACN +120% vs QR-DTM, +35% vs QR-CN; t4 onward: +8% vs QR-DTM",
+			Options: func(s Scale) Options {
+				return s.apply(Options{
+					Workload: vacation.New(vacation.Config{
+						Rows: 300, HotRows: 2, Customers: 500, QueryPct: 10,
+					}),
+					Intervals:     6,
+					PhaseSchedule: []int{0, 1, 1, 2, 2, 2},
+				})
+			},
+		},
+		{
+			ID:     "4f",
+			Title:  "Bank, 90% writes, hot class flips at t2 and t4",
+			Expect: "QR-CN best at t1 (ACN still monitoring); then QR-ACN gains up to 55%",
+			Options: func(s Scale) Options {
+				return s.apply(Options{
+					Workload: bank.New(bank.Config{
+						Branches: 50, Accounts: 1000, HotBranches: 8, HotAccounts: 8,
+						WritePct: 90,
+					}),
+					Intervals:     6,
+					PhaseSchedule: []int{0, 1, 1, 0, 0, 0},
+				})
+			},
+		},
+	}
+}
+
+// FigureByID looks a panel up by label.
+func FigureByID(id string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}

@@ -1,0 +1,386 @@
+// Package harness runs the paper's experiments: it deploys an in-process
+// cluster, drives a workload from many client threads, measures committed
+// transactions per second in fixed intervals, and compares the three
+// systems of the evaluation — QR-DTM (flat nesting), QR-CN (manual closed
+// nesting), and QR-ACN (this paper) — under identical workload schedules,
+// including the mid-run contention shifts of the Vacation and Bank
+// experiments.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qracn/internal/acn"
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/metrics"
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/transport"
+	"qracn/internal/unitgraph"
+	"qracn/internal/workload"
+)
+
+// Mode selects the system under test.
+type Mode int
+
+// The three systems the paper compares.
+const (
+	// ModeQRDTM is flat nesting: the whole transaction restarts on any
+	// conflict.
+	ModeQRDTM Mode = iota
+	// ModeQRCN is manual closed nesting: the programmer's fixed
+	// sub-transaction decomposition.
+	ModeQRCN
+	// ModeQRACN is the paper's system: automatic, contention-adaptive
+	// decomposition.
+	ModeQRACN
+	// ModeQRCP is checkpoint-based partial rollback, the alternative
+	// mechanism the paper contrasts closed nesting with (§I, §III): finer
+	// rollback points, but a state-copy cost on every remote access.
+	ModeQRCP
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeQRDTM:
+		return "QR-DTM"
+	case ModeQRCN:
+		return "QR-CN"
+	case ModeQRCP:
+		return "QR-CP"
+	default:
+		return "QR-ACN"
+	}
+}
+
+// AllModes lists the paper's three systems in presentation order.
+var AllModes = []Mode{ModeQRDTM, ModeQRCN, ModeQRACN}
+
+// AllModesWithCheckpoint adds the QR-CP comparison system.
+var AllModesWithCheckpoint = []Mode{ModeQRDTM, ModeQRCN, ModeQRACN, ModeQRCP}
+
+// Options configures one experiment.
+type Options struct {
+	// Workload under test.
+	Workload workload.Workload
+	// Servers is the number of quorum nodes (default 10, as in the paper).
+	Servers int
+	// Clients is the number of client nodes (default 8) and
+	// ThreadsPerClient the concurrent transactions per client (default 2).
+	Clients          int
+	ThreadsPerClient int
+	// Intervals and IntervalLength shape the measurement: the paper uses
+	// six-plus 10-second intervals; scaled-down runs use hundreds of
+	// milliseconds (defaults 6 × 400 ms).
+	Intervals      int
+	IntervalLength time.Duration
+	// PhaseSchedule assigns a workload phase to each interval (nil: all
+	// phase 0). Shorter schedules repeat their last entry.
+	PhaseSchedule []int
+	// NetLatency/NetJitter simulate the interconnect (defaults 60µs/30µs
+	// per one-way message, a LAN-scale round trip once doubled).
+	NetLatency time.Duration
+	NetJitter  time.Duration
+	// Seed fixes all randomness (workload draws, jitter, backoff).
+	Seed int64
+	// Algo tunes the ACN algorithm module.
+	Algo acn.AlgoConfig
+	// StatsEveryNReads enables piggybacked contention stats (default 16).
+	StatsEveryNReads int
+	// Faults schedules node failures and recoveries at interval
+	// boundaries, exercising the quorum protocol's fault tolerance while
+	// the workload runs.
+	Faults []FaultEvent
+	// ProtectTTL enables lease expiry of commit protections, letting the
+	// cluster self-heal from clients caught mid-commit by a fault (0: off).
+	ProtectTTL time.Duration
+}
+
+// FaultEvent takes a node down (or brings it back) at the start of the
+// given interval (0 = before the run begins).
+type FaultEvent struct {
+	Interval int
+	Node     int
+	Down     bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Servers == 0 {
+		o.Servers = 10
+	}
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if o.ThreadsPerClient == 0 {
+		o.ThreadsPerClient = 2
+	}
+	if o.Intervals == 0 {
+		o.Intervals = 6
+	}
+	if o.IntervalLength == 0 {
+		o.IntervalLength = 400 * time.Millisecond
+	}
+	if o.NetLatency == 0 {
+		o.NetLatency = 60 * time.Microsecond
+	}
+	if o.NetJitter == 0 {
+		o.NetJitter = 30 * time.Microsecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.StatsEveryNReads == 0 {
+		o.StatsEveryNReads = 16
+	}
+}
+
+func (o *Options) phaseFor(interval int) int {
+	if len(o.PhaseSchedule) == 0 {
+		return 0
+	}
+	if interval >= len(o.PhaseSchedule) {
+		return o.PhaseSchedule[len(o.PhaseSchedule)-1]
+	}
+	return o.PhaseSchedule[interval]
+}
+
+// Series is one system's measured curve.
+type Series struct {
+	Mode Mode
+	// Throughput is committed transactions per second, one entry per
+	// interval.
+	Throughput []float64
+	// Commits is the total committed transactions.
+	Commits uint64
+	// MeanLatency and P99Latency summarize end-to-end transaction latency
+	// (including all retries) across the run.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// Runtime counters aggregated over all clients.
+	Metrics dtm.Snapshot
+}
+
+// Result is one experiment's outcome across systems.
+type Result struct {
+	Options Options
+	Series  map[Mode]*Series
+}
+
+// Run executes the experiment for each requested mode under identical
+// workload schedules and returns the measured series.
+func Run(ctx context.Context, opts Options, modes []Mode) (*Result, error) {
+	opts.fillDefaults()
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("harness: Options.Workload is required")
+	}
+	res := &Result{Options: opts, Series: make(map[Mode]*Series)}
+	for _, mode := range modes {
+		s, err := runMode(ctx, opts, mode)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", mode, err)
+		}
+		res.Series[mode] = s
+	}
+	return res, nil
+}
+
+// clientState is one client node's executors and its ACN hub (shared
+// contention table + single stats query per refresh, as in the paper).
+type clientState struct {
+	rt    *dtm.Runtime
+	execs []*acn.Executor
+	hub   *acn.Hub
+}
+
+func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
+	w := opts.Workload
+	profiles := w.Profiles()
+
+	analyses := make([]*unitgraph.Analysis, len(profiles))
+	for i, prof := range profiles {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			return nil, fmt.Errorf("analyze %s: %w", prof.Name, err)
+		}
+		analyses[i] = an
+	}
+
+	c := cluster.New(cluster.Config{
+		Servers: opts.Servers,
+		Network: transport.ChannelConfig{
+			Latency: opts.NetLatency,
+			Jitter:  opts.NetJitter,
+			Seed:    opts.Seed,
+		},
+		StatsWindow: opts.IntervalLength,
+		ProtectTTL:  opts.ProtectTTL,
+	})
+	defer c.Close()
+	c.Seed(w.SeedObjects())
+
+	applyFaults := func(interval int) {
+		for _, f := range opts.Faults {
+			if f.Interval != interval {
+				continue
+			}
+			if f.Down {
+				c.Kill(quorum.NodeID(f.Node))
+			} else {
+				c.Revive(quorum.NodeID(f.Node))
+			}
+		}
+	}
+	applyFaults(0)
+
+	meter := metrics.NewThroughputMeter(opts.Intervals)
+	var latency metrics.Histogram
+	var phase atomic.Int64
+	phase.Store(int64(opts.phaseFor(0)))
+
+	clients := make([]*clientState, opts.Clients)
+	for ci := range clients {
+		cs := &clientState{}
+		dcfg := dtm.Config{
+			Seed:        opts.Seed + int64(ci) + 1,
+			BackoffBase: 50 * time.Microsecond,
+			BackoffMax:  time.Millisecond,
+		}
+		if mode == ModeQRACN {
+			// Wire the piggyback hooks; the hub exists only after the
+			// runtime, so route through the clientState.
+			dcfg.StatsEveryNReads = opts.StatsEveryNReads
+			dcfg.StatsWanted = func() []store.ObjectID {
+				if cs.hub == nil {
+					return nil
+				}
+				return cs.hub.Wanted()
+			}
+			dcfg.StatsSink = func(levels map[store.ObjectID]float64) {
+				if cs.hub != nil {
+					cs.hub.Sink(levels)
+				}
+			}
+		}
+		cs.rt = c.Runtime(ci+1, dcfg)
+		if mode == ModeQRACN {
+			cs.hub = acn.NewHub(cs.rt, acn.HubConfig{})
+		}
+
+		for pi, prof := range profiles {
+			var comp *acn.Composition
+			switch mode {
+			case ModeQRDTM, ModeQRCP:
+				comp = acn.Flat(analyses[pi])
+			case ModeQRCN:
+				if prof.Manual == nil {
+					comp = acn.Flat(analyses[pi])
+				} else {
+					var err error
+					comp, err = acn.Manual(analyses[pi], prof.Manual)
+					if err != nil {
+						return nil, fmt.Errorf("manual composition for %s: %w", prof.Name, err)
+					}
+				}
+			case ModeQRACN:
+				comp = acn.Static(analyses[pi])
+			}
+			exec := acn.NewExecutor(cs.rt, analyses[pi], comp)
+			cs.execs = append(cs.execs, exec)
+			if mode == ModeQRACN {
+				cs.hub.Register(exec, opts.Algo)
+			}
+		}
+		clients[ci] = cs
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for ci, cs := range clients {
+		for th := 0; th < opts.ThreadsPerClient; th++ {
+			wg.Add(1)
+			go func(cs *clientState, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for runCtx.Err() == nil {
+					prof, params := w.Generate(rng, int(phase.Load()))
+					start := time.Now()
+					var err error
+					if mode == ModeQRCP {
+						err = cs.execs[prof].ExecuteCheckpointed(runCtx, params)
+					} else {
+						err = cs.execs[prof].Execute(runCtx, params)
+					}
+					if err != nil {
+						if runCtx.Err() != nil {
+							return
+						}
+						// Transient cluster fault (e.g. a scheduled node
+						// kill): pause briefly and keep driving load.
+						time.Sleep(opts.IntervalLength / 20)
+						continue
+					}
+					latency.Record(time.Since(start))
+					meter.Record()
+				}
+			}(cs, opts.Seed*1000+int64(ci*64+th))
+		}
+	}
+
+	// Interval driver: advance phases, close intervals, and — in ACN mode —
+	// trigger the periodic algorithm-module run at each boundary, which is
+	// the paper's cadence (every 10 seconds, aligned with measurement).
+	timer := time.NewTimer(opts.IntervalLength)
+	defer timer.Stop()
+	for i := 0; i < opts.Intervals; i++ {
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			cancel()
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+		if i < opts.Intervals-1 {
+			applyFaults(i + 1)
+			phase.Store(int64(opts.phaseFor(i + 1)))
+			if mode == ModeQRACN {
+				for _, cs := range clients {
+					_ = cs.hub.RefreshOnce(runCtx) // transient errors: retry next boundary
+				}
+			}
+			meter.Advance()
+			timer.Reset(opts.IntervalLength)
+		}
+	}
+	meter.Close()
+	cancel()
+	wg.Wait()
+
+	s := &Series{
+		Mode:        mode,
+		Throughput:  meter.PerSecond(opts.IntervalLength),
+		Commits:     meter.Total(),
+		MeanLatency: latency.Mean(),
+		P99Latency:  latency.Quantile(0.99),
+	}
+	for _, cs := range clients {
+		m := cs.rt.Metrics().Snapshot()
+		s.Metrics.Commits += m.Commits
+		s.Metrics.ParentAborts += m.ParentAborts
+		s.Metrics.SubAborts += m.SubAborts
+		s.Metrics.BusyBackoffs += m.BusyBackoffs
+		s.Metrics.RemoteReads += m.RemoteReads
+		s.Metrics.Prepares += m.Prepares
+		s.Metrics.PrepareFails += m.PrepareFails
+		s.Metrics.ReadOnlyFasts += m.ReadOnlyFasts
+		s.Metrics.CheckpointRollbacks += m.CheckpointRollbacks
+	}
+	return s, nil
+}

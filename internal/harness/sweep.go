@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// SweepResult holds one experiment per swept client count.
+type SweepResult struct {
+	// Clients[i] is the client count of Results[i].
+	Clients []int
+	Results []*Result
+}
+
+// SweepClients runs the experiment at each client count, keeping everything
+// else fixed — the scalability axis the paper's predecessor papers evaluate
+// (this paper fixes 10 servers and up to 20 clients; the sweep shows where
+// each system saturates and how the ACN advantage moves with load).
+func SweepClients(ctx context.Context, opts Options, modes []Mode, clientCounts []int) (*SweepResult, error) {
+	if len(clientCounts) == 0 {
+		return nil, fmt.Errorf("harness: no client counts to sweep")
+	}
+	out := &SweepResult{}
+	for _, n := range clientCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("harness: invalid client count %d", n)
+		}
+		o := opts
+		o.Clients = n
+		res, err := Run(ctx, o, modes)
+		if err != nil {
+			return nil, fmt.Errorf("harness: sweep at %d clients: %w", n, err)
+		}
+		out.Clients = append(out.Clients, n)
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}
+
+// meanThroughput averages a series' per-interval throughput.
+func meanThroughput(s *Series) float64 {
+	if s == nil || len(s.Throughput) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, tp := range s.Throughput {
+		sum += tp
+	}
+	return sum / float64(len(s.Throughput))
+}
+
+// Table renders mean throughput per system against client count.
+func (sr *SweepResult) Table() string {
+	var b strings.Builder
+	modes := make([]Mode, 0, 4)
+	if len(sr.Results) > 0 {
+		for _, m := range AllModesWithCheckpoint {
+			if sr.Results[0].Series[m] != nil {
+				modes = append(modes, m)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-10s", "clients")
+	for _, m := range modes {
+		fmt.Fprintf(&b, "%12s", m)
+	}
+	fmt.Fprintln(&b)
+	for i, n := range sr.Clients {
+		fmt.Fprintf(&b, "%-10d", n)
+		for _, m := range modes {
+			fmt.Fprintf(&b, "%12.0f", meanThroughput(sr.Results[i].Series[m]))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+// Package metrics provides the measurement primitives the experiment
+// harness uses: a throughput meter that attributes committed transactions
+// to wall-clock intervals (the paper reports committed transactions per
+// second for every 10-second interval) and a small latency histogram for
+// microbenchmarks.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ThroughputMeter counts events into a fixed number of intervals. The
+// driver advances the interval; workers call Record concurrently.
+type ThroughputMeter struct {
+	counts  []atomic.Uint64
+	current atomic.Int64
+}
+
+// NewThroughputMeter creates a meter with the given number of intervals.
+func NewThroughputMeter(intervals int) *ThroughputMeter {
+	if intervals <= 0 {
+		panic("metrics: intervals must be positive")
+	}
+	return &ThroughputMeter{counts: make([]atomic.Uint64, intervals)}
+}
+
+// Record counts one event in the current interval. Events recorded after
+// the last interval has been closed are dropped.
+func (m *ThroughputMeter) Record() {
+	i := m.current.Load()
+	if i >= 0 && int(i) < len(m.counts) {
+		m.counts[i].Add(1)
+	}
+}
+
+// Advance moves recording to the next interval; after the final interval it
+// closes the meter.
+func (m *ThroughputMeter) Advance() { m.current.Add(1) }
+
+// Close stops recording entirely.
+func (m *ThroughputMeter) Close() { m.current.Store(int64(len(m.counts))) }
+
+// Counts returns the per-interval event counts.
+func (m *ThroughputMeter) Counts() []uint64 {
+	out := make([]uint64, len(m.counts))
+	for i := range m.counts {
+		out[i] = m.counts[i].Load()
+	}
+	return out
+}
+
+// PerSecond converts counts into rates given the interval length.
+func (m *ThroughputMeter) PerSecond(interval time.Duration) []float64 {
+	counts := m.Counts()
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / interval.Seconds()
+	}
+	return out
+}
+
+// Total returns the sum over all intervals.
+func (m *ThroughputMeter) Total() uint64 {
+	var t uint64
+	for _, c := range m.Counts() {
+		t += c
+	}
+	return t
+}
+
+// Histogram is a concurrency-safe latency recorder for microbenchmarks.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+}
+
+// Quantile returns the q-th (0..1) sample, or 0 without samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the average sample, or 0 without samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+}

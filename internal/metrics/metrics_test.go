@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestThroughputMeterIntervals(t *testing.T) {
+	m := NewThroughputMeter(3)
+	m.Record()
+	m.Record()
+	m.Advance()
+	m.Record()
+	m.Advance()
+	m.Advance() // past the end: further records dropped
+	m.Record()
+	got := m.Counts()
+	if got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("Counts = %v", got)
+	}
+	if m.Total() != 3 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+}
+
+func TestThroughputMeterClose(t *testing.T) {
+	m := NewThroughputMeter(2)
+	m.Record()
+	m.Close()
+	m.Record()
+	if m.Total() != 1 {
+		t.Fatalf("Total = %d after Close", m.Total())
+	}
+}
+
+func TestPerSecond(t *testing.T) {
+	m := NewThroughputMeter(2)
+	for i := 0; i < 10; i++ {
+		m.Record()
+	}
+	rates := m.PerSecond(500 * time.Millisecond)
+	if rates[0] != 20 || rates[1] != 0 {
+		t.Fatalf("PerSecond = %v", rates)
+	}
+}
+
+func TestThroughputMeterConcurrent(t *testing.T) {
+	m := NewThroughputMeter(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Record()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Total() != 8000 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+}
+
+func TestThroughputMeterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewThroughputMeter(0)
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, d := range []time.Duration{3, 1, 2, 4, 5} {
+		h.Record(d * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 3*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Quantile(1.0); got != 5*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Quantile(0.0); got != 1*time.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := h.Mean(); got != 3*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if h.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,153 @@
+// Package quorum implements the logical-tree quorum construction QR-DTM
+// borrows from Agrawal and El Abbadi's tree quorum protocol, in the
+// level-majority form the paper describes: the replica nodes are arranged in
+// a complete logical ternary tree; a read quorum is a majority of the nodes
+// at one level of the tree, while a write quorum is a majority of the nodes
+// at every level. Any read quorum therefore intersects any write quorum (two
+// majorities of the same level always share a node), and any two write
+// quorums intersect at every level — the properties QR-DTM's incremental
+// validation and one-copy serializability rest on.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a quorum (server) node.
+type NodeID int
+
+// ErrUnavailable is returned when the alive nodes cannot form the requested
+// quorum (some tree level has lost its majority).
+var ErrUnavailable = errors.New("quorum: not enough alive nodes to form a quorum")
+
+// Tree is an immutable logical tree over server nodes 0..n-1, numbered
+// breadth-first so that level boundaries are implicit.
+type Tree struct {
+	degree int
+	levels [][]NodeID
+	n      int
+}
+
+// NewTree arranges n nodes into a complete tree of the given degree
+// (the paper uses degree 3). It panics if n < 1 or degree < 2.
+func NewTree(n, degree int) *Tree {
+	if n < 1 {
+		panic("quorum: need at least one node")
+	}
+	if degree < 2 {
+		panic("quorum: degree must be >= 2")
+	}
+	t := &Tree{degree: degree, n: n}
+	width, next := 1, 0
+	for next < n {
+		level := make([]NodeID, 0, width)
+		for i := 0; i < width && next < n; i++ {
+			level = append(level, NodeID(next))
+			next++
+		}
+		t.levels = append(t.levels, level)
+		width *= degree
+	}
+	return t
+}
+
+// Levels reports the number of levels in the tree.
+func (t *Tree) Levels() int { return len(t.levels) }
+
+// Size reports the number of nodes.
+func (t *Tree) Size() int { return t.n }
+
+// Level returns a copy of the node IDs at level l (0 = root).
+func (t *Tree) Level(l int) []NodeID {
+	out := make([]NodeID, len(t.levels[l]))
+	copy(out, t.levels[l])
+	return out
+}
+
+// All returns every node ID.
+func (t *Tree) All() []NodeID {
+	out := make([]NodeID, 0, t.n)
+	for _, l := range t.levels {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// AliveFunc reports whether a node is believed reachable. A nil AliveFunc
+// means all nodes are alive.
+type AliveFunc func(NodeID) bool
+
+func alive(f AliveFunc, id NodeID) bool { return f == nil || f(id) }
+
+// majority returns floor(n/2)+1.
+func majority(n int) int { return n/2 + 1 }
+
+// levelMajority picks a majority-size subset of alive nodes at one level,
+// starting the circular scan at seed so different clients spread load across
+// level members. It returns nil when the level has lost its majority.
+func (t *Tree) levelMajority(l, seed int, f AliveFunc) []NodeID {
+	level := t.levels[l]
+	need := majority(len(level))
+	out := make([]NodeID, 0, need)
+	for i := 0; i < len(level) && len(out) < need; i++ {
+		id := level[(seed+i)%len(level)]
+		if alive(f, id) {
+			out = append(out, id)
+		}
+	}
+	if len(out) < need {
+		return nil
+	}
+	return out
+}
+
+// ReadQuorum returns a read quorum: a majority of the nodes at one level.
+// The preferred level is derived from seed so different clients use
+// different levels; if the preferred level has lost its majority, the other
+// levels are tried in order. ErrUnavailable is returned when no level can
+// supply a majority of alive nodes.
+func (t *Tree) ReadQuorum(seed int, f AliveFunc) ([]NodeID, error) {
+	if seed < 0 {
+		seed = -seed
+	}
+	nl := len(t.levels)
+	for off := 0; off < nl; off++ {
+		l := (seed + off) % nl
+		if q := t.levelMajority(l, seed, f); q != nil {
+			return q, nil
+		}
+	}
+	return nil, ErrUnavailable
+}
+
+// WriteQuorum returns a write quorum: a majority of the nodes at every
+// level. ErrUnavailable is returned when some level has lost its majority.
+func (t *Tree) WriteQuorum(seed int, f AliveFunc) ([]NodeID, error) {
+	if seed < 0 {
+		seed = -seed
+	}
+	var out []NodeID
+	for l := range t.levels {
+		q := t.levelMajority(l, seed, f)
+		if q == nil {
+			return nil, fmt.Errorf("level %d: %w", l, ErrUnavailable)
+		}
+		out = append(out, q...)
+	}
+	return out, nil
+}
+
+// Intersects reports whether the two quorums share at least one node.
+func Intersects(a, b []NodeID) bool {
+	set := make(map[NodeID]bool, len(a))
+	for _, id := range a {
+		set[id] = true
+	}
+	for _, id := range b {
+		if set[id] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,240 @@
+// Package server implements a quorum node: a full replica of the shared
+// object space that serves transactional reads with incremental validation,
+// acts as a two-phase-commit participant (protect → validate → vote,
+// apply/release), and maintains the per-object write counters the ACN
+// dynamic module consumes.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"qracn/internal/contention"
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/transport"
+	"qracn/internal/wire"
+)
+
+// Config tunes a node.
+type Config struct {
+	// StatsWindow is the contention-meter window length (the paper's
+	// observation period, 10 s on their testbed; milliseconds in tests).
+	StatsWindow time.Duration
+	// Now injects a clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Node is one quorum server.
+type Node struct {
+	id    quorum.NodeID
+	store *store.Store
+	meter *contention.Meter
+}
+
+// NewNode creates a node with an empty replica.
+func NewNode(id quorum.NodeID, cfg Config) *Node {
+	if cfg.StatsWindow <= 0 {
+		cfg.StatsWindow = 10 * time.Second
+	}
+	return &Node{
+		id:    id,
+		store: store.New(),
+		meter: contention.NewMeter(cfg.StatsWindow, cfg.Now),
+	}
+}
+
+// ID returns the node's quorum ID.
+func (n *Node) ID() quorum.NodeID { return n.id }
+
+// Store exposes the replica for seeding and for test audits.
+func (n *Node) Store() *store.Store { return n.store }
+
+// Meter exposes the contention meter (tests only).
+func (n *Node) Meter() *contention.Meter { return n.meter }
+
+// Handle implements transport.Handler.
+func (n *Node) Handle(req *wire.Request) *wire.Response {
+	switch req.Kind {
+	case wire.KindRead:
+		return n.handleRead(req)
+	case wire.KindPrepare:
+		return n.handlePrepare(req)
+	case wire.KindDecision:
+		return n.handleDecision(req)
+	case wire.KindStats:
+		return n.handleStats(req)
+	case wire.KindSync:
+		return n.handleSync(req)
+	case wire.KindPing:
+		return &wire.Response{Status: wire.StatusOK}
+	default:
+		return &wire.Response{Status: wire.StatusError, Detail: "unknown request kind"}
+	}
+}
+
+var _ transport.Handler = (*Node)(nil).Handle
+
+func (n *Node) handleRead(req *wire.Request) *wire.Response {
+	r := req.Read
+	if r == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "read request missing payload"}
+	}
+	resp := &wire.ReadResponse{}
+	// Incremental validation: report every previously-read object this
+	// replica knows a newer version of (paper §II-B). This happens even if
+	// the fetch below fails, so the client learns about invalidations as
+	// early as possible.
+	resp.Invalid = n.store.Validate(r.Validate)
+	if len(r.StatsFor) > 0 {
+		resp.Stats = n.meter.Levels(r.StatsFor)
+	}
+	v, ver, err := n.store.Get(r.Object)
+	switch {
+	case errors.Is(err, store.ErrBusy):
+		return &wire.Response{Status: wire.StatusBusy, Read: resp}
+	case errors.Is(err, store.ErrNotFound):
+		return &wire.Response{Status: wire.StatusNotFound, Read: resp}
+	case err != nil:
+		return &wire.Response{Status: wire.StatusError, Detail: err.Error(), Read: resp}
+	}
+	if !r.VersionOnly {
+		resp.Value = v
+	}
+	resp.Version = ver
+	return &wire.Response{Status: wire.StatusOK, Read: resp}
+}
+
+// handlePrepare is 2PC phase one. Per the QR-CN commit rule, locks are
+// acquired on the read-set's elements (which contains the write-set, since
+// every written object was fetched first); validation runs after the
+// protections are in place so no commit can slip between the two.
+// Read-only transactions (no writes) validate without protecting.
+func (n *Node) handlePrepare(req *wire.Request) *wire.Response {
+	p := req.Prepare
+	if p == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "prepare request missing payload"}
+	}
+	resp := &wire.PrepareResponse{}
+
+	if len(p.Writes) > 0 {
+		created := make(map[store.ObjectID]bool, len(p.Writes))
+		for _, w := range p.Writes {
+			created[w.ID] = true
+		}
+		var protected []store.ObjectID
+		rollback := func() {
+			for _, id := range protected {
+				_ = n.store.Unprotect(id, req.TxID)
+			}
+		}
+		for _, rd := range p.Reads {
+			err := n.store.Protect(rd.ID, req.TxID, created[rd.ID])
+			switch {
+			case errors.Is(err, store.ErrBusy):
+				resp.Busy = append(resp.Busy, rd.ID)
+				rollback()
+				return &wire.Response{Status: wire.StatusOK, Prepare: resp}
+			case errors.Is(err, store.ErrNotFound):
+				// The replica never saw this object; it cannot vote on it,
+				// but some other quorum member will hold it. Skip.
+			case err != nil:
+				rollback()
+				return &wire.Response{Status: wire.StatusError, Detail: err.Error(), Prepare: resp}
+			default:
+				protected = append(protected, rd.ID)
+			}
+		}
+		if inv := n.store.Validate(p.Reads); len(inv) > 0 {
+			resp.Invalid = inv
+			rollback()
+			return &wire.Response{Status: wire.StatusOK, Prepare: resp}
+		}
+		resp.Vote = true
+		return &wire.Response{Status: wire.StatusOK, Prepare: resp}
+	}
+
+	// Read-only: validation-only vote, no protections.
+	if inv := n.store.Validate(p.Reads); len(inv) > 0 {
+		resp.Invalid = inv
+		return &wire.Response{Status: wire.StatusOK, Prepare: resp}
+	}
+	resp.Vote = true
+	return &wire.Response{Status: wire.StatusOK, Prepare: resp}
+}
+
+// handleDecision is 2PC phase two: apply the writes (counting each toward
+// the object's contention level) and release every protection the prepare
+// installed.
+func (n *Node) handleDecision(req *wire.Request) *wire.Response {
+	d := req.Decision
+	if d == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "decision request missing payload"}
+	}
+	if d.Commit {
+		for _, w := range d.Writes {
+			if err := n.store.Apply(w, req.TxID); err != nil {
+				return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
+			}
+			n.meter.RecordWrite(w.ID)
+		}
+	}
+	for _, id := range d.Release {
+		// Apply already released write objects; releasing an unprotected
+		// object is a no-op, and ErrNotOwner/ErrNotFound mean another
+		// transaction raced in after our release — nothing to do.
+		_ = n.store.Unprotect(id, req.TxID)
+	}
+	return &wire.Response{Status: wire.StatusOK}
+}
+
+func (n *Node) handleStats(req *wire.Request) *wire.Response {
+	s := req.Stats
+	if s == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "stats request missing payload"}
+	}
+	return &wire.Response{
+		Status: wire.StatusOK,
+		Stats:  &wire.StatsResponse{Levels: n.meter.Levels(s.Objects)},
+	}
+}
+
+// handleSync serves an anti-entropy request: everything this replica knows
+// that the caller is behind on.
+func (n *Node) handleSync(req *wire.Request) *wire.Response {
+	s := req.Sync
+	if s == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "sync request missing payload"}
+	}
+	return &wire.Response{
+		Status: wire.StatusOK,
+		Sync:   &wire.SyncResponse{Objects: n.store.Newer(s.Known)},
+	}
+}
+
+// RepairFrom pulls missing state from a peer replica through the transport
+// (anti-entropy after this node returns from a partition): it sends its
+// full version view and applies whatever newer state the peer returns.
+// It returns the number of objects repaired.
+func (n *Node) RepairFrom(ctx context.Context, client transport.Client, peer quorum.NodeID) (int, error) {
+	req := &wire.Request{
+		Kind: wire.KindSync,
+		Sync: &wire.SyncRequest{Known: n.store.Versions()},
+	}
+	resp, err := client.Call(ctx, peer, req)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != wire.StatusOK || resp.Sync == nil {
+		return 0, fmt.Errorf("server: sync with node %d: %s (%s)", peer, resp.Status, resp.Detail)
+	}
+	repaired := 0
+	for _, w := range resp.Sync.Objects {
+		if err := n.store.Apply(w, "anti-entropy"); err == nil {
+			repaired++
+		}
+	}
+	return repaired, nil
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"qracn/internal/store"
+	"qracn/internal/wire"
+)
+
+func newTestNode() *Node {
+	n := NewNode(0, Config{StatsWindow: time.Hour})
+	n.Store().SeedBatch(map[store.ObjectID]store.Value{
+		"a": store.Int64(1),
+		"b": store.Int64(2),
+	})
+	return n
+}
+
+func read(n *Node, tx string, obj store.ObjectID, validate []store.ReadDesc) *wire.Response {
+	return n.Handle(&wire.Request{
+		Kind: wire.KindRead,
+		TxID: tx,
+		Read: &wire.ReadRequest{Object: obj, Validate: validate},
+	})
+}
+
+func TestHandleReadOK(t *testing.T) {
+	n := newTestNode()
+	resp := read(n, "t1", "a", nil)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	if store.AsInt64(resp.Read.Value) != 1 || resp.Read.Version != 1 {
+		t.Fatalf("read = %+v", resp.Read)
+	}
+}
+
+func TestHandleReadNotFound(t *testing.T) {
+	n := newTestNode()
+	if resp := read(n, "t1", "zzz", nil); resp.Status != wire.StatusNotFound {
+		t.Fatalf("status = %v, want not-found", resp.Status)
+	}
+}
+
+func TestHandleReadIncrementalValidation(t *testing.T) {
+	n := newTestNode()
+	// Commit a write to "b" so a reader that saw b@1 is invalidated.
+	commit(t, n, "w1", []store.ReadDesc{{ID: "b", Version: 1}},
+		[]store.WriteDesc{{ID: "b", Value: store.Int64(9), NewVersion: 2}})
+
+	resp := read(n, "t1", "a", []store.ReadDesc{{ID: "b", Version: 1}})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	if len(resp.Read.Invalid) != 1 || resp.Read.Invalid[0] != "b" {
+		t.Fatalf("Invalid = %v, want [b]", resp.Read.Invalid)
+	}
+}
+
+func TestHandleReadStatsPiggyback(t *testing.T) {
+	n := newTestNode()
+	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
+		[]store.WriteDesc{{ID: "a", Value: store.Int64(5), NewVersion: 2}})
+	resp := n.Handle(&wire.Request{
+		Kind: wire.KindRead,
+		TxID: "t1",
+		Read: &wire.ReadRequest{Object: "b", StatsFor: []store.ObjectID{"a", "b"}},
+	})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	if resp.Read.Stats["a"] != 1 || resp.Read.Stats["b"] != 0 {
+		t.Fatalf("Stats = %v", resp.Read.Stats)
+	}
+}
+
+// commit drives a full successful 2PC against a single node.
+func commit(t *testing.T, n *Node, tx string, reads []store.ReadDesc, writes []store.WriteDesc) {
+	t.Helper()
+	resp := n.Handle(&wire.Request{
+		Kind:    wire.KindPrepare,
+		TxID:    tx,
+		Prepare: &wire.PrepareRequest{Reads: reads, Writes: writes},
+	})
+	if resp.Status != wire.StatusOK || !resp.Prepare.Vote {
+		t.Fatalf("prepare failed: %+v", resp)
+	}
+	release := make([]store.ObjectID, 0, len(reads))
+	for _, r := range reads {
+		release = append(release, r.ID)
+	}
+	resp = n.Handle(&wire.Request{
+		Kind:     wire.KindDecision,
+		TxID:     tx,
+		Decision: &wire.DecisionRequest{Commit: true, Writes: writes, Release: release},
+	})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("decision failed: %+v", resp)
+	}
+}
+
+func TestPrepareDetectsStaleRead(t *testing.T) {
+	n := newTestNode()
+	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
+		[]store.WriteDesc{{ID: "a", Value: store.Int64(7), NewVersion: 2}})
+
+	resp := n.Handle(&wire.Request{
+		Kind: wire.KindPrepare,
+		TxID: "t2",
+		Prepare: &wire.PrepareRequest{
+			Reads:  []store.ReadDesc{{ID: "a", Version: 1}},
+			Writes: []store.WriteDesc{{ID: "a", Value: store.Int64(8), NewVersion: 2}},
+		},
+	})
+	if resp.Status != wire.StatusOK || resp.Prepare.Vote {
+		t.Fatalf("stale prepare voted yes: %+v", resp)
+	}
+	if len(resp.Prepare.Invalid) != 1 || resp.Prepare.Invalid[0] != "a" {
+		t.Fatalf("Invalid = %v", resp.Prepare.Invalid)
+	}
+	// The failed prepare must not leave protections behind.
+	if r := read(n, "t3", "a", nil); r.Status != wire.StatusOK {
+		t.Fatalf("object still protected after failed prepare: %v", r.Status)
+	}
+}
+
+func TestPrepareBusyConflict(t *testing.T) {
+	n := newTestNode()
+	p1 := n.Handle(&wire.Request{
+		Kind: wire.KindPrepare,
+		TxID: "t1",
+		Prepare: &wire.PrepareRequest{
+			Reads:  []store.ReadDesc{{ID: "a", Version: 1}},
+			Writes: []store.WriteDesc{{ID: "a", Value: store.Int64(5), NewVersion: 2}},
+		},
+	})
+	if !p1.Prepare.Vote {
+		t.Fatalf("first prepare rejected: %+v", p1)
+	}
+	p2 := n.Handle(&wire.Request{
+		Kind: wire.KindPrepare,
+		TxID: "t2",
+		Prepare: &wire.PrepareRequest{
+			Reads:  []store.ReadDesc{{ID: "a", Version: 1}},
+			Writes: []store.WriteDesc{{ID: "a", Value: store.Int64(6), NewVersion: 2}},
+		},
+	})
+	if p2.Prepare.Vote {
+		t.Fatal("second prepare should be refused while first holds protections")
+	}
+	if len(p2.Prepare.Busy) != 1 || p2.Prepare.Busy[0] != "a" {
+		t.Fatalf("Busy = %v", p2.Prepare.Busy)
+	}
+
+	// Abort t1; t2 can then prepare.
+	n.Handle(&wire.Request{
+		Kind:     wire.KindDecision,
+		TxID:     "t1",
+		Decision: &wire.DecisionRequest{Commit: false, Release: []store.ObjectID{"a"}},
+	})
+	p3 := n.Handle(&wire.Request{
+		Kind: wire.KindPrepare,
+		TxID: "t2",
+		Prepare: &wire.PrepareRequest{
+			Reads:  []store.ReadDesc{{ID: "a", Version: 1}},
+			Writes: []store.WriteDesc{{ID: "a", Value: store.Int64(6), NewVersion: 2}},
+		},
+	})
+	if !p3.Prepare.Vote {
+		t.Fatalf("prepare after release rejected: %+v", p3)
+	}
+}
+
+func TestReadOnlyPrepareDoesNotProtect(t *testing.T) {
+	n := newTestNode()
+	resp := n.Handle(&wire.Request{
+		Kind:    wire.KindPrepare,
+		TxID:    "ro",
+		Prepare: &wire.PrepareRequest{Reads: []store.ReadDesc{{ID: "a", Version: 1}}},
+	})
+	if !resp.Prepare.Vote {
+		t.Fatalf("read-only prepare rejected: %+v", resp)
+	}
+	if r := read(n, "t2", "a", nil); r.Status != wire.StatusOK {
+		t.Fatalf("read-only prepare left a protection: %v", r.Status)
+	}
+}
+
+func TestReadOnlyPrepareDetectsStale(t *testing.T) {
+	n := newTestNode()
+	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
+		[]store.WriteDesc{{ID: "a", Value: store.Int64(3), NewVersion: 2}})
+	resp := n.Handle(&wire.Request{
+		Kind:    wire.KindPrepare,
+		TxID:    "ro",
+		Prepare: &wire.PrepareRequest{Reads: []store.ReadDesc{{ID: "a", Version: 1}}},
+	})
+	if resp.Prepare.Vote {
+		t.Fatal("stale read-only prepare voted yes")
+	}
+}
+
+func TestCommitCreatesNewObject(t *testing.T) {
+	n := newTestNode()
+	commit(t, n, "t1",
+		[]store.ReadDesc{{ID: "order/1", Version: 0}},
+		[]store.WriteDesc{{ID: "order/1", Value: store.String("data"), NewVersion: 1}})
+	resp := read(n, "t2", "order/1", nil)
+	if resp.Status != wire.StatusOK || store.AsString(resp.Read.Value) != "data" {
+		t.Fatalf("read created object: %+v", resp)
+	}
+}
+
+func TestDecisionRecordsContention(t *testing.T) {
+	n := newTestNode()
+	for i := 0; i < 3; i++ {
+		commit(t, n, "t", []store.ReadDesc{{ID: "a", Version: uint64(i + 1)}},
+			[]store.WriteDesc{{ID: "a", Value: store.Int64(int64(i)), NewVersion: uint64(i + 2)}})
+	}
+	resp := n.Handle(&wire.Request{
+		Kind:  wire.KindStats,
+		Stats: &wire.StatsRequest{Objects: []store.ObjectID{"a", "b"}},
+	})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("stats: %+v", resp)
+	}
+	if resp.Stats.Levels["a"] != 3 || resp.Stats.Levels["b"] != 0 {
+		t.Fatalf("levels = %v", resp.Stats.Levels)
+	}
+}
+
+func TestAbortReleasesEverything(t *testing.T) {
+	n := newTestNode()
+	p := n.Handle(&wire.Request{
+		Kind: wire.KindPrepare,
+		TxID: "t1",
+		Prepare: &wire.PrepareRequest{
+			Reads: []store.ReadDesc{{ID: "a", Version: 1}, {ID: "b", Version: 1}},
+			Writes: []store.WriteDesc{
+				{ID: "a", Value: store.Int64(10), NewVersion: 2},
+			},
+		},
+	})
+	if !p.Prepare.Vote {
+		t.Fatalf("prepare: %+v", p)
+	}
+	// Both a (written) and b (read) are protected now.
+	if r := read(n, "t2", "b", nil); r.Status != wire.StatusBusy {
+		t.Fatalf("read of protected read-set object = %v, want busy", r.Status)
+	}
+	n.Handle(&wire.Request{
+		Kind:     wire.KindDecision,
+		TxID:     "t1",
+		Decision: &wire.DecisionRequest{Commit: false, Release: []store.ObjectID{"a", "b"}},
+	})
+	if r := read(n, "t2", "a", nil); r.Status != wire.StatusOK || store.AsInt64(r.Read.Value) != 1 {
+		t.Fatalf("abort did not roll back: %+v", r)
+	}
+	if r := read(n, "t2", "b", nil); r.Status != wire.StatusOK {
+		t.Fatalf("b still protected: %v", r.Status)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	n := newTestNode()
+	for _, req := range []*wire.Request{
+		{Kind: wire.KindRead},
+		{Kind: wire.KindPrepare},
+		{Kind: wire.KindDecision},
+		{Kind: wire.KindStats},
+		{Kind: wire.KindSync},
+		{Kind: wire.Kind(99)},
+	} {
+		if resp := n.Handle(req); resp.Status != wire.StatusError {
+			t.Fatalf("req %+v: status = %v, want error", req, resp.Status)
+		}
+	}
+	if resp := n.Handle(&wire.Request{Kind: wire.KindPing}); resp.Status != wire.StatusOK {
+		t.Fatalf("ping = %v", resp.Status)
+	}
+}
+
+func TestSyncHandlerReturnsNewer(t *testing.T) {
+	n := newTestNode()
+	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
+		[]store.WriteDesc{{ID: "a", Value: store.Int64(9), NewVersion: 2}})
+	resp := n.Handle(&wire.Request{
+		Kind: wire.KindSync,
+		Sync: &wire.SyncRequest{Known: []store.ReadDesc{
+			{ID: "a", Version: 1}, // stale
+			{ID: "b", Version: 1}, // current
+		}},
+	})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	if len(resp.Sync.Objects) != 1 || resp.Sync.Objects[0].ID != "a" || resp.Sync.Objects[0].NewVersion != 2 {
+		t.Fatalf("sync objects = %+v", resp.Sync.Objects)
+	}
+	if store.AsInt64(resp.Sync.Objects[0].Value) != 9 {
+		t.Fatal("sync carried wrong value")
+	}
+}
+
+func TestSyncSkipsProtectedObjects(t *testing.T) {
+	n := newTestNode()
+	if err := n.Store().Protect("a", "tx-in-flight", false); err != nil {
+		t.Fatal(err)
+	}
+	resp := n.Handle(&wire.Request{
+		Kind: wire.KindSync,
+		Sync: &wire.SyncRequest{Known: nil},
+	})
+	for _, w := range resp.Sync.Objects {
+		if w.ID == "a" {
+			t.Fatal("sync shipped a protected (mid-commit) object")
+		}
+	}
+}

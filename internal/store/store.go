@@ -1,0 +1,318 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ObjectID names a shared object. Workloads typically derive IDs from a
+// class prefix and a key, e.g. "district/3/7".
+type ObjectID string
+
+// ID builds an ObjectID from a class label and key components.
+func ID(class string, keys ...any) ObjectID {
+	id := class
+	for _, k := range keys {
+		id += fmt.Sprintf("/%v", k)
+	}
+	return ObjectID(id)
+}
+
+// ReadDesc describes one entry of a transaction's read-set: the object and
+// the version the transaction observed. Servers use it for incremental and
+// commit-time validation.
+type ReadDesc struct {
+	ID      ObjectID
+	Version uint64
+}
+
+// WriteDesc describes one buffered write shipped at commit time. NewVersion
+// is the version the object will have after the commit applies; it is
+// derived by the client from the version it observed (base+1), so version
+// numbers stay globally consistent even though each replica applies commits
+// independently.
+type WriteDesc struct {
+	ID         ObjectID
+	Value      Value
+	NewVersion uint64
+}
+
+// Object is one replica-local versioned object.
+type Object struct {
+	Value   Value
+	Version uint64
+	// Protected implements the paper's commit flag: while true, reads and
+	// prepares of this object are refused until the owning transaction's
+	// commit completes.
+	Protected   bool
+	ProtectedBy string
+	protectedAt time.Time
+}
+
+// Errors reported by Store operations.
+var (
+	// ErrBusy indicates the object is protected by a committing transaction.
+	ErrBusy = errors.New("store: object protected by a committing transaction")
+	// ErrNotFound indicates the object does not exist on this replica.
+	ErrNotFound = errors.New("store: object not found")
+	// ErrNotOwner indicates an unprotect/apply by a non-owning transaction.
+	ErrNotOwner = errors.New("store: transaction does not hold the protection")
+)
+
+// Store is one node's full replica of the shared object space.
+// All methods are safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	objs map[ObjectID]*Object
+
+	// protectTTL, when positive, expires protections whose owner never
+	// delivered a commit decision (e.g. a client crashed between the two
+	// 2PC phases). It must be far longer than any real commit; failure-
+	// injection harnesses enable it, plain runs leave it off.
+	protectTTL time.Duration
+	now        func() time.Time
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{objs: make(map[ObjectID]*Object), now: time.Now}
+}
+
+// SetProtectTTL enables lease-style expiry of protections; d <= 0 disables
+// it. now may be nil for time.Now.
+func (s *Store) SetProtectTTL(d time.Duration, now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.protectTTL = d
+	if now != nil {
+		s.now = now
+	}
+}
+
+// protectionActive reports whether o's protection is still in force.
+// Callers hold s.mu (read or write).
+func (s *Store) protectionActive(o *Object) bool {
+	if !o.Protected {
+		return false
+	}
+	if s.protectTTL <= 0 {
+		return true
+	}
+	return s.now().Sub(o.protectedAt) < s.protectTTL
+}
+
+// Seed installs an object with version 1, overwriting any previous state.
+// It is meant for initial data loading before transactions run.
+func (s *Store) Seed(id ObjectID, v Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[id] = &Object{Value: v, Version: 1}
+}
+
+// SeedBatch installs many objects at once.
+func (s *Store) SeedBatch(objs map[ObjectID]Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, v := range objs {
+		s.objs[id] = &Object{Value: v, Version: 1}
+	}
+}
+
+// Get returns a deep copy of the object's value and its version.
+// It returns ErrBusy while the object is protected and ErrNotFound for
+// missing objects.
+func (s *Store) Get(id ObjectID) (Value, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objs[id]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	if s.protectionActive(o) {
+		return nil, 0, ErrBusy
+	}
+	var v Value
+	if o.Value != nil {
+		v = o.Value.CloneValue()
+	}
+	return v, o.Version, nil
+}
+
+// Version returns the replica-local version of an object, and false if the
+// object is absent. Protected objects still report their pre-commit version.
+func (s *Store) Version(id ObjectID) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objs[id]
+	if !ok {
+		return 0, false
+	}
+	return o.Version, true
+}
+
+// Validate checks a read-set against this replica and returns the IDs whose
+// observed version is older than the replica's (i.e. objects invalidated by
+// a commit that happened after the transaction read them). Unknown objects
+// are not reported: a replica that never saw the object cannot invalidate it.
+func (s *Store) Validate(reads []ReadDesc) []ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var invalid []ObjectID
+	for _, r := range reads {
+		if o, ok := s.objs[r.ID]; ok && o.Version > r.Version {
+			invalid = append(invalid, r.ID)
+		}
+	}
+	return invalid
+}
+
+// Protect sets the Protected flag on behalf of transaction owner.
+// A transaction may re-protect an object it already protects (idempotent).
+// It fails with ErrBusy when another transaction holds the protection and
+// with ErrNotFound when the object is absent; objects being created by a
+// first-ever write are implicitly created empty at version 0 so they can be
+// protected.
+func (s *Store) Protect(id ObjectID, owner string, createIfMissing bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[id]
+	if !ok {
+		if !createIfMissing {
+			return ErrNotFound
+		}
+		o = &Object{}
+		s.objs[id] = o
+	}
+	if s.protectionActive(o) && o.ProtectedBy != owner {
+		return ErrBusy
+	}
+	o.Protected = true
+	o.ProtectedBy = owner
+	o.protectedAt = s.now()
+	return nil
+}
+
+// Unprotect clears the Protected flag if owner holds it.
+func (s *Store) Unprotect(id ObjectID, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !o.Protected {
+		return nil
+	}
+	if o.ProtectedBy != owner {
+		return ErrNotOwner
+	}
+	o.Protected = false
+	o.ProtectedBy = ""
+	return nil
+}
+
+// Apply installs a committed write and releases the protection. The version
+// only moves forward: replicas that already learned a newer version through
+// another write quorum keep it.
+func (s *Store) Apply(w WriteDesc, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[w.ID]
+	if !ok {
+		o = &Object{}
+		s.objs[w.ID] = o
+	}
+	if o.Protected && o.ProtectedBy != owner {
+		return ErrNotOwner
+	}
+	if w.NewVersion > o.Version {
+		o.Version = w.NewVersion
+		if w.Value != nil {
+			o.Value = w.Value.CloneValue()
+		} else {
+			o.Value = nil
+		}
+	}
+	o.Protected = false
+	o.ProtectedBy = ""
+	return nil
+}
+
+// Len reports the number of objects on this replica.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objs)
+}
+
+// IDs returns all object IDs in sorted order (test/debug helper).
+func (s *Store) IDs() []ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ObjectID, 0, len(s.objs))
+	for id := range s.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Snapshot returns a deep copy of value+version for every object, used by
+// invariant-checking tests to audit replica state.
+func (s *Store) Snapshot() map[ObjectID]Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[ObjectID]Object, len(s.objs))
+	for id, o := range s.objs {
+		c := Object{Version: o.Version, Protected: o.Protected, ProtectedBy: o.ProtectedBy}
+		if o.Value != nil {
+			c.Value = o.Value.CloneValue()
+		}
+		out[id] = c
+	}
+	return out
+}
+
+// Newer returns a write descriptor for every object whose replica-local
+// version exceeds the version in the given view (objects absent from the
+// view are included wholesale). Objects protected by an in-flight commit
+// are skipped — their next decision will republish them. Anti-entropy uses
+// this to compute the state transfer for a healing replica.
+func (s *Store) Newer(known []ReadDesc) []WriteDesc {
+	view := make(map[ObjectID]uint64, len(known))
+	for _, k := range known {
+		view[k.ID] = k.Version
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []WriteDesc
+	for id, o := range s.objs {
+		if s.protectionActive(o) {
+			continue
+		}
+		if ver, ok := view[id]; ok && o.Version <= ver {
+			continue
+		}
+		w := WriteDesc{ID: id, NewVersion: o.Version}
+		if o.Value != nil {
+			w.Value = o.Value.CloneValue()
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Versions returns the replica's full (id, version) view, the "known" input
+// of an anti-entropy exchange.
+func (s *Store) Versions() []ReadDesc {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ReadDesc, 0, len(s.objs))
+	for id, o := range s.objs {
+		out = append(out, ReadDesc{ID: id, Version: o.Version})
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+// Package trace is a lightweight structured event recorder for the DTM: a
+// fixed-size concurrent ring of protocol events (reads, aborts, commits,
+// recompositions) that costs nothing when disabled and never allocates
+// unboundedly when enabled. It exists for debugging distributed executions
+// — the transaction interleavings behind a throughput number are otherwise
+// invisible — and for tests that assert on protocol behaviour.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies events.
+type Kind int
+
+// Event kinds.
+const (
+	// KindRead is a remote (quorum) read.
+	KindRead Kind = iota
+	// KindCommit is a successful top-level commit.
+	KindCommit
+	// KindFullAbort is a parent-level abort.
+	KindFullAbort
+	// KindPartialAbort is a sub-transaction abort (partial rollback).
+	KindPartialAbort
+	// KindBusy is a wait caused by a protected object.
+	KindBusy
+	// KindRecompose is an ACN Block-sequence swap.
+	KindRecompose
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindCommit:
+		return "commit"
+	case KindFullAbort:
+		return "full-abort"
+	case KindPartialAbort:
+		return "partial-abort"
+	case KindBusy:
+		return "busy"
+	case KindRecompose:
+		return "recompose"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	At   time.Time
+	Kind Kind
+	// TxID identifies the transaction attempt (empty for recompositions).
+	TxID string
+	// Detail carries the object, reason, or composition involved.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %-13s %-16s %s",
+		e.At.Format("15:04:05.000000"), e.Kind, e.TxID, e.Detail)
+}
+
+// Tracer records events into a ring. The zero value is a disabled tracer:
+// Record is a no-op until Enable. All methods are safe for concurrent use.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+}
+
+// New returns an enabled tracer holding the last capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	t := &Tracer{ring: make([]Event, 0, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether Record stores events.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Enable turns recording on or off.
+func (t *Tracer) Enable(on bool) { t.enabled.Store(on) }
+
+// Record stores one event. Safe to call on a nil or disabled tracer.
+func (t *Tracer) Record(kind Kind, txID, detail string) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	ev := Event{At: time.Now(), Kind: kind, TxID: txID, Detail: detail}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		t.ring[t.next] = ev
+		t.next = (t.next + 1) % cap(t.ring)
+		return
+	}
+	t.ring = append(t.ring, ev)
+	if len(t.ring) == cap(t.ring) {
+		t.full = true
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Count returns how many kinds of each event are currently in the ring.
+func (t *Tracer) Count() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range t.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Dump renders the ring for inspection.
+func (t *Tracer) Dump() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

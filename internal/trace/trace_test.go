@@ -1,0 +1,150 @@
+package trace_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+	"qracn/internal/trace"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := trace.New(8)
+	tr.Record(trace.KindRead, "t1", "obj/a")
+	tr.Record(trace.KindCommit, "t1", "")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != trace.KindRead || evs[1].Kind != trace.KindCommit {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if evs[0].TxID != "t1" || evs[0].Detail != "obj/a" {
+		t.Fatalf("fields wrong: %+v", evs[0])
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	tr := trace.New(3)
+	for i := 0; i < 7; i++ {
+		tr.Record(trace.KindRead, fmt.Sprintf("t%d", i), "")
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want capacity 3", len(evs))
+	}
+	for i, want := range []string{"t4", "t5", "t6"} {
+		if evs[i].TxID != want {
+			t.Fatalf("ring order = %v", evs)
+		}
+	}
+}
+
+func TestNilAndDisabledTracer(t *testing.T) {
+	var nilTr *trace.Tracer
+	nilTr.Record(trace.KindCommit, "x", "") // must not panic
+	if nilTr.Enabled() || nilTr.Events() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+	tr := trace.New(4)
+	tr.Enable(false)
+	tr.Record(trace.KindCommit, "x", "")
+	if len(tr.Events()) != 0 {
+		t.Fatal("disabled tracer recorded")
+	}
+	tr.Enable(true)
+	tr.Record(trace.KindCommit, "x", "")
+	if len(tr.Events()) != 1 {
+		t.Fatal("re-enabled tracer did not record")
+	}
+}
+
+func TestCountAndDump(t *testing.T) {
+	tr := trace.New(16)
+	tr.Record(trace.KindRead, "t1", "a")
+	tr.Record(trace.KindRead, "t1", "b")
+	tr.Record(trace.KindFullAbort, "t1", "stale")
+	counts := tr.Count()
+	if counts[trace.KindRead] != 2 || counts[trace.KindFullAbort] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	dump := tr.Dump()
+	for _, want := range []string{"read", "full-abort", "stale", "t1"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[trace.Kind]string{
+		trace.KindRead:         "read",
+		trace.KindCommit:       "commit",
+		trace.KindFullAbort:    "full-abort",
+		trace.KindPartialAbort: "partial-abort",
+		trace.KindBusy:         "busy",
+		trace.KindRecompose:    "recompose",
+		trace.Kind(99):         "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%v != %s", k, want)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := trace.New(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Record(trace.KindRead, fmt.Sprintf("t%d", i), "")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 64 {
+		t.Fatalf("ring holds %d, want 64", got)
+	}
+}
+
+func TestPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	trace.New(0)
+}
+
+// TestRuntimeIntegration verifies the DTM runtime emits the expected event
+// stream for a simple commit.
+func TestRuntimeIntegration(t *testing.T) {
+	tr := trace.New(32)
+	c := cluster.New(cluster.Config{Servers: 4, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Int64(1)})
+	rt := c.Runtime(1, dtm.Config{Seed: 1, Tracer: tr})
+
+	if err := rt.Atomic(t.Context(), func(tx *dtm.Tx) error {
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		return tx.Write("a", store.Int64(store.AsInt64(v)+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.Count()
+	if counts[trace.KindRead] != 1 || counts[trace.KindCommit] != 1 {
+		t.Fatalf("counts = %v, want 1 read + 1 commit\n%s", counts, tr.Dump())
+	}
+}

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"qracn/internal/quorum"
+	"qracn/internal/wire"
+)
+
+// ChannelConfig tunes the simulated network.
+type ChannelConfig struct {
+	// Latency is the one-way message latency; a request/response call pays
+	// it twice. Zero disables the latency simulation entirely.
+	Latency time.Duration
+	// Jitter adds a uniform random component in [0, Jitter) to each one-way
+	// hop.
+	Jitter time.Duration
+	// Seed makes the jitter sequence reproducible; 0 derives a seed from
+	// the clock.
+	Seed int64
+}
+
+// ChannelNetwork is an in-process "cluster": server handlers registered per
+// node ID, calls delivered synchronously after a simulated network delay,
+// and messages deep-copied at both boundaries so replicas cannot share
+// memory. Nodes can be taken down and brought back to exercise the
+// fault-tolerance paths.
+type ChannelNetwork struct {
+	cfg ChannelConfig
+
+	mu       sync.RWMutex
+	handlers map[quorum.NodeID]Handler
+	down     map[quorum.NodeID]bool
+	closed   bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewChannelNetwork creates an empty simulated network.
+func NewChannelNetwork(cfg ChannelConfig) *ChannelNetwork {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &ChannelNetwork{
+		cfg:      cfg,
+		handlers: make(map[quorum.NodeID]Handler),
+		down:     make(map[quorum.NodeID]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register installs the handler for a server node.
+func (n *ChannelNetwork) Register(id quorum.NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// SetDown marks a node unreachable (true) or reachable (false).
+func (n *ChannelNetwork) SetDown(id quorum.NodeID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+}
+
+// Alive reports whether the node is registered and not marked down. It has
+// the quorum.AliveFunc shape so it can drive quorum construction directly.
+func (n *ChannelNetwork) Alive(id quorum.NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.handlers[id]
+	return ok && !n.down[id]
+}
+
+// Close marks the network closed; subsequent calls fail with ErrClosed.
+func (n *ChannelNetwork) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+func (n *ChannelNetwork) hop(ctx context.Context) error {
+	if n.cfg.Latency == 0 && n.cfg.Jitter == 0 {
+		return ctx.Err()
+	}
+	d := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		n.rngMu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.rngMu.Unlock()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Call implements Client. The request and response are deep-copied so the
+// caller and the server never share mutable state, mirroring serialization
+// over a real network.
+func (n *ChannelNetwork) Call(ctx context.Context, to quorum.NodeID, req *wire.Request) (*wire.Response, error) {
+	n.mu.RLock()
+	h, ok := n.handlers[to]
+	down := n.down[to]
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, ErrUnknownNode
+	}
+	if down {
+		return nil, ErrNodeDown
+	}
+	if err := n.hop(ctx); err != nil {
+		return nil, err
+	}
+	resp := h(req.Clone())
+
+	// The node may have gone down while "processing"; model the lost reply.
+	n.mu.RLock()
+	down = n.down[to]
+	n.mu.RUnlock()
+	if down {
+		return nil, ErrNodeDown
+	}
+	if err := n.hop(ctx); err != nil {
+		return nil, err
+	}
+	return resp.Clone(), nil
+}
+
+var _ Client = (*ChannelNetwork)(nil)

@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"qracn/internal/quorum"
+	"qracn/internal/wire"
+)
+
+// TCPServer serves a node's handler over a TCP listener using the wire
+// envelope protocol. Each connection multiplexes concurrent requests by
+// sequence number.
+type TCPServer struct {
+	handler  Handler
+	compress bool
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPServer wraps a handler for TCP serving.
+func NewTCPServer(h Handler, compress bool) *TCPServer {
+	return &TCPServer{handler: h, compress: compress, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (e.g. ":7450" or "127.0.0.1:0") and starts accepting in
+// a background goroutine. It returns the bound address.
+func (s *TCPServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *TCPServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+	for {
+		env, err := wire.ReadEnvelope(conn)
+		if err != nil {
+			return
+		}
+		if env.Req == nil {
+			continue // ignore malformed envelopes
+		}
+		handlerWG.Add(1)
+		go func(env *wire.Envelope) {
+			defer handlerWG.Done()
+			resp := s.handler(env.Req)
+			out := &wire.Envelope{Seq: env.Seq, IsResponse: true, Resp: resp}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = wire.WriteEnvelope(conn, out, s.compress)
+		}(env)
+	}
+}
+
+// Close stops the listener and all connections, waiting for in-flight
+// handlers to finish.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// TCPClient maps node IDs to TCP addresses and maintains one multiplexed
+// connection per node, dialed lazily and re-dialed after failures.
+type TCPClient struct {
+	addrs    map[quorum.NodeID]string
+	compress bool
+
+	mu     sync.Mutex
+	conns  map[quorum.NodeID]*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan *wire.Response
+	dead    bool
+}
+
+// NewTCPClient creates a client for the given node address map.
+func NewTCPClient(addrs map[quorum.NodeID]string, compress bool) *TCPClient {
+	m := make(map[quorum.NodeID]string, len(addrs))
+	for k, v := range addrs {
+		m[k] = v
+	}
+	return &TCPClient{addrs: m, compress: compress, conns: make(map[quorum.NodeID]*tcpConn)}
+}
+
+func (c *TCPClient) getConn(to quorum.NodeID) (*tcpConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if tc, ok := c.conns[to]; ok && !tc.isDead() {
+		return tc, nil
+	}
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, ErrUnknownNode
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeDown, addr, err)
+	}
+	tc := &tcpConn{conn: conn, pending: make(map[uint64]chan *wire.Response)}
+	c.conns[to] = tc
+	go tc.readLoop()
+	return tc, nil
+}
+
+func (tc *tcpConn) isDead() bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.dead
+}
+
+func (tc *tcpConn) readLoop() {
+	for {
+		env, err := wire.ReadEnvelope(tc.conn)
+		if err != nil {
+			tc.fail()
+			return
+		}
+		if !env.IsResponse {
+			continue
+		}
+		tc.mu.Lock()
+		ch, ok := tc.pending[env.Seq]
+		if ok {
+			delete(tc.pending, env.Seq)
+		}
+		tc.mu.Unlock()
+		if ok {
+			ch <- env.Resp
+		}
+	}
+}
+
+// fail marks the connection dead and unblocks all waiters.
+func (tc *tcpConn) fail() {
+	tc.conn.Close()
+	tc.mu.Lock()
+	tc.dead = true
+	pending := tc.pending
+	tc.pending = make(map[uint64]chan *wire.Response)
+	tc.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Call implements Client.
+func (c *TCPClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Request) (*wire.Response, error) {
+	tc, err := c.getConn(to)
+	if err != nil {
+		return nil, err
+	}
+
+	ch := make(chan *wire.Response, 1)
+	tc.mu.Lock()
+	if tc.dead {
+		tc.mu.Unlock()
+		return nil, ErrNodeDown
+	}
+	seq := tc.nextSeq
+	tc.nextSeq++
+	tc.pending[seq] = ch
+	tc.mu.Unlock()
+
+	env := &wire.Envelope{Seq: seq, Req: req}
+	tc.writeMu.Lock()
+	err = wire.WriteEnvelope(tc.conn, env, c.compress)
+	tc.writeMu.Unlock()
+	if err != nil {
+		tc.fail()
+		return nil, fmt.Errorf("%w: write: %v", ErrNodeDown, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrNodeDown
+		}
+		return resp, nil
+	case <-ctx.Done():
+		tc.mu.Lock()
+		delete(tc.pending, seq)
+		tc.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close tears down all connections.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	c.closed = true
+	conns := c.conns
+	c.conns = make(map[quorum.NodeID]*tcpConn)
+	c.mu.Unlock()
+	for _, tc := range conns {
+		tc.fail()
+	}
+}
+
+var _ Client = (*TCPClient)(nil)

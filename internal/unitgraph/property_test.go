@@ -1,0 +1,149 @@
+package unitgraph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"qracn/internal/txir/txirtest"
+	"qracn/internal/unitgraph"
+)
+
+// TestAnalysisInvariantsOnRandomPrograms checks the structural guarantees
+// every consumer of the dependency model relies on, across random valid
+// programs.
+func TestAnalysisInvariantsOnRandomPrograms(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		prog := txirtest.RandomProgram(rng, 5, 12)
+		an, err := unitgraph.Analyze(prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, prog)
+		}
+		if an.NumAnchors < 1 {
+			t.Fatalf("trial %d: no anchors", trial)
+		}
+		if len(an.AnchorStmt) != an.NumAnchors || len(an.AnchorClass) != an.NumAnchors {
+			t.Fatalf("trial %d: anchor table sizes inconsistent", trial)
+		}
+		anchorSeen := map[int]bool{}
+		for idx, info := range an.Stmts {
+			if info.Stmt != prog.Stmts[idx] {
+				t.Fatalf("trial %d: stmt table misaligned at %d", trial, idx)
+			}
+			switch {
+			case info.IsAnchor:
+				if info.AnchorID < 0 || info.AnchorID >= an.NumAnchors {
+					t.Fatalf("trial %d: anchor id %d out of range", trial, info.AnchorID)
+				}
+				if anchorSeen[info.AnchorID] {
+					t.Fatalf("trial %d: duplicate anchor id %d", trial, info.AnchorID)
+				}
+				anchorSeen[info.AnchorID] = true
+				if an.AnchorStmt[info.AnchorID] != idx {
+					t.Fatalf("trial %d: AnchorStmt mismatch", trial)
+				}
+				if info.StaticHost != info.AnchorID {
+					t.Fatalf("trial %d: anchor hosted away from itself", trial)
+				}
+			case info.Floating:
+				if info.StaticHost != -1 || len(info.DepAnchors) != 0 {
+					t.Fatalf("trial %d: floating stmt with host/deps: %+v", trial, info)
+				}
+			default:
+				if info.StaticHost < 0 || info.StaticHost >= an.NumAnchors {
+					t.Fatalf("trial %d: op host %d out of range", trial, info.StaticHost)
+				}
+				hostEligible := len(info.DepAnchors) == 0
+				for _, d := range info.DepAnchors {
+					if d < 0 || d >= an.NumAnchors {
+						t.Fatalf("trial %d: dep %d out of range", trial, d)
+					}
+					if d == info.StaticHost {
+						hostEligible = true
+					}
+				}
+				if !hostEligible {
+					t.Fatalf("trial %d: static host %d not among eligible %v",
+						trial, info.StaticHost, info.DepAnchors)
+				}
+			}
+		}
+		// Order edges connect distinct existing statements, def before use
+		// in program order.
+		for _, e := range an.OrderEdges {
+			if e[0] < 0 || e[1] < 0 || e[0] >= len(an.Stmts) || e[1] >= len(an.Stmts) {
+				t.Fatalf("trial %d: edge %v out of range", trial, e)
+			}
+			if e[0] >= e[1] {
+				t.Fatalf("trial %d: edge %v not program-order forward", trial, e)
+			}
+		}
+		// The SCC contraction of the static block graph must be a valid
+		// topological partition covering every anchor exactly once.
+		hosts := an.StaticHosts()
+		groups := unitgraph.SCC(an.NumAnchors, an.BlockEdges(hosts))
+		pos := map[int]int{}
+		for gi, g := range groups {
+			for _, a := range g {
+				if _, dup := pos[a]; dup {
+					t.Fatalf("trial %d: anchor %d in two components", trial, a)
+				}
+				pos[a] = gi
+			}
+		}
+		if len(pos) != an.NumAnchors {
+			t.Fatalf("trial %d: SCC covered %d of %d anchors", trial, len(pos), an.NumAnchors)
+		}
+		for u, vs := range an.BlockEdges(hosts) {
+			for v := range vs {
+				if pos[u] > pos[v] {
+					t.Fatalf("trial %d: condensation order violated: %d->%d at %d>%d",
+						trial, u, v, pos[u], pos[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSCCBasics(t *testing.T) {
+	// 0 -> 1 <-> 2 -> 3, 4 isolated.
+	edges := map[int]map[int]bool{
+		0: {1: true},
+		1: {2: true},
+		2: {1: true, 3: true},
+	}
+	got := unitgraph.SCC(5, edges)
+	want := [][]int{{0}, {1, 2}, {3}, {4}}
+	if len(got) != len(want) {
+		t.Fatalf("SCC = %v", got)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("SCC = %v, want %v", got, want)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("SCC = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestSCCKeepsProgramOrderWhenUnconstrained(t *testing.T) {
+	got := unitgraph.SCC(4, nil)
+	for i, comp := range got {
+		if len(comp) != 1 || comp[0] != i {
+			t.Fatalf("SCC over empty graph = %v, want identity order", got)
+		}
+	}
+}
+
+func TestSCCWholeCycle(t *testing.T) {
+	edges := map[int]map[int]bool{
+		0: {1: true}, 1: {2: true}, 2: {0: true},
+	}
+	got := unitgraph.SCC(3, edges)
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("SCC = %v, want one component of 3", got)
+	}
+}

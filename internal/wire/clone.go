@@ -1,0 +1,119 @@
+package wire
+
+import "qracn/internal/store"
+
+// The channel transport moves messages between in-process "nodes" without
+// serializing them. To preserve the isolation a real network gives —
+// no replica may observe another's later mutations — every message is deep
+// copied at the node boundary by the Clone methods below.
+
+func cloneReadDescs(in []store.ReadDesc) []store.ReadDesc {
+	if in == nil {
+		return nil
+	}
+	out := make([]store.ReadDesc, len(in))
+	copy(out, in)
+	return out
+}
+
+func cloneWriteDescs(in []store.WriteDesc) []store.WriteDesc {
+	if in == nil {
+		return nil
+	}
+	out := make([]store.WriteDesc, len(in))
+	for i, w := range in {
+		out[i] = store.WriteDesc{ID: w.ID, NewVersion: w.NewVersion}
+		if w.Value != nil {
+			out[i].Value = w.Value.CloneValue()
+		}
+	}
+	return out
+}
+
+func cloneIDs(in []store.ObjectID) []store.ObjectID {
+	if in == nil {
+		return nil
+	}
+	out := make([]store.ObjectID, len(in))
+	copy(out, in)
+	return out
+}
+
+func cloneLevels(in map[store.ObjectID]float64) map[store.ObjectID]float64 {
+	if in == nil {
+		return nil
+	}
+	out := make(map[store.ObjectID]float64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Clone deep-copies the request.
+func (r *Request) Clone() *Request {
+	if r == nil {
+		return nil
+	}
+	out := &Request{Kind: r.Kind, TxID: r.TxID}
+	if r.Read != nil {
+		out.Read = &ReadRequest{
+			Object:      r.Read.Object,
+			Validate:    cloneReadDescs(r.Read.Validate),
+			StatsFor:    cloneIDs(r.Read.StatsFor),
+			VersionOnly: r.Read.VersionOnly,
+		}
+	}
+	if r.Prepare != nil {
+		out.Prepare = &PrepareRequest{
+			Reads:  cloneReadDescs(r.Prepare.Reads),
+			Writes: cloneWriteDescs(r.Prepare.Writes),
+		}
+	}
+	if r.Decision != nil {
+		out.Decision = &DecisionRequest{
+			Commit:  r.Decision.Commit,
+			Writes:  cloneWriteDescs(r.Decision.Writes),
+			Release: cloneIDs(r.Decision.Release),
+		}
+	}
+	if r.Stats != nil {
+		out.Stats = &StatsRequest{Objects: cloneIDs(r.Stats.Objects)}
+	}
+	if r.Sync != nil {
+		out.Sync = &SyncRequest{Known: cloneReadDescs(r.Sync.Known)}
+	}
+	return out
+}
+
+// Clone deep-copies the response.
+func (r *Response) Clone() *Response {
+	if r == nil {
+		return nil
+	}
+	out := &Response{Status: r.Status, Detail: r.Detail}
+	if r.Read != nil {
+		out.Read = &ReadResponse{
+			Version: r.Read.Version,
+			Invalid: cloneIDs(r.Read.Invalid),
+			Stats:   cloneLevels(r.Read.Stats),
+		}
+		if r.Read.Value != nil {
+			out.Read.Value = r.Read.Value.CloneValue()
+		}
+	}
+	if r.Prepare != nil {
+		out.Prepare = &PrepareResponse{
+			Vote:    r.Prepare.Vote,
+			Invalid: cloneIDs(r.Prepare.Invalid),
+			Busy:    cloneIDs(r.Prepare.Busy),
+		}
+	}
+	if r.Stats != nil {
+		out.Stats = &StatsResponse{Levels: cloneLevels(r.Stats.Levels)}
+	}
+	if r.Sync != nil {
+		out.Sync = &SyncResponse{Objects: cloneWriteDescs(r.Sync.Objects)}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+// Package wire defines the request/response messages exchanged between DTM
+// clients and quorum nodes, and a codec (gob + length-prefixed frames with
+// optional flate compression) for carrying them over a byte stream. The
+// paper notes that contention meta-data is piggybacked on existing messages
+// and that messages are compressed to minimize that cost; ReadRequest's
+// StatsFor field and the frame compression flag implement both.
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"qracn/internal/store"
+)
+
+// Status is the server-side outcome of a request.
+type Status int
+
+// Status values.
+const (
+	StatusOK Status = iota
+	// StatusBusy: an object involved in the request is protected by a
+	// committing transaction; the client should back off and retry.
+	StatusBusy
+	// StatusNotFound: the requested object does not exist on the replica.
+	StatusNotFound
+	// StatusError: any other server-side failure, detail in Response.Detail.
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusNotFound:
+		return "not-found"
+	default:
+		return "error"
+	}
+}
+
+// Kind discriminates request payloads.
+type Kind int
+
+// Request kinds.
+const (
+	KindRead Kind = iota
+	KindPrepare
+	KindDecision
+	KindStats
+	KindPing
+	// KindSync transfers replica state for anti-entropy: a node that was
+	// partitioned away asks a peer for every object newer than its local
+	// version.
+	KindSync
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindPrepare:
+		return "prepare"
+	case KindDecision:
+		return "decision"
+	case KindStats:
+		return "stats"
+	case KindSync:
+		return "sync"
+	default:
+		return "ping"
+	}
+}
+
+// Request is a client-to-server message. Exactly one payload pointer,
+// matching Kind, is non-nil (except KindPing, which carries none).
+type Request struct {
+	Kind     Kind
+	TxID     string
+	Read     *ReadRequest
+	Prepare  *PrepareRequest
+	Decision *DecisionRequest
+	Stats    *StatsRequest
+	Sync     *SyncRequest
+}
+
+// ReadRequest fetches one object and incrementally validates the caller's
+// read-set, optionally piggybacking a contention-stats query.
+type ReadRequest struct {
+	Object   store.ObjectID
+	Validate []store.ReadDesc
+	StatsFor []store.ObjectID
+	// VersionOnly asks for the object's version without its value — the
+	// bandwidth-saving read strategy fetches the value from a single quorum
+	// member and version-checks the rest.
+	VersionOnly bool
+}
+
+// PrepareRequest is phase one of two-phase commit: validate the read-set and
+// protect the write-set on this replica.
+type PrepareRequest struct {
+	Reads  []store.ReadDesc
+	Writes []store.WriteDesc
+}
+
+// DecisionRequest is phase two of two-phase commit.
+type DecisionRequest struct {
+	Commit bool
+	// Writes are applied when Commit is true.
+	Writes []store.WriteDesc
+	// Release lists every object the prepare protected (the transaction's
+	// read-set); the decision clears those protections whether it commits
+	// or aborts.
+	Release []store.ObjectID
+}
+
+// StatsRequest asks for the contention level of specific objects.
+type StatsRequest struct {
+	Objects []store.ObjectID
+}
+
+// SyncRequest asks a peer for every object whose version exceeds the
+// caller's (anti-entropy after a partition heals). Known carries the
+// caller's current versions; objects the peer has that are absent from
+// Known are also returned.
+type SyncRequest struct {
+	Known []store.ReadDesc
+}
+
+// SyncResponse carries the objects the caller is missing or behind on.
+type SyncResponse struct {
+	Objects []store.WriteDesc
+}
+
+// Response is a server-to-client message.
+type Response struct {
+	Status  Status
+	Detail  string
+	Read    *ReadResponse
+	Prepare *PrepareResponse
+	Stats   *StatsResponse
+	Sync    *SyncResponse
+}
+
+// ReadResponse carries the object, the incremental-validation outcome, and
+// any piggybacked contention levels.
+type ReadResponse struct {
+	Value   store.Value
+	Version uint64
+	// Invalid lists previously-read objects this replica knows a newer
+	// version of; a non-empty list triggers a (partial) abort at the client.
+	Invalid []store.ObjectID
+	Stats   map[store.ObjectID]float64
+}
+
+// PrepareResponse is the participant's vote.
+type PrepareResponse struct {
+	Vote    bool
+	Invalid []store.ObjectID
+	Busy    []store.ObjectID
+}
+
+// StatsResponse carries contention levels (write counts in the last window).
+type StatsResponse struct {
+	Levels map[store.ObjectID]float64
+}
+
+// Envelope frames a request or response with a sequence number so multiple
+// in-flight calls can share one TCP connection.
+type Envelope struct {
+	Seq        uint64
+	IsResponse bool
+	Req        *Request
+	Resp       *Response
+}
+
+func init() {
+	gob.Register(store.Int64(0))
+	gob.Register(store.Float64(0))
+	gob.Register(store.String(""))
+	gob.Register(store.Bytes(nil))
+	gob.Register(store.Tuple(nil))
+}
+
+// RegisterValue makes a concrete store.Value type known to the codec.
+// Workloads with custom value types must call it before using the TCP
+// transport.
+func RegisterValue(v store.Value) { gob.Register(v) }
+
+// Marshal gob-encodes v.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes data into v.
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Frame layout: 4-byte big-endian payload length, 1 flag byte
+// (flagCompressed), payload. CompressThreshold is the payload size above
+// which WriteFrame flate-compresses when compression is enabled.
+const (
+	flagCompressed byte = 1 << 0
+
+	// CompressThreshold is the minimum payload size worth compressing.
+	CompressThreshold = 512
+
+	// MaxFrameSize bounds a frame to keep a malformed peer from forcing a
+	// huge allocation.
+	MaxFrameSize = 64 << 20
+)
+
+// WriteFrame writes one length-prefixed frame. When compress is true and the
+// payload exceeds CompressThreshold, the payload is flate-compressed (and
+// the compressed form is kept only if it is actually smaller).
+func WriteFrame(w io.Writer, payload []byte, compress bool) error {
+	flags := byte(0)
+	if compress && len(payload) > CompressThreshold {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return fmt.Errorf("wire: flate: %w", err)
+		}
+		if _, err := fw.Write(payload); err != nil {
+			return fmt.Errorf("wire: compress: %w", err)
+		}
+		if err := fw.Close(); err != nil {
+			return fmt.Errorf("wire: compress: %w", err)
+		}
+		if buf.Len() < len(payload) {
+			payload = buf.Bytes()
+			flags |= flagCompressed
+		}
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = flags
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame, transparently
+// decompressing it.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if hdr[4]&flagCompressed != 0 {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		defer fr.Close()
+		out, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("wire: decompress: %w", err)
+		}
+		return out, nil
+	}
+	return payload, nil
+}
+
+// WriteEnvelope marshals and frames an envelope.
+func WriteEnvelope(w io.Writer, env *Envelope, compress bool) error {
+	data, err := Marshal(env)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, data, compress)
+}
+
+// ReadEnvelope reads and unmarshals one envelope.
+func ReadEnvelope(r io.Reader) (*Envelope, error) {
+	data, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}

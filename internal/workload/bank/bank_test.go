@@ -1,0 +1,168 @@
+package bank
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qracn/internal/acn"
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+	"qracn/internal/unitgraph"
+)
+
+func TestProgramsAnalyze(t *testing.T) {
+	b := New(Config{})
+	for _, prof := range b.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if prof.Manual != nil {
+			if _, err := acn.Manual(an, prof.Manual); err != nil {
+				t.Fatalf("%s manual composition: %v", prof.Name, err)
+			}
+		}
+	}
+}
+
+func TestTransferAnchors(t *testing.T) {
+	an, err := unitgraph.Analyze(TransferProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.NumAnchors != 4 {
+		t.Fatalf("anchors = %d, want 4 (two branches, two accounts)", an.NumAnchors)
+	}
+	if an.AnchorClass[0] != "branch" || an.AnchorClass[2] != "account" {
+		t.Fatalf("anchor classes = %v", an.AnchorClass)
+	}
+	// Branch blocks and account blocks are mutually independent, so the
+	// algorithm may reorder them freely.
+	edges := an.BlockEdges(an.StaticHosts())
+	for _, from := range []int{0, 1} {
+		for _, to := range []int{2, 3} {
+			if edges[from][to] || edges[to][from] {
+				t.Fatalf("spurious dependency between branch and account blocks: %v", edges)
+			}
+		}
+	}
+}
+
+func TestGeneratePhases(t *testing.T) {
+	b := New(Config{Branches: 50, Accounts: 1000, HotBranches: 2, HotAccounts: 2, WritePct: 100})
+	rng := rand.New(rand.NewSource(1))
+
+	branchSeen := map[int]bool{}
+	acctSeen := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		prof, params := b.Generate(rng, 0)
+		if prof != ProfileTransfer {
+			t.Fatal("WritePct 100 should always generate transfers")
+		}
+		branchSeen[params["srcBranch"].(int)] = true
+		acctSeen[params["srcAcct"].(int)] = true
+	}
+	if len(branchSeen) > 2 {
+		t.Fatalf("phase 0 branches drawn from %d values, want <= 2 (hot)", len(branchSeen))
+	}
+	if len(acctSeen) < 50 {
+		t.Fatalf("phase 0 accounts drawn from only %d values, want spread", len(acctSeen))
+	}
+
+	branchSeen, acctSeen = map[int]bool{}, map[int]bool{}
+	for i := 0; i < 300; i++ {
+		_, params := b.Generate(rng, 1)
+		branchSeen[params["srcBranch"].(int)] = true
+		acctSeen[params["srcAcct"].(int)] = true
+	}
+	if len(acctSeen) > 2 {
+		t.Fatalf("phase 1 accounts drawn from %d values, want <= 2 (hot)", len(acctSeen))
+	}
+	if len(branchSeen) < 20 {
+		t.Fatalf("phase 1 branches drawn from only %d values, want spread", len(branchSeen))
+	}
+}
+
+func TestGenerateMixesReads(t *testing.T) {
+	b := New(Config{WritePct: 50})
+	rng := rand.New(rand.NewSource(2))
+	reads := 0
+	for i := 0; i < 1000; i++ {
+		prof, _ := b.Generate(rng, 0)
+		if prof == ProfileBalance {
+			reads++
+		}
+	}
+	if reads < 400 || reads > 600 {
+		t.Fatalf("reads = %d of 1000, want ~500", reads)
+	}
+}
+
+func TestEndToEndConservation(t *testing.T) {
+	b := New(Config{Branches: 4, Accounts: 8, InitialBalance: 10000})
+	c := cluster.New(cluster.Config{Servers: 10, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(b.SeedObjects())
+
+	rt := c.Runtime(1, dtm.Config{Seed: 3})
+	var execs []*acn.Executor
+	for _, prof := range b.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs = append(execs, acn.NewExecutor(rt, an, acn.Static(an)))
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	ctx := context.Background()
+	for i := 0; i < 60; i++ {
+		prof, params := b.Generate(rng, i/30) // crosses a phase boundary
+		if err := execs[prof].Execute(ctx, params); err != nil {
+			t.Fatalf("tx %d (%s): %v", i, b.Profiles()[prof].Name, err)
+		}
+	}
+
+	var total int64
+	err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		total = 0
+		for i := 0; i < 4; i++ {
+			v, err := tx.Read(store.ID("branch", i))
+			if err != nil {
+				return err
+			}
+			total += store.AsInt64(v)
+		}
+		for i := 0; i < 8; i++ {
+			v, err := tx.Read(store.ID("account", i))
+			if err != nil {
+				return err
+			}
+			total += store.AsInt64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 12*10000 {
+		t.Fatalf("total = %d, want %d (money conservation)", total, 12*10000)
+	}
+}
+
+func TestSeedObjects(t *testing.T) {
+	b := New(Config{Branches: 3, Accounts: 5, InitialBalance: 7})
+	objs := b.SeedObjects()
+	if len(objs) != 8 {
+		t.Fatalf("seeded %d objects, want 8", len(objs))
+	}
+	if store.AsInt64(objs[store.ID("branch", 0)]) != 7 {
+		t.Fatal("wrong initial balance")
+	}
+	if b.Name() != "bank" || b.Phases() != 2 {
+		t.Fatal("metadata wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qracn/internal/txir"
+)
+
+// The registry maps "workload/profile" names to transaction programs so
+// command-line tools (cmd/qracn-inspect) can look program definitions up
+// without importing every workload package. Workload packages register
+// themselves from init functions.
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*txir.Program{}
+)
+
+// RegisterProgram publishes a program under "workload/profile". Meant to be
+// called from workload package init functions; duplicate names panic, which
+// surfaces wiring mistakes at process start.
+func RegisterProgram(workloadName, profileName string, p *txir.Program) {
+	key := workloadName + "/" + profileName
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("workload: program %q registered twice", key))
+	}
+	registry[key] = p
+}
+
+// LookupProgram finds a registered program.
+func LookupProgram(name string) (*txir.Program, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// ProgramNames lists every registered program, sorted.
+func ProgramNames() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,54 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"qracn/internal/txir"
+	"qracn/internal/workload"
+
+	_ "qracn/internal/workload/bank"
+	_ "qracn/internal/workload/tpcc"
+	_ "qracn/internal/workload/vacation"
+)
+
+func TestRegistryHasAllPrograms(t *testing.T) {
+	names := workload.ProgramNames()
+	want := []string{
+		"bank/balance", "bank/transfer",
+		"tpcc/delivery", "tpcc/new-order", "tpcc/order-status", "tpcc/payment", "tpcc/stock-level",
+		"vacation/delete-customer", "vacation/query", "vacation/reserve", "vacation/update-tables",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d programs: %v", len(names), names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("names[%d] = %q, want %q (%v)", i, names[i], w, names)
+		}
+	}
+	for _, n := range names {
+		p, ok := workload.LookupProgram(n)
+		if !ok || p == nil {
+			t.Fatalf("lookup %q failed", n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, ok := workload.LookupProgram("nope/nothing"); ok {
+		t.Fatal("unknown program found")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "twice") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	workload.RegisterProgram("bank", "transfer", txir.NewProgram("dup"))
+}

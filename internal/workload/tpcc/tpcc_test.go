@@ -1,0 +1,264 @@
+package tpcc
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qracn/internal/acn"
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+	"qracn/internal/unitgraph"
+)
+
+func TestProgramsAnalyzeAndManualValid(t *testing.T) {
+	w := New(Config{MixNewOrder: 30, MixPayment: 30, MixDelivery: 20, MixOrderStatus: 10, MixStockLevel: 10})
+	if len(w.Profiles()) != 5 {
+		t.Fatalf("profiles = %d, want 5", len(w.Profiles()))
+	}
+	for _, prof := range w.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if _, err := acn.Manual(an, prof.Manual); err != nil {
+			t.Fatalf("%s manual: %v", prof.Name, err)
+		}
+	}
+}
+
+func TestNewOrderShape(t *testing.T) {
+	an, err := unitgraph.Analyze(NewOrderProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 + 2*OrderLines + 1 // warehouse, district, customer, (item,stock)×lines, order
+	if an.NumAnchors != want {
+		t.Fatalf("anchors = %d, want %d", an.NumAnchors, want)
+	}
+	// The order insert depends on the district block (order id flows
+	// through "oid"), so no recomposition may put the insert before the
+	// district access.
+	orderAnchor := want - 1
+	edges := an.BlockEdges(an.StaticHosts())
+	if !edges[1][orderAnchor] {
+		t.Fatalf("missing district -> order dependency: %v", edges)
+	}
+	// Item/stock blocks are independent of the district block.
+	if edges[1][3] || edges[3][1] {
+		t.Fatalf("spurious district/item dependency: %v", edges)
+	}
+}
+
+func TestPaymentShape(t *testing.T) {
+	an, err := unitgraph.Analyze(PaymentProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.NumAnchors != 3 {
+		t.Fatalf("anchors = %d, want 3", an.NumAnchors)
+	}
+	// Warehouse, district, and customer updates are mutually independent.
+	edges := an.BlockEdges(an.StaticHosts())
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if u != v && edges[u][v] {
+				t.Fatalf("spurious dependency %d->%d in payment: %v", u, v, edges)
+			}
+		}
+	}
+}
+
+func TestDeliveryShape(t *testing.T) {
+	an, err := unitgraph.Analyze(DeliveryProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.NumAnchors != 3 {
+		t.Fatalf("anchors = %d, want 3", an.NumAnchors)
+	}
+	// The order lookup is keyed by the delivery cursor: forced dependency.
+	edges := an.BlockEdges(an.StaticHosts())
+	if !edges[0][1] {
+		t.Fatalf("missing dlv -> order dependency: %v", edges)
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	w := New(Config{MixNewOrder: 50, MixPayment: 30, MixDelivery: 20})
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		prof, params := w.Generate(rng, 0)
+		counts[prof]++
+		if prof == ProfileNewOrder {
+			seen := map[int]bool{}
+			for k := 0; k < OrderLines; k++ {
+				item := params[itemParam(k)].(int)
+				if seen[item] {
+					t.Fatal("duplicate item in one order")
+				}
+				seen[item] = true
+			}
+		}
+	}
+	if counts[ProfileNewOrder] < 900 || counts[ProfileNewOrder] > 1100 {
+		t.Fatalf("new-order count = %d, want ~1000", counts[ProfileNewOrder])
+	}
+	if counts[ProfileDelivery] < 300 || counts[ProfileDelivery] > 500 {
+		t.Fatalf("delivery count = %d, want ~400", counts[ProfileDelivery])
+	}
+}
+
+func TestBadMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{MixNewOrder: 50, MixPayment: 10, MixDelivery: 10})
+}
+
+func TestEndToEndAllProfiles(t *testing.T) {
+	w := New(Config{
+		Warehouses: 1, Districts: 2, CustomersPerDistrict: 4, Items: 20,
+		MixNewOrder: 34, MixPayment: 33, MixDelivery: 33,
+	})
+	c := cluster.New(cluster.Config{Servers: 10, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(w.SeedObjects())
+
+	rt := c.Runtime(1, dtm.Config{Seed: 3})
+	var execs []*acn.Executor
+	for _, prof := range w.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := acn.Manual(an, prof.Manual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs = append(execs, acn.NewExecutor(rt, an, comp))
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	newOrders := 0
+	for i := 0; i < 60; i++ {
+		prof, params := w.Generate(rng, 0)
+		if prof == ProfileNewOrder {
+			newOrders++
+		}
+		if err := execs[prof].Execute(ctx, params); err != nil {
+			t.Fatalf("tx %d (%s): %v", i, w.Profiles()[prof].Name, err)
+		}
+	}
+
+	// The district next-order-ids must have advanced by exactly the number
+	// of NewOrders, and each created order row must exist.
+	var totalOrders int64
+	err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		totalOrders = 0
+		for d := 0; d < 2; d++ {
+			v, err := tx.Read(store.ID("district", 0, d))
+			if err != nil {
+				return err
+			}
+			next := store.AsInt64(v.(store.Tuple)[0])
+			totalOrders += next - 1
+			for o := int64(1); o < next; o++ {
+				ov, err := tx.Read(store.ID("order", 0, d, o))
+				if err != nil {
+					return err
+				}
+				if ov == nil {
+					t.Errorf("order 0/%d/%d missing", d, o)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalOrders != int64(newOrders) {
+		t.Fatalf("district cursors advanced %d, want %d", totalOrders, newOrders)
+	}
+}
+
+func TestSeedCounts(t *testing.T) {
+	w := New(Config{Warehouses: 2, Districts: 3, CustomersPerDistrict: 4, Items: 10, MixNewOrder: 100})
+	objs := w.SeedObjects()
+	// warehouses 2 + districts 6 + dlv 6 + customers 24 + stock 20 + items 10
+	if len(objs) != 2+6+6+24+20+10 {
+		t.Fatalf("seeded %d objects", len(objs))
+	}
+	if w.Name() != "tpcc" || w.Phases() != 1 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestReadOnlyProfilesSkip2PC(t *testing.T) {
+	w := New(Config{
+		Warehouses: 1, Districts: 2, CustomersPerDistrict: 4, Items: 20,
+		MixOrderStatus: 50, MixStockLevel: 50,
+	})
+	c := cluster.New(cluster.Config{Servers: 4, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(w.SeedObjects())
+	rt := c.Runtime(1, dtm.Config{Seed: 6})
+
+	var execs []*acn.Executor
+	for _, prof := range w.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs = append(execs, acn.NewExecutor(rt, an, acn.Static(an)))
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 20; i++ {
+		prof, params := w.Generate(rng, 0)
+		if prof != ProfileOrderStatus && prof != ProfileStockLevel {
+			t.Fatalf("unexpected profile %d with read-only mix", prof)
+		}
+		if err := execs[prof].Execute(context.Background(), params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := rt.Metrics().Snapshot()
+	if m.Prepares != 0 {
+		t.Fatalf("read-only profiles used %d write-quorum prepares", m.Prepares)
+	}
+	if m.ReadOnlyFasts == 0 {
+		t.Fatal("read-only validation path never used")
+	}
+}
+
+func TestOrderStatusShape(t *testing.T) {
+	an, err := unitgraph.Analyze(OrderStatusProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.NumAnchors != 3 {
+		t.Fatalf("anchors = %d, want 3", an.NumAnchors)
+	}
+	// The order lookup is keyed by the district counter: forced dependency.
+	edges := an.BlockEdges(an.StaticHosts())
+	if !edges[1][2] {
+		t.Fatalf("missing district -> order dependency: %v", edges)
+	}
+}
+
+func TestStockLevelShape(t *testing.T) {
+	an, err := unitgraph.Analyze(StockLevelProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.NumAnchors != 1+StockLevelChecks {
+		t.Fatalf("anchors = %d, want %d", an.NumAnchors, 1+StockLevelChecks)
+	}
+}

@@ -1,0 +1,218 @@
+package vacation
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qracn/internal/acn"
+	"qracn/internal/cluster"
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+	"qracn/internal/unitgraph"
+)
+
+func TestProgramsAnalyzeAndManualValid(t *testing.T) {
+	v := New(Config{})
+	if len(v.Profiles()) != 4 {
+		t.Fatalf("profiles = %d, want 4", len(v.Profiles()))
+	}
+	for _, prof := range v.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if prof.Manual == nil {
+			continue // runs flat under QR-CN by design
+		}
+		if _, err := acn.Manual(an, prof.Manual); err != nil {
+			t.Fatalf("%s manual: %v", prof.Name, err)
+		}
+	}
+}
+
+func TestUpdateAndDeleteProfiles(t *testing.T) {
+	v := New(Config{Rows: 10, Customers: 5, UpdatePct: 100, QueryPct: 1})
+	rng := rand.New(rand.NewSource(8))
+	sawUpdate, sawDelete := false, false
+	for i := 0; i < 200; i++ {
+		prof, params := v.Generate(rng, 0)
+		switch prof {
+		case ProfileUpdate:
+			sawUpdate = true
+			if params["delta"].(int) < 1 {
+				t.Fatal("update without delta")
+			}
+		case ProfileDelete:
+			sawDelete = true
+		case ProfileReserve:
+			t.Fatal("UpdatePct ~100 should not generate reservations")
+		}
+	}
+	if !sawUpdate || !sawDelete {
+		t.Fatalf("update=%v delete=%v, want both", sawUpdate, sawDelete)
+	}
+}
+
+func TestUpdateTablesEndToEnd(t *testing.T) {
+	v := New(Config{Rows: 4, Customers: 2, InitialSeats: 100})
+	c := cluster.New(cluster.Config{Servers: 4, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(v.SeedObjects())
+	rt := c.Runtime(1, dtm.Config{Seed: 2})
+
+	for pi, prog := range []int{ProfileUpdate, ProfileDelete} {
+		an, err := unitgraph.Analyze(v.Profiles()[prog].Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec := acn.NewExecutor(rt, an, acn.Static(an))
+		params := map[string]any{"car": 0, "flight": 0, "room": 0, "cust": 0, "delta": 7}
+		if err := exec.Execute(context.Background(), params); err != nil {
+			t.Fatalf("profile %d: %v", pi, err)
+		}
+	}
+	var car, cust int64
+	if err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		v1, err := tx.Read(store.ID("car", 0))
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read(store.ID("customer", 0))
+		if err != nil {
+			return err
+		}
+		car, cust = store.AsInt64(v1), store.AsInt64(v2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if car != 107 {
+		t.Fatalf("car = %d, want 107 (replenished)", car)
+	}
+	if cust != 0 {
+		t.Fatalf("customer = %d, want 0 (deleted)", cust)
+	}
+}
+
+func TestReserveShape(t *testing.T) {
+	an, err := unitgraph.Analyze(ReserveProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.NumAnchors != 4 {
+		t.Fatalf("anchors = %d, want 4 (car, flight, room, customer)", an.NumAnchors)
+	}
+	// All four blocks are mutually independent: ACN may order them freely.
+	edges := an.BlockEdges(an.StaticHosts())
+	if len(edges) != 0 {
+		t.Fatalf("reserve blocks should be independent, got %v", edges)
+	}
+}
+
+func TestGenerateHotTableShifts(t *testing.T) {
+	v := New(Config{Rows: 300, HotRows: 2, QueryPct: 1})
+	rng := rand.New(rand.NewSource(5))
+	for phase, hot := range []string{"car", "flight", "room"} {
+		seen := map[string]map[int]bool{"car": {}, "flight": {}, "room": {}}
+		for i := 0; i < 200; i++ {
+			_, params := v.Generate(rng, phase)
+			for _, tbl := range []string{"car", "flight", "room"} {
+				seen[tbl][params[tbl].(int)] = true
+			}
+		}
+		if len(seen[hot]) > 2 {
+			t.Fatalf("phase %d: hot table %s drawn from %d rows, want <= 2", phase, hot, len(seen[hot]))
+		}
+		for _, tbl := range []string{"car", "flight", "room"} {
+			if tbl != hot && len(seen[tbl]) < 50 {
+				t.Fatalf("phase %d: cold table %s drawn from only %d rows", phase, tbl, len(seen[tbl]))
+			}
+		}
+	}
+}
+
+func TestPhaseWrapsAround(t *testing.T) {
+	v := New(Config{})
+	rng := rand.New(rand.NewSource(6))
+	_, p3 := v.Generate(rng, 3) // same hot table as phase 0
+	_ = p3
+	if v.Phases() != 3 {
+		t.Fatalf("Phases = %d", v.Phases())
+	}
+}
+
+func TestEndToEndReservationInvariant(t *testing.T) {
+	v := New(Config{Rows: 10, Customers: 5, InitialSeats: 1000, QueryPct: 20})
+	c := cluster.New(cluster.Config{Servers: 10, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(v.SeedObjects())
+
+	rt := c.Runtime(1, dtm.Config{Seed: 3})
+	var execs []*acn.Executor
+	for _, prof := range v.Profiles() {
+		an, err := unitgraph.Analyze(prof.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs = append(execs, acn.NewExecutor(rt, an, acn.Static(an)))
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	ctx := context.Background()
+	reservations := 0
+	for i := 0; i < 60; i++ {
+		prof, params := v.Generate(rng, i/20) // all three phases
+		if prof == ProfileReserve {
+			reservations++
+		}
+		if err := execs[prof].Execute(ctx, params); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+
+	// Every reservation decrements one row in each table and bills 3 units:
+	// total seats removed per table == reservations; total billed == 3×.
+	var seatsGone, billed int64
+	err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		seatsGone, billed = 0, 0
+		for _, tbl := range []string{"car", "flight", "room"} {
+			for i := 0; i < 10; i++ {
+				val, err := tx.Read(store.ID(tbl, i))
+				if err != nil {
+					return err
+				}
+				seatsGone += 1000 - store.AsInt64(val)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			val, err := tx.Read(store.ID("customer", i))
+			if err != nil {
+				return err
+			}
+			billed += store.AsInt64(val)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seatsGone != int64(3*reservations) {
+		t.Fatalf("seats gone = %d, want %d", seatsGone, 3*reservations)
+	}
+	if billed != int64(3*reservations) {
+		t.Fatalf("billed = %d, want %d", billed, 3*reservations)
+	}
+}
+
+func TestSeedCounts(t *testing.T) {
+	v := New(Config{Rows: 4, Customers: 3})
+	objs := v.SeedObjects()
+	if len(objs) != 3*4+3 {
+		t.Fatalf("seeded %d objects", len(objs))
+	}
+	if v.Name() != "vacation" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,65 @@
+// Package workload defines the common shape of the benchmarks the paper
+// evaluates (TPC-C, Bank, Vacation): transaction profiles expressed in the
+// transaction IR, initial data, the manual closed-nesting configuration a
+// programmer would write (the QR-CN baseline), and a phase-aware parameter
+// generator so the harness can shift the contention pattern at run time, as
+// the Vacation and Bank experiments do.
+package workload
+
+import (
+	"math/rand"
+
+	"qracn/internal/store"
+	"qracn/internal/txir"
+)
+
+// Profile is one transaction type of a benchmark.
+type Profile struct {
+	// Name identifies the profile (e.g. "new-order").
+	Name string
+	// Program is the flat transaction as the programmer wrote it.
+	Program *txir.Program
+	// Manual is the programmer's closed-nesting decomposition for the
+	// QR-CN baseline: groups of UnitBlock IDs in execution order. A nil
+	// Manual means the profile runs flat even under QR-CN.
+	Manual [][]int
+}
+
+// Workload is a benchmark: data, transaction profiles, and a generator.
+type Workload interface {
+	// Name identifies the benchmark.
+	Name() string
+	// SeedObjects returns the initial shared state.
+	SeedObjects() map[store.ObjectID]store.Value
+	// Profiles returns the transaction profiles; indices are stable.
+	Profiles() []Profile
+	// Generate draws the next transaction: a profile index and its
+	// parameters (including all randomness, so retries are deterministic).
+	// phase selects the current contention pattern.
+	Generate(rng *rand.Rand, phase int) (profile int, params map[string]any)
+	// Phases reports how many distinct contention phases the workload
+	// cycles through (1 = static).
+	Phases() int
+}
+
+// Uniform draws an int in [0, n).
+func Uniform(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// Pick2 draws two distinct ints in [0, n); n must be >= 2.
+func Pick2(rng *rand.Rand, n int) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// NURand is TPC-C's non-uniform random distribution over [x, y]: a bitwise
+// OR of two uniform draws shifted by a per-field constant c, which
+// concentrates roughly half the mass on a hot subset while still touching
+// every key. a is the OR mask range per the spec (1023 for customers,
+// 8191 for items).
+func NURand(rng *rand.Rand, a, x, y, c int) int {
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPick2Distinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	err := quick.Check(func(seed int64, n uint8) bool {
+		size := int(n%50) + 2
+		rng.Seed(seed)
+		a, b := Pick2(rng, size)
+		return a != b && a >= 0 && a < size && b >= 0 && b < size
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPick2CoversAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := map[[2]int]bool{}
+	for i := 0; i < 2000; i++ {
+		a, b := Pick2(rng, 3)
+		seen[[2]int{a, b}] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("Pick2 over 3 produced %d of 6 ordered pairs: %v", len(seen), seen)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if v := Uniform(rng, 10); v < 0 || v >= 10 {
+			t.Fatalf("Uniform out of range: %d", v)
+		}
+	}
+}
+
+func TestNURandRangeAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := NURand(rng, 1023, 0, 99, 7)
+		if v < 0 || v > 99 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The distribution must be non-uniform: the most popular key should see
+	// several times the uniform share (500).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 800 {
+		t.Fatalf("NURand looks uniform: max bucket %d", max)
+	}
+	// ...but every key must remain reachable.
+	for v, c := range counts {
+		if c == 0 {
+			t.Fatalf("key %d never drawn", v)
+		}
+	}
+}
