@@ -409,6 +409,102 @@ func BenchmarkTransport(b *testing.B) {
 	})
 }
 
+// BenchmarkPrefetchVsSerialReads isolates the read phase of a Bank audit
+// transaction (k first-access reads, no writes) on a loopback TCP cluster:
+// "serial" pays one quorum round per read, "prefetch" collapses them into a
+// single batched round via Tx.Prefetch. The ratio is the round-trip saving
+// the batched RPC pipeline buys on real sockets.
+func BenchmarkPrefetchVsSerialReads(b *testing.B) {
+	const k = 8
+	c, err := cluster.NewTCP(cluster.TCPConfig{Servers: 4, StatsWindow: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.Seed(bank.New(bank.Config{Branches: 8, Accounts: 64}).SeedObjects())
+
+	audit := func(rt *dtm.Runtime, base int, prefetch bool) error {
+		return rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+			ids := make([]store.ObjectID, k)
+			for j := range ids {
+				ids[j] = store.ID("account", (base+j)%64)
+			}
+			if prefetch {
+				if err := tx.Prefetch(ids...); err != nil {
+					return err
+				}
+			}
+			for _, id := range ids {
+				if _, err := tx.Read(id); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	for _, tc := range []struct {
+		name     string
+		prefetch bool
+	}{
+		{"serial", false},
+		{"prefetch", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rt := c.Runtime(1, dtm.Config{Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := audit(rt, i, tc.prefetch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			snap := rt.Metrics().Snapshot()
+			b.ReportMetric(float64(snap.RemoteReads)/float64(b.N), "rounds/tx")
+		})
+	}
+}
+
+// BenchmarkPrefetchTransferTCP runs the full Bank transfer through the
+// executor on TCP with the UnitGraph-driven prefetch on and off — the
+// end-to-end (read phase + 2PC) view of the same optimisation.
+func BenchmarkPrefetchTransferTCP(b *testing.B) {
+	prog := bank.TransferProgram()
+	an, err := unitgraph.Analyze(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		prefetch bool
+	}{
+		{"serial", false},
+		{"prefetch", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := cluster.NewTCP(cluster.TCPConfig{Servers: 4, StatsWindow: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			c.Seed(bank.New(bank.Config{Branches: 8, Accounts: 64}).SeedObjects())
+			rt := c.Runtime(1, dtm.Config{Seed: 1})
+			exec := acn.NewExecutor(rt, an, acn.Flat(an))
+			exec.SetPrefetch(tc.prefetch)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				params := map[string]any{
+					"srcBranch": i % 8, "dstBranch": (i + 1) % 8,
+					"srcAcct": i % 64, "dstAcct": (i + 1) % 64,
+					"amount": 1,
+				}
+				if err := exec.Execute(ctx, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkReadStrategy compares the full and lean quorum-read strategies
 // on read-only transactions over large values, where lean's
 // versions-only side requests save most of the value bandwidth.

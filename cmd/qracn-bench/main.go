@@ -22,17 +22,18 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to reproduce: 4a..4f or 'all'")
-		interval = flag.Duration("interval", 400*time.Millisecond, "measurement interval length (paper: 10s)")
-		clients  = flag.Int("clients", 8, "client nodes (paper: up to 20)")
-		threads  = flag.Int("threads", 2, "concurrent transactions per client")
-		servers  = flag.Int("servers", 10, "quorum nodes (paper: 10)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		repeat   = flag.Int("repeat", 1, "repetitions to average (paper: 4)")
-		modesArg = flag.String("modes", "all", "systems to run: all, dtm, cn, acn, cp (comma-separated; 'all' = the paper's three)")
-		ablation = flag.Bool("ablation", false, "run the ACN step-ablation study instead of the system comparison")
-		sweep    = flag.String("sweep", "", "comma-separated client counts for a scalability sweep (e.g. 2,4,8,16)")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		fig        = flag.String("fig", "all", "figure to reproduce: 4a..4f or 'all'")
+		interval   = flag.Duration("interval", 400*time.Millisecond, "measurement interval length (paper: 10s)")
+		clients    = flag.Int("clients", 8, "client nodes (paper: up to 20)")
+		threads    = flag.Int("threads", 2, "concurrent transactions per client")
+		servers    = flag.Int("servers", 10, "quorum nodes (paper: 10)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		repeat     = flag.Int("repeat", 1, "repetitions to average (paper: 4)")
+		modesArg   = flag.String("modes", "all", "systems to run: all, dtm, cn, acn, cp (comma-separated; 'all' = the paper's three)")
+		ablation   = flag.Bool("ablation", false, "run the ACN step-ablation study instead of the system comparison")
+		sweep      = flag.String("sweep", "", "comma-separated client counts for a scalability sweep (e.g. 2,4,8,16)")
+		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of tables")
+		noPrefetch = flag.Bool("no-prefetch", false, "disable the batched first-access read prefetch (A/B the RPC pipeline)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		ThreadsPerClient: *threads,
 		Servers:          *servers,
 		Seed:             *seed,
+		DisablePrefetch:  *noPrefetch,
 	}
 
 	modes, err := parseModes(*modesArg)

@@ -34,16 +34,17 @@ import (
 
 func main() {
 	var (
-		nodesArg  = flag.String("nodes", "", "comma-separated node addresses, tree order (node 0 first)")
-		wlArg     = flag.String("workload", "bank", "workload: bank, tpcc, vacation")
-		modeArg   = flag.String("mode", "acn", "system: dtm, cn, acn")
-		threads   = flag.Int("threads", 4, "concurrent transactions")
-		intervals = flag.Int("intervals", 6, "measurement intervals")
-		interval  = flag.Duration("interval", 2*time.Second, "interval length")
-		seed      = flag.Int64("seed", 1, "random seed")
-		clientID  = flag.Int("client", 1, "client identity (spreads quorum selection)")
-		seedData  = flag.Bool("seed-data", false, "install the workload's initial objects before running")
-		compress  = flag.Bool("compress", false, "flate-compress large frames")
+		nodesArg   = flag.String("nodes", "", "comma-separated node addresses, tree order (node 0 first)")
+		wlArg      = flag.String("workload", "bank", "workload: bank, tpcc, vacation")
+		modeArg    = flag.String("mode", "acn", "system: dtm, cn, acn")
+		threads    = flag.Int("threads", 4, "concurrent transactions")
+		intervals  = flag.Int("intervals", 6, "measurement intervals")
+		interval   = flag.Duration("interval", 2*time.Second, "interval length")
+		seed       = flag.Int64("seed", 1, "random seed")
+		clientID   = flag.Int("client", 1, "client identity (spreads quorum selection)")
+		seedData   = flag.Bool("seed-data", false, "install the workload's initial objects before running")
+		compress   = flag.Bool("compress", false, "flate-compress large frames")
+		noPrefetch = flag.Bool("no-prefetch", false, "disable the batched first-access read prefetch")
 	)
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 		ClientSeed: *clientID,
 		Seed:       *seed,
 	})
+	client.SetRetryCounter(&rt.Metrics().TransportRetries)
 	ctx := context.Background()
 
 	if *seedData {
@@ -93,6 +95,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	for _, exec := range execs {
+		exec.SetPrefetch(!*noPrefetch)
 	}
 
 	meter := metrics.NewThroughputMeter(*intervals)
@@ -129,6 +134,8 @@ func main() {
 	m := rt.Metrics().Snapshot()
 	fmt.Printf("total commits=%d full-aborts=%d partial-aborts=%d\n",
 		m.Commits, m.ParentAborts, m.SubAborts)
+	fmt.Printf("reads: rounds=%d batched=%d prefetched-objects=%d transport-retries=%d\n",
+		m.RemoteReads, m.BatchReads, m.PrefetchedObjects, m.TransportRetries)
 }
 
 func buildExecutors(rt *dtm.Runtime, w workload.Workload, mode string) ([]*acn.Executor, []*acn.Controller, error) {

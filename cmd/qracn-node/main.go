@@ -2,6 +2,12 @@
 // multi-process (or multi-machine) deployments of the DTM. Clients connect
 // with cmd/qracn-client or a TCPClient built from the library.
 //
+// The server speaks the batched RPC pipeline: KindBatch requests fan their
+// sub-requests out to concurrent goroutines, each request runs under a
+// context that a client cancel frame (or a dropped connection) cancels,
+// and both stream directions use persistent gob codecs with coalesced
+// writes.
+//
 // Usage:
 //
 //	qracn-node -id 0 -listen :7450

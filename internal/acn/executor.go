@@ -16,12 +16,34 @@ import (
 // closed-nested transaction per Block. The sequence can be swapped at any
 // time by the Algorithm module; in-flight transactions finish on the
 // sequence they started with.
+//
+// Before running a Block's body the executor prefetches the Block's
+// statically-known remote access set — the anchor objects the UnitGraph
+// proves the Block will touch and whose identities are already computable at
+// Block entry — in one batched quorum round (Tx.Prefetch), collapsing k
+// serial first-access round-trips into one.
 type Executor struct {
-	rt       *dtm.Runtime
-	an       *unitgraph.Analysis
-	comp     atomic.Pointer[Composition]
-	samplers []*contention.Sampler
+	rt          *dtm.Runtime
+	an          *unitgraph.Analysis
+	comp        atomic.Pointer[compiled]
+	noPrefetch  atomic.Bool
+	samplers    []*contention.Sampler
+	varDefsNote varDefs
 }
+
+// compiled pairs a composition with its prefetch plan so a sequence swap
+// replaces both atomically.
+type compiled struct {
+	comp *Composition
+	// prefetch[b] lists the anchor statement indices of Block b whose object
+	// references are resolvable at Block entry (every RefVar defined by an
+	// earlier Block).
+	prefetch [][]int
+}
+
+// varDefs maps each variable to the statement indices that define it, in
+// program order. Computed once per executor (the program never changes).
+type varDefs map[txir.Var][]int
 
 // SamplerCapacity bounds how many distinct recent object IDs are remembered
 // per UnitBlock for contention estimation.
@@ -30,12 +52,72 @@ const SamplerCapacity = 32
 // NewExecutor creates an executor with the given initial composition.
 func NewExecutor(rt *dtm.Runtime, an *unitgraph.Analysis, initial *Composition) *Executor {
 	e := &Executor{rt: rt, an: an}
-	e.comp.Store(initial)
+	e.varDefsNote = collectVarDefs(an)
+	e.comp.Store(e.compile(initial))
 	e.samplers = make([]*contention.Sampler, an.NumAnchors)
 	for i := range e.samplers {
 		e.samplers[i] = contention.NewSampler(SamplerCapacity)
 	}
 	return e
+}
+
+func collectVarDefs(an *unitgraph.Analysis) varDefs {
+	defs := make(varDefs)
+	for idx := range an.Stmts {
+		for _, v := range an.Stmts[idx].Stmt.DefsVars() {
+			defs[v] = append(defs[v], idx)
+		}
+	}
+	return defs
+}
+
+// compile derives the prefetch plan for a composition: for every Block, the
+// anchor statements whose Ref can be evaluated before the Block body runs.
+// An anchor is prefetchable when every variable its Ref consults took its
+// latest pre-anchor definition in an earlier Block — then the value sitting
+// in the Env at Block entry is exactly the value the Ref would see at
+// statement time. Anchors whose Ref depends only on invocation parameters
+// (no RefVars) are always prefetchable.
+func (e *Executor) compile(c *Composition) *compiled {
+	blockOf := make(map[int]int, len(e.an.Stmts))
+	for bi := range c.Blocks {
+		for _, si := range c.Blocks[bi].StmtIdx {
+			blockOf[si] = bi
+		}
+	}
+	plan := make([][]int, len(c.Blocks))
+	for bi := range c.Blocks {
+		for _, si := range c.Blocks[bi].StmtIdx {
+			info := &e.an.Stmts[si]
+			if !info.IsAnchor {
+				continue
+			}
+			if e.resolvableAtEntry(info.Stmt, si, bi, blockOf) {
+				plan[bi] = append(plan[bi], si)
+			}
+		}
+	}
+	return &compiled{comp: c, prefetch: plan}
+}
+
+// resolvableAtEntry reports whether the statement's Ref sees the same
+// variable values at Block entry as at statement time.
+func (e *Executor) resolvableAtEntry(s *txir.Stmt, si, bi int, blockOf map[int]int) bool {
+	for _, v := range s.RefVars {
+		latest := -1
+		for _, d := range e.varDefsNote[v] {
+			if d < si {
+				latest = d
+			}
+		}
+		if latest < 0 {
+			return false // defined nowhere earlier: Ref would see a zero value
+		}
+		if blockOf[latest] >= bi {
+			return false // defined inside this Block (or later): not yet run
+		}
+	}
+	return true
 }
 
 // Analysis exposes the dependency model the executor runs over.
@@ -45,11 +127,15 @@ func (e *Executor) Analysis() *unitgraph.Analysis { return e.an }
 func (e *Executor) Runtime() *dtm.Runtime { return e.rt }
 
 // Composition returns the current Block sequence.
-func (e *Executor) Composition() *Composition { return e.comp.Load() }
+func (e *Executor) Composition() *Composition { return e.comp.Load().comp }
 
 // SetComposition atomically swaps the Block sequence (Algorithm module
-// output → Executor input).
-func (e *Executor) SetComposition(c *Composition) { e.comp.Store(c) }
+// output → Executor input) and recompiles its prefetch plan.
+func (e *Executor) SetComposition(c *Composition) { e.comp.Store(e.compile(c)) }
+
+// SetPrefetch enables or disables the batched read prefetch (enabled by
+// default; the toggle exists for A/B benchmarks).
+func (e *Executor) SetPrefetch(enabled bool) { e.noPrefetch.Store(!enabled) }
 
 // AnchorSample returns the recent accesses of UnitBlock id, duplicates
 // included, so contention estimates weight objects by access frequency.
@@ -78,13 +164,19 @@ func (e *Executor) Execute(ctx context.Context, params map[string]any) error {
 	comp := e.comp.Load()
 	return e.rt.Atomic(ctx, func(tx *dtm.Tx) error {
 		env := txir.NewEnv(params)
-		if len(comp.Blocks) == 1 {
+		if len(comp.comp.Blocks) == 1 {
 			// A single block is flat nesting: no sub-transaction needed.
-			return e.runStmts(tx, env, comp.Blocks[0].StmtIdx)
+			if err := e.prefetchBlock(tx, env, comp, 0); err != nil {
+				return err
+			}
+			return e.runStmts(tx, env, comp.comp.Blocks[0].StmtIdx)
 		}
-		for i := range comp.Blocks {
-			blk := &comp.Blocks[i]
+		for i := range comp.comp.Blocks {
+			blk := &comp.comp.Blocks[i]
 			if err := tx.Sub(func(sub *dtm.Tx) error {
+				if err := e.prefetchBlock(sub, env, comp, i); err != nil {
+					return err
+				}
 				return e.runStmts(sub, env, blk.StmtIdx)
 			}); err != nil {
 				return err
@@ -92,6 +184,20 @@ func (e *Executor) Execute(ctx context.Context, params map[string]any) error {
 		}
 		return nil
 	})
+}
+
+// prefetchBlock fires one batched quorum round for the Block's resolvable
+// remote access set. Single-object sets are skipped: one plain read costs
+// the same round-trip without the batch envelope.
+func (e *Executor) prefetchBlock(tx *dtm.Tx, env *txir.Env, comp *compiled, bi int) error {
+	if e.noPrefetch.Load() || len(comp.prefetch[bi]) < 2 {
+		return nil
+	}
+	ids := make([]store.ObjectID, 0, len(comp.prefetch[bi]))
+	for _, si := range comp.prefetch[bi] {
+		ids = append(ids, e.an.Stmts[si].Stmt.Ref(env))
+	}
+	return tx.Prefetch(ids...)
 }
 
 func (e *Executor) runStmts(tx *dtm.Tx, env *txir.Env, stmtIdx []int) error {

@@ -247,7 +247,15 @@ func TestExecutorConcurrentWithSwap(t *testing.T) {
 
 func TestControllerAdaptsToHotBranches(t *testing.T) {
 	an := analyze(t)
-	c := cluster.New(cluster.Config{Servers: 10, StatsWindow: 50 * time.Millisecond})
+	// Drive the contention meters with a manual clock so window rotation is
+	// deterministic: real sleeps race the window boundary under -race, and a
+	// meter that sees two silent windows discards the hot counts.
+	const window = 50 * time.Millisecond
+	var clkMu sync.Mutex
+	clk := time.Unix(0, 0)
+	now := func() time.Time { clkMu.Lock(); defer clkMu.Unlock(); return clk }
+	advance := func(d time.Duration) { clkMu.Lock(); clk = clk.Add(d); clkMu.Unlock() }
+	c := cluster.New(cluster.Config{Servers: 10, StatsWindow: window, Now: now})
 	defer c.Close()
 	seedBank(c, 2, 100, 100000)
 	ctx := context.Background()
@@ -263,12 +271,13 @@ func TestControllerAdaptsToHotBranches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(60 * time.Millisecond) // let the stats window rotate
+	advance(window) // let the stats window rotate
 	for i := 0; i < 20; i++ {
 		if err := exec.Execute(ctx, transferParams(0, 1, i%100, (i+37)%100, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
+	advance(window) // complete the window holding the second batch
 
 	if err := ctrl.RefreshOnce(ctx); err != nil {
 		t.Fatal(err)

@@ -35,8 +35,9 @@ type TCPCluster struct {
 	Tree  *quorum.Tree
 	Nodes []*server.Node
 
-	servers []*transport.TCPServer
-	addrs   map[quorum.NodeID]string
+	servers  []*transport.TCPServer
+	addrs    map[quorum.NodeID]string
+	compress bool
 
 	mu      sync.Mutex
 	clients []*transport.TCPClient
@@ -51,8 +52,9 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		cfg.Degree = 3
 	}
 	c := &TCPCluster{
-		Tree:  quorum.NewTree(cfg.Servers, cfg.Degree),
-		addrs: make(map[quorum.NodeID]string),
+		Tree:     quorum.NewTree(cfg.Servers, cfg.Degree),
+		addrs:    make(map[quorum.NodeID]string),
+		compress: cfg.Compress,
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		n := server.NewNode(quorum.NodeID(i), server.Config{StatsWindow: cfg.StatsWindow, Now: cfg.Now})
@@ -96,14 +98,16 @@ func (c *TCPCluster) Seed(objs map[store.ObjectID]store.Value) {
 // Runtime creates a client runtime connected over TCP. The cluster owns the
 // connection and closes it on Close. Safe for concurrent use.
 func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
-	client := transport.NewTCPClient(c.Addrs(), false)
+	client := transport.NewTCPClient(c.Addrs(), c.compress)
 	c.mu.Lock()
 	c.clients = append(c.clients, client)
 	c.mu.Unlock()
 	cfg.Tree = c.Tree
 	cfg.Client = client
 	cfg.ClientSeed = clientSeed
-	return dtm.New(cfg)
+	rt := dtm.New(cfg)
+	client.SetRetryCounter(&rt.Metrics().TransportRetries)
+	return rt
 }
 
 // Close tears down all clients and servers.

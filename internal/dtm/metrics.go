@@ -16,6 +16,15 @@ type Metrics struct {
 	// CheckpointRollbacks counts partial rollbacks performed by the
 	// checkpointing executor (the QR-CP comparison system).
 	CheckpointRollbacks atomic.Uint64
+	// BatchReads counts batched quorum read rounds (Tx.Prefetch); each also
+	// counts once in RemoteReads.
+	BatchReads atomic.Uint64
+	// PrefetchedObjects counts objects whose first-access read was served by
+	// a batched prefetch round instead of its own quorum fan-out.
+	PrefetchedObjects atomic.Uint64
+	// TransportRetries counts transport-level reconnect attempts (TCP client
+	// re-dials after dead connections).
+	TransportRetries atomic.Uint64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -29,6 +38,9 @@ type Snapshot struct {
 	PrepareFails        uint64
 	ReadOnlyFasts       uint64
 	CheckpointRollbacks uint64
+	BatchReads          uint64
+	PrefetchedObjects   uint64
+	TransportRetries    uint64
 }
 
 // Snapshot copies the current counter values.
@@ -43,5 +55,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		PrepareFails:        m.PrepareFails.Load(),
 		ReadOnlyFasts:       m.ReadOnlyFasts.Load(),
 		CheckpointRollbacks: m.CheckpointRollbacks.Load(),
+		BatchReads:          m.BatchReads.Load(),
+		PrefetchedObjects:   m.PrefetchedObjects.Load(),
+		TransportRetries:    m.TransportRetries.Load(),
 	}
 }

@@ -1,0 +1,165 @@
+package dtm
+
+import (
+	"errors"
+
+	"qracn/internal/store"
+	"qracn/internal/trace"
+	"qracn/internal/wire"
+)
+
+// Prefetch performs the first-access quorum read for several objects in one
+// batched round: a single KindBatch request per quorum member carries one
+// KindRead sub-request per object, so k first accesses cost one round-trip
+// instead of k. Fetched objects are parked in the current context's read set
+// exactly as Tx.Read would record them; later Read/Write calls on those
+// objects are then served locally.
+//
+// Objects already in the chain's read or write sets are skipped. Objects
+// that are busy (protected by a committing transaction) or unreadable on
+// every quorum member are skipped too — the Block body's own Read will
+// retry them through the usual busy/backoff path. Incremental-validation
+// failures reported by any replica abort the transaction with the same
+// partial/full classification as a plain read.
+//
+// Prefetch always fetches full values (the lean read strategy does not apply
+// to batched rounds).
+func (tx *Tx) Prefetch(ids ...store.ObjectID) error {
+	need := make([]store.ObjectID, 0, len(ids))
+	seen := make(map[store.ObjectID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if _, ok := tx.lookupWrite(id); ok {
+			continue
+		}
+		if _, ok := tx.lookupRead(id); ok {
+			continue
+		}
+		need = append(need, id)
+	}
+	if len(need) == 0 {
+		return nil
+	}
+
+	rt := tx.rt
+	subs := make([]*wire.Request, len(need))
+	for i, id := range need {
+		rr := &wire.ReadRequest{Object: id}
+		if i == 0 {
+			// One sub-request per node carries the incremental-validation
+			// list; replica-side validation is per-store, so once is enough.
+			rr.Validate = tx.validationList()
+		}
+		subs[i] = &wire.Request{Kind: wire.KindRead, TxID: tx.id, Read: rr}
+	}
+	batch := &wire.Request{Kind: wire.KindBatch, TxID: tx.id, Batch: &wire.BatchRequest{Subs: subs}}
+
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
+		q, err := rt.cfg.Tree.ReadQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if err != nil {
+			return errors.Join(ErrQuorumUnreachable, err)
+		}
+		rt.metrics.RemoteReads.Add(1)
+		rt.metrics.BatchReads.Add(1)
+		rt.cfg.Tracer.Record(trace.KindRead, tx.id, "prefetch")
+
+		results := rt.fanout(tx.ctx, q, batch)
+		allReachable := true
+		for _, r := range results {
+			if r.err != nil {
+				allReachable = false
+				lastErr = r.err
+			}
+		}
+		if !allReachable {
+			if err := tx.ctx.Err(); err != nil {
+				return err
+			}
+			continue // re-select the quorum against the alive view
+		}
+
+		return tx.mergePrefetch(need, results)
+	}
+	return errors.Join(ErrQuorumUnreachable, lastErr)
+}
+
+// mergePrefetch folds the per-node batch responses into the read set.
+func (tx *Tx) mergePrefetch(need []store.ObjectID, results []callResult) error {
+	rt := tx.rt
+
+	// Union the incremental-validation reports across all replicas and subs.
+	var invalid []store.ObjectID
+	seenInv := make(map[store.ObjectID]bool)
+	for _, r := range results {
+		if r.resp.Status != wire.StatusOK || r.resp.Batch == nil {
+			continue
+		}
+		for _, sub := range r.resp.Batch.Subs {
+			if sub == nil || sub.Read == nil {
+				continue
+			}
+			for _, inv := range sub.Read.Invalid {
+				if !seenInv[inv] {
+					seenInv[inv] = true
+					invalid = append(invalid, inv)
+				}
+			}
+		}
+	}
+	if len(invalid) > 0 {
+		return tx.abortFor(invalid, false, "incremental validation on prefetch")
+	}
+
+	quorumOK := false
+	parked := 0
+	for i, id := range need {
+		var best *wire.ReadResponse
+		okCount := 0
+		for _, r := range results {
+			if r.resp.Status != wire.StatusOK || r.resp.Batch == nil || i >= len(r.resp.Batch.Subs) {
+				continue
+			}
+			sub := r.resp.Batch.Subs[i]
+			if sub == nil {
+				continue
+			}
+			switch sub.Status {
+			case wire.StatusOK:
+				okCount++
+				if sub.Read != nil && (best == nil || sub.Read.Version > best.Version) {
+					best = sub.Read
+				}
+			case wire.StatusNotFound:
+				okCount++ // absence is an answer: version 0
+			}
+		}
+		if okCount == 0 {
+			// Busy everywhere (a commit is in flight) or malformed replies:
+			// leave the object to the Block body's own Read, which owns the
+			// busy/backoff protocol.
+			continue
+		}
+		quorumOK = true
+		var val store.Value
+		var ver uint64
+		if best != nil {
+			val = best.Value
+			ver = best.Version
+		}
+		tx.reads[id] = ver
+		tx.readOrder = append(tx.readOrder, id)
+		tx.readVals[id] = val
+		parked++
+	}
+	if !quorumOK {
+		// Not a single object produced a usable quorum answer; nothing was
+		// parked and the caller's reads will retry individually.
+		return nil
+	}
+	rt.metrics.PrefetchedObjects.Add(uint64(parked))
+	return nil
+}

@@ -1,0 +1,222 @@
+package dtm_test
+
+import (
+	"context"
+	"testing"
+
+	"qracn/internal/dtm"
+	"qracn/internal/store"
+)
+
+func TestPrefetchOneRoundForManyReads(t *testing.T) {
+	c := newCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{
+		"a": store.Int64(1), "b": store.Int64(2), "c": store.Int64(3), "d": store.Int64(4),
+	})
+	rt := rtFor(c, 1)
+
+	before := rt.Metrics().Snapshot()
+	var got [4]int64
+	err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		if err := tx.Prefetch("a", "b", "c", "d"); err != nil {
+			return err
+		}
+		for i, id := range []store.ObjectID{"a", "b", "c", "d"} {
+			v, err := tx.Read(id)
+			if err != nil {
+				return err
+			}
+			got[i] = store.AsInt64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != [4]int64{1, 2, 3, 4} {
+		t.Fatalf("values = %v", got)
+	}
+	after := rt.Metrics().Snapshot()
+	if n := after.RemoteReads - before.RemoteReads; n != 1 {
+		t.Fatalf("RemoteReads = %d, want 1 (one batched round for 4 reads)", n)
+	}
+	if n := after.BatchReads - before.BatchReads; n != 1 {
+		t.Fatalf("BatchReads = %d, want 1", n)
+	}
+	if n := after.PrefetchedObjects - before.PrefetchedObjects; n != 4 {
+		t.Fatalf("PrefetchedObjects = %d, want 4", n)
+	}
+}
+
+func TestPrefetchSkipsKnownObjects(t *testing.T) {
+	c := newCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Int64(1), "b": store.Int64(2)})
+	rt := rtFor(c, 1)
+
+	err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		if _, err := tx.Read("a"); err != nil {
+			return err
+		}
+		if err := tx.Write("w", store.Int64(9)); err != nil {
+			return err
+		}
+		before := rt.Metrics().Snapshot()
+		// "a" is in the read set, "w" in the write set: only "b" needs
+		// fetching, and duplicates collapse.
+		if err := tx.Prefetch("a", "w", "b", "b"); err != nil {
+			return err
+		}
+		after := rt.Metrics().Snapshot()
+		if n := after.PrefetchedObjects - before.PrefetchedObjects; n != 1 {
+			t.Fatalf("PrefetchedObjects = %d, want 1", n)
+		}
+		// Everything known already: no round at all.
+		mid := rt.Metrics().Snapshot()
+		if err := tx.Prefetch("a", "b", "w"); err != nil {
+			return err
+		}
+		final := rt.Metrics().Snapshot()
+		if n := final.RemoteReads - mid.RemoteReads; n != 0 {
+			t.Fatalf("RemoteReads = %d for fully-cached prefetch, want 0", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchMissingObjectsParkAsAbsent(t *testing.T) {
+	c := newCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"present": store.Int64(5)})
+	rt := rtFor(c, 1)
+
+	err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		if err := tx.Prefetch("present", "absent"); err != nil {
+			return err
+		}
+		v, err := tx.Read("present")
+		if err != nil {
+			return err
+		}
+		if store.AsInt64(v) != 5 {
+			t.Fatalf("present = %v", v)
+		}
+		// The absent object parked at version 0 with a nil value; a create
+		// through the normal write path must still commit cleanly.
+		return tx.Write("absent", store.Int64(1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got int64
+	if err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		v, err := tx.Read("absent")
+		if err != nil {
+			return err
+		}
+		got = store.AsInt64(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("absent = %d after create, want 1", got)
+	}
+}
+
+func TestPrefetchedReadsCommitAndValidate(t *testing.T) {
+	// A transaction whose whole read set arrived via Prefetch must commit
+	// with correct versions, and a concurrent writer must invalidate it.
+	c := newCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"x": store.Int64(10), "y": store.Int64(20)})
+	rt := rtFor(c, 1)
+	ctx := context.Background()
+
+	// Plain prefetch-then-write commit.
+	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		if err := tx.Prefetch("x", "y"); err != nil {
+			return err
+		}
+		vx, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		vy, err := tx.Read("y")
+		if err != nil {
+			return err
+		}
+		return tx.Write("x", store.Int64(store.AsInt64(vx)+store.AsInt64(vy)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got int64
+	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		v, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		got = store.AsInt64(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("x = %d, want 30", got)
+	}
+
+	// Stale prefetched version: another client commits between the prefetch
+	// and this transaction's own commit; the retry must converge.
+	rt2 := rtFor(c, 2)
+	first := true
+	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		if err := tx.Prefetch("x", "y"); err != nil {
+			return err
+		}
+		if first {
+			first = false
+			if err := rt2.Atomic(ctx, func(tx2 *dtm.Tx) error {
+				return tx2.Write("y", store.Int64(99))
+			}); err != nil {
+				return err
+			}
+		}
+		vy, err := tx.Read("y")
+		if err != nil {
+			return err
+		}
+		return tx.Write("x", store.Int64(store.AsInt64(vy)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		v, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		got = store.AsInt64(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("x = %d after concurrent write, want 99", got)
+	}
+}
+
+func TestPrefetchRespectsCancelledContext(t *testing.T) {
+	c := newCluster(t, 10)
+	c.Seed(map[store.ObjectID]store.Value{"a": store.Int64(1), "b": store.Int64(2)})
+	rt := rtFor(c, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		return tx.Prefetch("a", "b")
+	})
+	if err == nil {
+		t.Fatal("prefetch under a cancelled context succeeded")
+	}
+}

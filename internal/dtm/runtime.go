@@ -242,9 +242,12 @@ func (rt *Runtime) fanoutEach(ctx context.Context, nodes []quorum.NodeID, makeRe
 	return out
 }
 
-// FetchStats asks one read-quorum node for the contention level of the given
+// FetchStats asks a read quorum for the contention level of the given
 // objects (the explicit form of the dynamic module's query; the piggybacked
-// form rides on reads).
+// form rides on reads) and merges per object by maximum. The merge matters:
+// a single member's meter only counts the write quorums it belonged to,
+// but a full read quorum intersects every write quorum — the same argument
+// that makes max-version quorum reads see the latest commit.
 func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[store.ObjectID]float64, error) {
 	if len(ids) == 0 {
 		return map[store.ObjectID]float64{}, nil
@@ -255,14 +258,21 @@ func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[st
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrQuorumUnreachable, err)
 		}
-		// Stats are approximate; any single quorum node's view will do.
-		for _, n := range q {
-			cctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
-			resp, err := rt.cfg.Client.Call(cctx, n, req)
-			cancel()
-			if err == nil && resp.Status == wire.StatusOK && resp.Stats != nil {
-				return resp.Stats.Levels, nil
+		levels := make(map[store.ObjectID]float64, len(ids))
+		answered := 0
+		for _, r := range rt.fanout(ctx, q, req) {
+			if r.err != nil || r.resp.Status != wire.StatusOK || r.resp.Stats == nil {
+				continue
 			}
+			answered++
+			for id, lv := range r.resp.Stats.Levels {
+				if lv > levels[id] {
+					levels[id] = lv
+				}
+			}
+		}
+		if answered == len(q) {
+			return levels, nil
 		}
 	}
 	return nil, ErrQuorumUnreachable

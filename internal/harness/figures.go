@@ -17,6 +17,7 @@ type Scale struct {
 	ThreadsPerClient int
 	Servers          int
 	Seed             int64
+	DisablePrefetch  bool
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -36,6 +37,7 @@ func (s Scale) apply(o Options) Options {
 	o.ThreadsPerClient = s.ThreadsPerClient
 	o.Servers = s.Servers
 	o.Seed = s.Seed
+	o.DisablePrefetch = s.DisablePrefetch
 	return o
 }
 

@@ -100,6 +100,10 @@ type Options struct {
 	// ProtectTTL enables lease expiry of commit protections, letting the
 	// cluster self-heal from clients caught mid-commit by a fault (0: off).
 	ProtectTTL time.Duration
+	// DisablePrefetch turns off the executors' batched first-access read
+	// prefetch (one quorum round per Block's statically-known access set),
+	// for A/B comparisons of the RPC pipeline.
+	DisablePrefetch bool
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -291,6 +295,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 				comp = acn.Static(analyses[pi])
 			}
 			exec := acn.NewExecutor(cs.rt, analyses[pi], comp)
+			exec.SetPrefetch(!opts.DisablePrefetch)
 			cs.execs = append(cs.execs, exec)
 			if mode == ModeQRACN {
 				cs.hub.Register(exec, opts.Algo)

@@ -55,8 +55,12 @@ func (n *Node) Store() *store.Store { return n.store }
 // Meter exposes the contention meter (tests only).
 func (n *Node) Meter() *contention.Meter { return n.meter }
 
-// Handle implements transport.Handler.
-func (n *Node) Handle(req *wire.Request) *wire.Response {
+// Handle implements transport.Handler. Batch requests fan their
+// sub-requests out to concurrent goroutines; everything else dispatches
+// inline. The context carries the caller's deadline/cancellation (the
+// transport cancels it when the client gives up), which batch dispatch
+// honours between and during sub-requests.
+func (n *Node) Handle(ctx context.Context, req *wire.Request) *wire.Response {
 	switch req.Kind {
 	case wire.KindRead:
 		return n.handleRead(req)
@@ -68,6 +72,8 @@ func (n *Node) Handle(req *wire.Request) *wire.Response {
 		return n.handleStats(req)
 	case wire.KindSync:
 		return n.handleSync(req)
+	case wire.KindBatch:
+		return transport.HandleBatch(ctx, n.Handle, req)
 	case wire.KindPing:
 		return &wire.Response{Status: wire.StatusOK}
 	default:

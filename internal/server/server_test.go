@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,7 +19,7 @@ func newTestNode() *Node {
 }
 
 func read(n *Node, tx string, obj store.ObjectID, validate []store.ReadDesc) *wire.Response {
-	return n.Handle(&wire.Request{
+	return n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindRead,
 		TxID: tx,
 		Read: &wire.ReadRequest{Object: obj, Validate: validate},
@@ -62,7 +63,7 @@ func TestHandleReadStatsPiggyback(t *testing.T) {
 	n := newTestNode()
 	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
 		[]store.WriteDesc{{ID: "a", Value: store.Int64(5), NewVersion: 2}})
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindRead,
 		TxID: "t1",
 		Read: &wire.ReadRequest{Object: "b", StatsFor: []store.ObjectID{"a", "b"}},
@@ -78,7 +79,7 @@ func TestHandleReadStatsPiggyback(t *testing.T) {
 // commit drives a full successful 2PC against a single node.
 func commit(t *testing.T, n *Node, tx string, reads []store.ReadDesc, writes []store.WriteDesc) {
 	t.Helper()
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind:    wire.KindPrepare,
 		TxID:    tx,
 		Prepare: &wire.PrepareRequest{Reads: reads, Writes: writes},
@@ -90,7 +91,7 @@ func commit(t *testing.T, n *Node, tx string, reads []store.ReadDesc, writes []s
 	for _, r := range reads {
 		release = append(release, r.ID)
 	}
-	resp = n.Handle(&wire.Request{
+	resp = n.Handle(context.Background(), &wire.Request{
 		Kind:     wire.KindDecision,
 		TxID:     tx,
 		Decision: &wire.DecisionRequest{Commit: true, Writes: writes, Release: release},
@@ -105,7 +106,7 @@ func TestPrepareDetectsStaleRead(t *testing.T) {
 	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
 		[]store.WriteDesc{{ID: "a", Value: store.Int64(7), NewVersion: 2}})
 
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindPrepare,
 		TxID: "t2",
 		Prepare: &wire.PrepareRequest{
@@ -127,7 +128,7 @@ func TestPrepareDetectsStaleRead(t *testing.T) {
 
 func TestPrepareBusyConflict(t *testing.T) {
 	n := newTestNode()
-	p1 := n.Handle(&wire.Request{
+	p1 := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindPrepare,
 		TxID: "t1",
 		Prepare: &wire.PrepareRequest{
@@ -138,7 +139,7 @@ func TestPrepareBusyConflict(t *testing.T) {
 	if !p1.Prepare.Vote {
 		t.Fatalf("first prepare rejected: %+v", p1)
 	}
-	p2 := n.Handle(&wire.Request{
+	p2 := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindPrepare,
 		TxID: "t2",
 		Prepare: &wire.PrepareRequest{
@@ -154,12 +155,12 @@ func TestPrepareBusyConflict(t *testing.T) {
 	}
 
 	// Abort t1; t2 can then prepare.
-	n.Handle(&wire.Request{
+	n.Handle(context.Background(), &wire.Request{
 		Kind:     wire.KindDecision,
 		TxID:     "t1",
 		Decision: &wire.DecisionRequest{Commit: false, Release: []store.ObjectID{"a"}},
 	})
-	p3 := n.Handle(&wire.Request{
+	p3 := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindPrepare,
 		TxID: "t2",
 		Prepare: &wire.PrepareRequest{
@@ -174,7 +175,7 @@ func TestPrepareBusyConflict(t *testing.T) {
 
 func TestReadOnlyPrepareDoesNotProtect(t *testing.T) {
 	n := newTestNode()
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind:    wire.KindPrepare,
 		TxID:    "ro",
 		Prepare: &wire.PrepareRequest{Reads: []store.ReadDesc{{ID: "a", Version: 1}}},
@@ -191,7 +192,7 @@ func TestReadOnlyPrepareDetectsStale(t *testing.T) {
 	n := newTestNode()
 	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
 		[]store.WriteDesc{{ID: "a", Value: store.Int64(3), NewVersion: 2}})
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind:    wire.KindPrepare,
 		TxID:    "ro",
 		Prepare: &wire.PrepareRequest{Reads: []store.ReadDesc{{ID: "a", Version: 1}}},
@@ -218,7 +219,7 @@ func TestDecisionRecordsContention(t *testing.T) {
 		commit(t, n, "t", []store.ReadDesc{{ID: "a", Version: uint64(i + 1)}},
 			[]store.WriteDesc{{ID: "a", Value: store.Int64(int64(i)), NewVersion: uint64(i + 2)}})
 	}
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind:  wire.KindStats,
 		Stats: &wire.StatsRequest{Objects: []store.ObjectID{"a", "b"}},
 	})
@@ -232,7 +233,7 @@ func TestDecisionRecordsContention(t *testing.T) {
 
 func TestAbortReleasesEverything(t *testing.T) {
 	n := newTestNode()
-	p := n.Handle(&wire.Request{
+	p := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindPrepare,
 		TxID: "t1",
 		Prepare: &wire.PrepareRequest{
@@ -249,7 +250,7 @@ func TestAbortReleasesEverything(t *testing.T) {
 	if r := read(n, "t2", "b", nil); r.Status != wire.StatusBusy {
 		t.Fatalf("read of protected read-set object = %v, want busy", r.Status)
 	}
-	n.Handle(&wire.Request{
+	n.Handle(context.Background(), &wire.Request{
 		Kind:     wire.KindDecision,
 		TxID:     "t1",
 		Decision: &wire.DecisionRequest{Commit: false, Release: []store.ObjectID{"a", "b"}},
@@ -272,11 +273,11 @@ func TestMalformedRequests(t *testing.T) {
 		{Kind: wire.KindSync},
 		{Kind: wire.Kind(99)},
 	} {
-		if resp := n.Handle(req); resp.Status != wire.StatusError {
+		if resp := n.Handle(context.Background(), req); resp.Status != wire.StatusError {
 			t.Fatalf("req %+v: status = %v, want error", req, resp.Status)
 		}
 	}
-	if resp := n.Handle(&wire.Request{Kind: wire.KindPing}); resp.Status != wire.StatusOK {
+	if resp := n.Handle(context.Background(), &wire.Request{Kind: wire.KindPing}); resp.Status != wire.StatusOK {
 		t.Fatalf("ping = %v", resp.Status)
 	}
 }
@@ -285,7 +286,7 @@ func TestSyncHandlerReturnsNewer(t *testing.T) {
 	n := newTestNode()
 	commit(t, n, "w1", []store.ReadDesc{{ID: "a", Version: 1}},
 		[]store.WriteDesc{{ID: "a", Value: store.Int64(9), NewVersion: 2}})
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindSync,
 		Sync: &wire.SyncRequest{Known: []store.ReadDesc{
 			{ID: "a", Version: 1}, // stale
@@ -308,7 +309,7 @@ func TestSyncSkipsProtectedObjects(t *testing.T) {
 	if err := n.Store().Protect("a", "tx-in-flight", false); err != nil {
 		t.Fatal(err)
 	}
-	resp := n.Handle(&wire.Request{
+	resp := n.Handle(context.Background(), &wire.Request{
 		Kind: wire.KindSync,
 		Sync: &wire.SyncRequest{Known: nil},
 	})
@@ -316,5 +317,40 @@ func TestSyncSkipsProtectedObjects(t *testing.T) {
 		if w.ID == "a" {
 			t.Fatal("sync shipped a protected (mid-commit) object")
 		}
+	}
+}
+
+func TestHandleBatchReads(t *testing.T) {
+	n := newTestNode()
+	resp := n.Handle(context.Background(), &wire.Request{
+		Kind: wire.KindBatch,
+		TxID: "t1",
+		Batch: &wire.BatchRequest{Subs: []*wire.Request{
+			{Kind: wire.KindRead, TxID: "t1", Read: &wire.ReadRequest{Object: "a"}},
+			{Kind: wire.KindRead, TxID: "t1", Read: &wire.ReadRequest{Object: "b"}},
+			{Kind: wire.KindRead, TxID: "t1", Read: &wire.ReadRequest{Object: "zzz"}},
+		}},
+	})
+	if resp.Status != wire.StatusOK || resp.Batch == nil || len(resp.Batch.Subs) != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if store.AsInt64(resp.Batch.Subs[0].Read.Value) != 1 || store.AsInt64(resp.Batch.Subs[1].Read.Value) != 2 {
+		t.Fatalf("batch values = %+v %+v", resp.Batch.Subs[0].Read, resp.Batch.Subs[1].Read)
+	}
+	if resp.Batch.Subs[2].Status != wire.StatusNotFound {
+		t.Fatalf("missing object status = %v", resp.Batch.Subs[2].Status)
+	}
+}
+
+func TestHandleBatchRejectsNesting(t *testing.T) {
+	n := newTestNode()
+	resp := n.Handle(context.Background(), &wire.Request{
+		Kind: wire.KindBatch,
+		Batch: &wire.BatchRequest{Subs: []*wire.Request{
+			{Kind: wire.KindBatch, Batch: &wire.BatchRequest{}},
+		}},
+	})
+	if resp.Status != wire.StatusOK || resp.Batch.Subs[0].Status != wire.StatusError {
+		t.Fatalf("nested batch = %+v", resp)
 	}
 }

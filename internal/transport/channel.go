@@ -125,7 +125,10 @@ func (n *ChannelNetwork) Call(ctx context.Context, to quorum.NodeID, req *wire.R
 	if err := n.hop(ctx); err != nil {
 		return nil, err
 	}
-	resp := h(req.Clone())
+	// The caller's context crosses the "network" directly: handlers observe
+	// the client's deadline and cancellation, as the TCP transport's cancel
+	// frames arrange for real deployments.
+	resp := h(ctx, req.Clone())
 
 	// The node may have gone down while "processing"; model the lost reply.
 	n.mu.RLock()

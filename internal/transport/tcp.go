@@ -1,18 +1,63 @@
 package transport
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qracn/internal/quorum"
 	"qracn/internal/wire"
 )
 
+// Both directions of a TCP connection run the wire stream codec: one
+// persistent gob encoder/decoder per stream (type metadata paid once per
+// connection instead of per message) behind a single writer goroutine that
+// coalesces queued envelopes into one buffered write + flush, so pipelined
+// requests share syscalls.
+
+// outBufSize is the buffered-writer size of the coalescing writer.
+const outBufSize = 32 << 10
+
+// outQueueLen is the outbound envelope queue depth per connection.
+const outQueueLen = 128
+
+// writeLoop drains the outbound queue into the stream encoder. Envelopes
+// already queued when one finishes encoding are encoded into the same
+// buffered write before the flush. It exits when stop closes or a write
+// fails; the caller's deferred cleanup unblocks any remaining senders.
+func writeLoop(enc *wire.StreamEncoder, bw *bufio.Writer, out <-chan *wire.Envelope, stop <-chan struct{}) {
+	for {
+		var env *wire.Envelope
+		select {
+		case env = <-out:
+		case <-stop:
+			return
+		}
+		for env != nil {
+			if err := enc.Encode(env); err != nil {
+				return
+			}
+			select {
+			case env = <-out:
+			default:
+				env = nil
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
 // TCPServer serves a node's handler over a TCP listener using the wire
-// envelope protocol. Each connection multiplexes concurrent requests by
-// sequence number.
+// stream codec. Each connection multiplexes concurrent requests by sequence
+// number; every request runs under a context cancelled when the client sends
+// a cancel frame or the connection goes away.
 type TCPServer struct {
 	handler  Handler
 	compress bool
@@ -72,32 +117,77 @@ func (s *TCPServer) acceptLoop(ln net.Listener) {
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+
+	// Per-connection context: every request context derives from it, so a
+	// dropped connection (or server shutdown closing the conn) cancels all
+	// in-flight handlers.
+	connCtx, connCancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	closeStop := func() { stopOnce.Do(func() { close(stop) }) }
+
+	out := make(chan *wire.Envelope, outQueueLen)
+	bw := bufio.NewWriterSize(conn, outBufSize)
+	enc := wire.NewStreamEncoder(bw, s.compress)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		defer closeStop()
+		writeLoop(enc, bw, out, stop)
+	}()
+
+	var handlerWG sync.WaitGroup
+	var inflightMu sync.Mutex
+	inflight := make(map[uint64]context.CancelFunc)
+
 	defer func() {
 		conn.Close()
+		connCancel()
+		handlerWG.Wait()
+		closeStop()
+		writerWG.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
-	var handlerWG sync.WaitGroup
-	defer handlerWG.Wait()
+
+	dec := wire.NewStreamDecoder(conn)
 	for {
-		env, err := wire.ReadEnvelope(conn)
+		env, err := dec.Decode()
 		if err != nil {
 			return
+		}
+		if env.Cancel {
+			inflightMu.Lock()
+			if cancel, ok := inflight[env.Seq]; ok {
+				cancel()
+			}
+			inflightMu.Unlock()
+			continue
 		}
 		if env.Req == nil {
 			continue // ignore malformed envelopes
 		}
+		reqCtx, cancel := context.WithCancel(connCtx)
+		inflightMu.Lock()
+		inflight[env.Seq] = cancel
+		inflightMu.Unlock()
 		handlerWG.Add(1)
-		go func(env *wire.Envelope) {
+		go func(env *wire.Envelope, reqCtx context.Context, cancel context.CancelFunc) {
 			defer handlerWG.Done()
-			resp := s.handler(env.Req)
-			out := &wire.Envelope{Seq: env.Seq, IsResponse: true, Resp: resp}
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = wire.WriteEnvelope(conn, out, s.compress)
-		}(env)
+			resp := s.handler(reqCtx, env.Req)
+			inflightMu.Lock()
+			delete(inflight, env.Seq)
+			inflightMu.Unlock()
+			cancel()
+			// A cancelled caller has stopped waiting; the response is still
+			// written (it is cheap) and dropped client-side by seq lookup.
+			select {
+			case out <- &wire.Envelope{Seq: env.Seq, IsResponse: true, Resp: resp}:
+			case <-stop:
+			}
+		}(env, reqCtx, cancel)
 	}
 }
 
@@ -116,11 +206,44 @@ func (s *TCPServer) Close() {
 	s.wg.Wait()
 }
 
+// RetryPolicy shapes the TCP client's reconnect behaviour: a call that hits
+// a dead connection re-dials and retries up to MaxRetries times with capped
+// exponential backoff instead of failing outright.
+type RetryPolicy struct {
+	// MaxRetries bounds reconnect attempts per call (0 keeps the default 3;
+	// negative disables retries).
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the exponential backoff between attempts
+	// (defaults 2ms / 200ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (p *RetryPolicy) fillDefaults() {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BackoffBase == 0 {
+		p.BackoffBase = 2 * time.Millisecond
+	}
+	if p.BackoffMax == 0 {
+		p.BackoffMax = 200 * time.Millisecond
+	}
+}
+
 // TCPClient maps node IDs to TCP addresses and maintains one multiplexed
-// connection per node, dialed lazily and re-dialed after failures.
+// connection per node, dialed lazily and re-dialed with backoff after
+// failures.
 type TCPClient struct {
 	addrs    map[quorum.NodeID]string
 	compress bool
+	retry    RetryPolicy
+
+	retries   atomic.Uint64
+	retrySink atomic.Pointer[atomic.Uint64]
 
 	mu     sync.Mutex
 	conns  map[quorum.NodeID]*tcpConn
@@ -128,13 +251,15 @@ type TCPClient struct {
 }
 
 type tcpConn struct {
-	conn    net.Conn
-	writeMu sync.Mutex
+	conn net.Conn
+	out  chan *wire.Envelope
+	stop chan struct{}
 
-	mu      sync.Mutex
-	nextSeq uint64
-	pending map[uint64]chan *wire.Response
-	dead    bool
+	mu       sync.Mutex
+	stopDone bool
+	nextSeq  uint64
+	pending  map[uint64]chan *wire.Response
+	dead     bool
 }
 
 // NewTCPClient creates a client for the given node address map.
@@ -143,7 +268,30 @@ func NewTCPClient(addrs map[quorum.NodeID]string, compress bool) *TCPClient {
 	for k, v := range addrs {
 		m[k] = v
 	}
-	return &TCPClient{addrs: m, compress: compress, conns: make(map[quorum.NodeID]*tcpConn)}
+	c := &TCPClient{addrs: m, compress: compress, conns: make(map[quorum.NodeID]*tcpConn)}
+	c.retry.fillDefaults()
+	return c
+}
+
+// SetRetryPolicy replaces the reconnect policy. Not safe to call
+// concurrently with Call.
+func (c *TCPClient) SetRetryPolicy(p RetryPolicy) {
+	p.fillDefaults()
+	c.retry = p
+}
+
+// Retries reports how many reconnect attempts the client has made.
+func (c *TCPClient) Retries() uint64 { return c.retries.Load() }
+
+// SetRetryCounter mirrors every reconnect attempt into an external counter
+// (e.g. a dtm.Metrics field), in addition to the internal one.
+func (c *TCPClient) SetRetryCounter(u *atomic.Uint64) { c.retrySink.Store(u) }
+
+func (c *TCPClient) countRetry() {
+	c.retries.Add(1)
+	if s := c.retrySink.Load(); s != nil {
+		s.Add(1)
+	}
 }
 
 func (c *TCPClient) getConn(to quorum.NodeID) (*tcpConn, error) {
@@ -163,8 +311,19 @@ func (c *TCPClient) getConn(to quorum.NodeID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeDown, addr, err)
 	}
-	tc := &tcpConn{conn: conn, pending: make(map[uint64]chan *wire.Response)}
+	tc := &tcpConn{
+		conn:    conn,
+		out:     make(chan *wire.Envelope, outQueueLen),
+		stop:    make(chan struct{}),
+		pending: make(map[uint64]chan *wire.Response),
+	}
 	c.conns[to] = tc
+	bw := bufio.NewWriterSize(conn, outBufSize)
+	enc := wire.NewStreamEncoder(bw, c.compress)
+	go func() {
+		defer tc.fail()
+		writeLoop(enc, bw, tc.out, tc.stop)
+	}()
 	go tc.readLoop()
 	return tc, nil
 }
@@ -176,8 +335,9 @@ func (tc *tcpConn) isDead() bool {
 }
 
 func (tc *tcpConn) readLoop() {
+	dec := wire.NewStreamDecoder(tc.conn)
 	for {
-		env, err := wire.ReadEnvelope(tc.conn)
+		env, err := dec.Decode()
 		if err != nil {
 			tc.fail()
 			return
@@ -197,11 +357,20 @@ func (tc *tcpConn) readLoop() {
 	}
 }
 
-// fail marks the connection dead and unblocks all waiters.
+// fail marks the connection dead, stops the writer, and unblocks all
+// waiters. Idempotent.
 func (tc *tcpConn) fail() {
 	tc.conn.Close()
 	tc.mu.Lock()
+	if tc.dead && tc.stopDone {
+		tc.mu.Unlock()
+		return
+	}
 	tc.dead = true
+	if !tc.stopDone {
+		tc.stopDone = true
+		close(tc.stop)
+	}
 	pending := tc.pending
 	tc.pending = make(map[uint64]chan *wire.Response)
 	tc.mu.Unlock()
@@ -210,13 +379,10 @@ func (tc *tcpConn) fail() {
 	}
 }
 
-// Call implements Client.
-func (c *TCPClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Request) (*wire.Response, error) {
-	tc, err := c.getConn(to)
-	if err != nil {
-		return nil, err
-	}
-
+// roundTrip sends one request on this connection and waits for its response.
+// It returns ErrNodeDown-wrapped errors when the connection died, which the
+// caller treats as retriable.
+func (tc *tcpConn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	ch := make(chan *wire.Response, 1)
 	tc.mu.Lock()
 	if tc.dead {
@@ -228,13 +394,20 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Reques
 	tc.pending[seq] = ch
 	tc.mu.Unlock()
 
-	env := &wire.Envelope{Seq: seq, Req: req}
-	tc.writeMu.Lock()
-	err = wire.WriteEnvelope(tc.conn, env, c.compress)
-	tc.writeMu.Unlock()
-	if err != nil {
-		tc.fail()
-		return nil, fmt.Errorf("%w: write: %v", ErrNodeDown, err)
+	drop := func() {
+		tc.mu.Lock()
+		delete(tc.pending, seq)
+		tc.mu.Unlock()
+	}
+
+	select {
+	case tc.out <- &wire.Envelope{Seq: seq, Req: req}:
+	case <-tc.stop:
+		drop()
+		return nil, ErrNodeDown
+	case <-ctx.Done():
+		drop()
+		return nil, ctx.Err()
 	}
 
 	select {
@@ -244,10 +417,62 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Reques
 		}
 		return resp, nil
 	case <-ctx.Done():
-		tc.mu.Lock()
-		delete(tc.pending, seq)
-		tc.mu.Unlock()
+		drop()
+		// Tell the server to cancel the in-flight request (best effort; a
+		// full queue or dead connection makes it moot).
+		select {
+		case tc.out <- &wire.Envelope{Seq: seq, Cancel: true}:
+		default:
+		}
 		return nil, ctx.Err()
+	}
+}
+
+// Call implements Client. A dead connection is re-dialed with capped
+// exponential backoff up to the retry policy's budget before the call fails.
+func (c *TCPClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Request) (*wire.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.countRetry()
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		tc, err := c.getConn(to)
+		if err != nil {
+			if errors.Is(err, ErrUnknownNode) || errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+		} else {
+			resp, err := tc.roundTrip(ctx, req)
+			if err == nil {
+				return resp, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+		}
+		if attempt >= c.retry.MaxRetries {
+			return nil, lastErr
+		}
+	}
+}
+
+func (c *TCPClient) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.retry.BackoffBase << uint(min(attempt-1, 16))
+	if d > c.retry.BackoffMax {
+		d = c.retry.BackoffMax
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

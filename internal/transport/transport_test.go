@@ -14,7 +14,7 @@ import (
 	"qracn/internal/wire"
 )
 
-func echoHandler(req *wire.Request) *wire.Response {
+func echoHandler(_ context.Context, req *wire.Request) *wire.Response {
 	return &wire.Response{Status: wire.StatusOK, Detail: req.TxID}
 }
 
@@ -92,7 +92,7 @@ func TestChannelIsolatesMessages(t *testing.T) {
 	// then mutates; neither side must observe the other's changes.
 	var serverHeld *wire.Response
 	n := NewChannelNetwork(ChannelConfig{})
-	n.Register(0, func(req *wire.Request) *wire.Response {
+	n.Register(0, func(_ context.Context, req *wire.Request) *wire.Response {
 		req.Read.Validate[0].Version = 999 // must not be visible to caller
 		resp := &wire.Response{
 			Status: wire.StatusOK,
@@ -121,7 +121,7 @@ func TestChannelIsolatesMessages(t *testing.T) {
 func TestChannelConcurrentCalls(t *testing.T) {
 	n := NewChannelNetwork(ChannelConfig{Latency: time.Millisecond, Jitter: time.Millisecond, Seed: 42})
 	var count atomic.Int64
-	n.Register(0, func(req *wire.Request) *wire.Response {
+	n.Register(0, func(_ context.Context, req *wire.Request) *wire.Response {
 		count.Add(1)
 		return &wire.Response{Status: wire.StatusOK}
 	})
@@ -156,7 +156,7 @@ func startTCPPair(t *testing.T, h Handler) (*TCPClient, func()) {
 }
 
 func TestTCPRoundTrip(t *testing.T) {
-	cli, stop := startTCPPair(t, func(req *wire.Request) *wire.Response {
+	cli, stop := startTCPPair(t, func(_ context.Context, req *wire.Request) *wire.Response {
 		return &wire.Response{
 			Status: wire.StatusOK,
 			Read:   &wire.ReadResponse{Value: store.Int64(11), Version: 3},
@@ -176,7 +176,7 @@ func TestTCPRoundTrip(t *testing.T) {
 }
 
 func TestTCPConcurrentMultiplexing(t *testing.T) {
-	cli, stop := startTCPPair(t, func(req *wire.Request) *wire.Response {
+	cli, stop := startTCPPair(t, func(_ context.Context, req *wire.Request) *wire.Response {
 		// Reply with the request's TxID so we can verify responses are
 		// matched to the right caller despite arbitrary interleaving.
 		time.Sleep(time.Millisecond)
@@ -222,7 +222,7 @@ func TestTCPDialFailure(t *testing.T) {
 
 func TestTCPServerShutdownUnblocksCallers(t *testing.T) {
 	block := make(chan struct{})
-	srv := NewTCPServer(func(req *wire.Request) *wire.Response {
+	srv := NewTCPServer(func(_ context.Context, req *wire.Request) *wire.Response {
 		<-block
 		return &wire.Response{Status: wire.StatusOK}
 	}, false)
@@ -292,7 +292,7 @@ func TestTCPMultiServerRouting(t *testing.T) {
 	var servers []*TCPServer
 	for i := 0; i < 3; i++ {
 		tag := fmt.Sprintf("node-%d", i)
-		srv := NewTCPServer(func(req *wire.Request) *wire.Response {
+		srv := NewTCPServer(func(_ context.Context, req *wire.Request) *wire.Response {
 			return &wire.Response{Status: wire.StatusOK, Detail: tag}
 		}, false)
 		addr, err := srv.Listen("127.0.0.1:0")
@@ -327,7 +327,7 @@ func TestTCPLargeCompressedPayload(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i % 251)
 	}
-	cli, stop := startTCPPair(t, func(req *wire.Request) *wire.Response {
+	cli, stop := startTCPPair(t, func(_ context.Context, req *wire.Request) *wire.Response {
 		return &wire.Response{
 			Status: wire.StatusOK,
 			Read:   &wire.ReadResponse{Value: big, Version: 1},

@@ -83,6 +83,12 @@ func (r *Request) Clone() *Request {
 	if r.Sync != nil {
 		out.Sync = &SyncRequest{Known: cloneReadDescs(r.Sync.Known)}
 	}
+	if r.Batch != nil {
+		out.Batch = &BatchRequest{Subs: make([]*Request, len(r.Batch.Subs))}
+		for i, sub := range r.Batch.Subs {
+			out.Batch.Subs[i] = sub.Clone()
+		}
+	}
 	return out
 }
 
@@ -114,6 +120,12 @@ func (r *Response) Clone() *Response {
 	}
 	if r.Sync != nil {
 		out.Sync = &SyncResponse{Objects: cloneWriteDescs(r.Sync.Objects)}
+	}
+	if r.Batch != nil {
+		out.Batch = &BatchResponse{Subs: make([]*Response, len(r.Batch.Subs))}
+		for i, sub := range r.Batch.Subs {
+			out.Batch.Subs[i] = sub.Clone()
+		}
 	}
 	return out
 }

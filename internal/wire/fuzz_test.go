@@ -42,6 +42,24 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte("not an envelope at all"))
 
+	// Batch envelopes, plain and compressed: many repetitive sub-requests
+	// push the compressed variant past CompressThreshold.
+	subs := make([]*Request, 40)
+	for i := range subs {
+		subs[i] = &Request{Kind: KindRead, TxID: "batch-sub", Read: &ReadRequest{Object: "warehouse/stock/item"}}
+	}
+	batch := &Envelope{Seq: 2, Req: &Request{Kind: KindBatch, Batch: &BatchRequest{Subs: subs}}}
+	var plainBatch, compBatch bytes.Buffer
+	_ = WriteEnvelope(&plainBatch, batch, false)
+	_ = WriteEnvelope(&compBatch, batch, true)
+	f.Add(plainBatch.Bytes())
+	f.Add(compBatch.Bytes())
+	f.Add(compBatch.Bytes()[:len(compBatch.Bytes())/2]) // truncated compressed batch
+
+	var cancelBuf bytes.Buffer
+	_ = WriteEnvelope(&cancelBuf, &Envelope{Seq: 3, Cancel: true}, false)
+	f.Add(cancelBuf.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := ReadEnvelope(bytes.NewReader(data))
 		if err != nil || env == nil {

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The stream codec keeps one gob encoder/decoder pair alive per connection.
+// gob transmits a type's wire definition the first time a value of that type
+// crosses an encoder; the one-shot WriteEnvelope/ReadEnvelope pair rebuilds
+// the codec per message and so re-sends (and re-parses) that metadata every
+// time. Over a persistent stream the metadata is paid once per connection,
+// which shrinks steady-state frames by roughly the size of the Envelope type
+// description and removes the per-message encoder/decoder setup.
+//
+// Framing stays below gob: every Encode emits exactly one length-prefixed,
+// optionally flate-compressed frame (the same layout WriteFrame produces),
+// and the decoder reassembles the byte stream from frames before handing it
+// to gob. Both directions of a connection must use the stream codec.
+
+// StreamEncoder writes envelopes to one stream with a persistent gob
+// encoder. It is not safe for concurrent use; callers serialize writes.
+type StreamEncoder struct {
+	w        io.Writer
+	enc      *gob.Encoder
+	buf      bytes.Buffer
+	compress bool
+}
+
+// NewStreamEncoder creates an encoder bound to w.
+func NewStreamEncoder(w io.Writer, compress bool) *StreamEncoder {
+	e := &StreamEncoder{w: w, compress: compress}
+	e.enc = gob.NewEncoder(&e.buf)
+	return e
+}
+
+// Encode writes one envelope as one frame.
+func (e *StreamEncoder) Encode(env *Envelope) error {
+	e.buf.Reset()
+	if err := e.enc.Encode(env); err != nil {
+		return fmt.Errorf("wire: stream encode: %w", err)
+	}
+	return WriteFrame(e.w, e.buf.Bytes(), e.compress)
+}
+
+// StreamDecoder reads envelopes written by a StreamEncoder. It is not safe
+// for concurrent use.
+type StreamDecoder struct {
+	fr  frameReader
+	dec *gob.Decoder
+}
+
+// NewStreamDecoder creates a decoder bound to r.
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	d := &StreamDecoder{fr: frameReader{r: r}}
+	d.dec = gob.NewDecoder(&d.fr)
+	return d
+}
+
+// Decode reads the next envelope.
+func (d *StreamDecoder) Decode() (*Envelope, error) {
+	var env Envelope
+	if err := d.dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// frameReader turns a sequence of frames back into the continuous byte
+// stream the gob decoder expects, decompressing frames transparently.
+type frameReader struct {
+	r       io.Reader
+	payload []byte
+	off     int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	for f.off >= len(f.payload) {
+		if err := f.next(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, f.payload[f.off:])
+	f.off += n
+	return n, nil
+}
+
+// next reads one frame into the reader's reusable payload buffer.
+func (f *frameReader) next() error {
+	var hdr [5]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	if cap(f.payload) < int(n) {
+		f.payload = make([]byte, n)
+	}
+	f.payload = f.payload[:n]
+	f.off = 0
+	if _, err := io.ReadFull(f.r, f.payload); err != nil {
+		return err
+	}
+	if hdr[4]&flagCompressed != 0 {
+		fr := flate.NewReader(bytes.NewReader(f.payload))
+		out, err := io.ReadAll(fr)
+		fr.Close()
+		if err != nil {
+			return fmt.Errorf("wire: decompress: %w", err)
+		}
+		f.payload = out
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 
 	"qracn/internal/store"
 )
@@ -59,6 +60,11 @@ const (
 	// partitioned away asks a peer for every object newer than its local
 	// version.
 	KindSync
+	// KindBatch carries N independent sub-requests in one frame; the server
+	// dispatches them concurrently and returns N sub-responses in matching
+	// order. One batched quorum round replaces N serial fan-outs — the wire
+	// half of the UnitGraph-driven read prefetch.
+	KindBatch
 )
 
 func (k Kind) String() string {
@@ -73,6 +79,8 @@ func (k Kind) String() string {
 		return "stats"
 	case KindSync:
 		return "sync"
+	case KindBatch:
+		return "batch"
 	default:
 		return "ping"
 	}
@@ -88,6 +96,18 @@ type Request struct {
 	Decision *DecisionRequest
 	Stats    *StatsRequest
 	Sync     *SyncRequest
+	Batch    *BatchRequest
+}
+
+// BatchRequest bundles independent sub-requests into one frame. Sub-requests
+// must not themselves be batches (no nesting).
+type BatchRequest struct {
+	Subs []*Request
+}
+
+// BatchResponse carries one sub-response per sub-request, in order.
+type BatchResponse struct {
+	Subs []*Response
 }
 
 // ReadRequest fetches one object and incrementally validates the caller's
@@ -146,6 +166,7 @@ type Response struct {
 	Prepare *PrepareResponse
 	Stats   *StatsResponse
 	Sync    *SyncResponse
+	Batch   *BatchResponse
 }
 
 // ReadResponse carries the object, the incremental-validation outcome, and
@@ -176,8 +197,13 @@ type StatsResponse struct {
 type Envelope struct {
 	Seq        uint64
 	IsResponse bool
-	Req        *Request
-	Resp       *Response
+	// Cancel asks the server to cancel the in-flight request with this
+	// sequence number (the client's context was cancelled). Carries no
+	// payload; the server cancels the request's context and still writes a
+	// response, which the client has already stopped waiting for.
+	Cancel bool
+	Req    *Request
+	Resp   *Response
 }
 
 func init() {
@@ -193,13 +219,42 @@ func init() {
 // transport.
 func RegisterValue(v store.Value) { gob.Register(v) }
 
+// bufPool recycles the scratch buffers of the codec hot path (marshal and
+// frame compression). Every message used to grow a fresh bytes.Buffer;
+// pooling removes that churn for the channel transport and the TCP path
+// alike.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// flateWriterPool recycles flate writers, which are far more expensive to
+// construct (window + huffman state) than to Reset.
+var flateWriterPool = sync.Pool{New: func() any {
+	fw, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return fw
+}}
+
+func getBuf() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putBuf(buf *bytes.Buffer) {
+	// Keep pathological buffers (a one-off huge value) out of the pool.
+	if buf.Cap() <= 1<<20 {
+		bufPool.Put(buf)
+	}
+}
+
 // Marshal gob-encodes v.
 func Marshal(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("wire: marshal: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // Unmarshal gob-decodes data into v.
@@ -229,27 +284,30 @@ const (
 // the compressed form is kept only if it is actually smaller).
 func WriteFrame(w io.Writer, payload []byte, compress bool) error {
 	flags := byte(0)
+	var scratch *bytes.Buffer
 	if compress && len(payload) > CompressThreshold {
-		var buf bytes.Buffer
-		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
-		if err != nil {
-			return fmt.Errorf("wire: flate: %w", err)
-		}
+		scratch = getBuf()
+		defer putBuf(scratch)
+		fw := flateWriterPool.Get().(*flate.Writer)
+		fw.Reset(scratch)
 		if _, err := fw.Write(payload); err != nil {
+			flateWriterPool.Put(fw)
 			return fmt.Errorf("wire: compress: %w", err)
 		}
 		if err := fw.Close(); err != nil {
+			flateWriterPool.Put(fw)
 			return fmt.Errorf("wire: compress: %w", err)
 		}
-		if buf.Len() < len(payload) {
-			payload = buf.Bytes()
+		flateWriterPool.Put(fw)
+		if scratch.Len() < len(payload) {
+			payload = scratch.Bytes()
 			flags |= flagCompressed
 		}
 	}
-	hdr := make([]byte, 5)
-	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	hdr[4] = flags
-	if _, err := w.Write(hdr); err != nil {
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
@@ -283,13 +341,16 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// WriteEnvelope marshals and frames an envelope.
+// WriteEnvelope marshals and frames an envelope. The gob bytes live in a
+// pooled scratch buffer that is framed directly, so a one-shot envelope write
+// allocates nothing beyond what gob itself needs.
 func WriteEnvelope(w io.Writer, env *Envelope, compress bool) error {
-	data, err := Marshal(env)
-	if err != nil {
-		return err
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := gob.NewEncoder(buf).Encode(env); err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
 	}
-	return WriteFrame(w, data, compress)
+	return WriteFrame(w, buf.Bytes(), compress)
 }
 
 // ReadEnvelope reads and unmarshals one envelope.
