@@ -34,6 +34,7 @@ func main() {
 		sweep      = flag.String("sweep", "", "comma-separated client counts for a scalability sweep (e.g. 2,4,8,16)")
 		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of tables")
 		noPrefetch = flag.Bool("no-prefetch", false, "disable the batched first-access read prefetch (A/B the RPC pipeline)")
+		noRepair   = flag.Bool("no-repair", false, "disable asynchronous read-repair of stale quorum members (A/B fault recovery)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		Servers:          *servers,
 		Seed:             *seed,
 		DisablePrefetch:  *noPrefetch,
+		NoRepair:         *noRepair,
 	}
 
 	modes, err := parseModes(*modesArg)

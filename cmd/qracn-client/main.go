@@ -21,6 +21,7 @@ import (
 
 	"qracn/internal/acn"
 	"qracn/internal/dtm"
+	"qracn/internal/health"
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
@@ -45,6 +46,10 @@ func main() {
 		seedData   = flag.Bool("seed-data", false, "install the workload's initial objects before running")
 		compress   = flag.Bool("compress", false, "flate-compress large frames")
 		noPrefetch = flag.Bool("no-prefetch", false, "disable the batched first-access read prefetch")
+
+		suspectAfter  = flag.Int("suspect-after", 3, "rapid RPC failures before a node is suspected and excluded from quorums")
+		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "how often one trial request probes a suspected node")
+		noRepair      = flag.Bool("no-repair", false, "disable asynchronous read-repair of stale quorum members")
 	)
 	flag.Parse()
 
@@ -79,6 +84,11 @@ func main() {
 		Client:     client,
 		ClientSeed: *clientID,
 		Seed:       *seed,
+		Health: health.New(health.Config{
+			SuspectAfter:  *suspectAfter,
+			ProbeInterval: *probeInterval,
+		}),
+		NoRepair: *noRepair,
 	})
 	client.SetRetryCounter(&rt.Metrics().TransportRetries)
 	ctx := context.Background()
@@ -136,6 +146,8 @@ func main() {
 		m.Commits, m.ParentAborts, m.SubAborts)
 	fmt.Printf("reads: rounds=%d batched=%d prefetched-objects=%d transport-retries=%d\n",
 		m.RemoteReads, m.BatchReads, m.PrefetchedObjects, m.TransportRetries)
+	fmt.Printf("faults: failovers=%d suspicions=%d probes=%d readmissions=%d repairs=%d\n",
+		m.Failovers, m.Suspicions, m.Probes, m.Readmissions, m.Repairs)
 }
 
 func buildExecutors(rt *dtm.Runtime, w workload.Workload, mode string) ([]*acn.Executor, []*acn.Controller, error) {

@@ -81,11 +81,25 @@ func (c *Cluster) Seed(objs map[store.ObjectID]store.Value) {
 
 // Runtime creates a client runtime attached to this cluster. Fields of cfg
 // that identify the cluster (Tree, Client, Alive) are filled in; the rest
-// are taken as given.
+// are taken as given. The network's liveness oracle drives quorum selection
+// (composed with the runtime's own failure detector), keeping fault tests
+// deterministic.
 func (c *Cluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Tree = c.Tree
 	cfg.Client = c.Net
 	cfg.Alive = c.Net.Alive
+	cfg.ClientSeed = clientSeed
+	return dtm.New(cfg)
+}
+
+// DetectorRuntime creates a client runtime WITHOUT the network's liveness
+// oracle: node health is known only through the runtime's failure detector,
+// exactly as on a real transport where no oracle exists. Chaos tests use it
+// to exercise detector-driven failover end to end.
+func (c *Cluster) DetectorRuntime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
+	cfg.Tree = c.Tree
+	cfg.Client = c.Net
+	cfg.Alive = nil
 	cfg.ClientSeed = clientSeed
 	return dtm.New(cfg)
 }

@@ -22,6 +22,9 @@ type TCPConfig struct {
 	StatsWindow time.Duration
 	// Compress enables flate compression of large frames.
 	Compress bool
+	// ProtectTTL, when positive, enables lease expiry of protections so the
+	// cluster self-heals from clients killed mid-commit.
+	ProtectTTL time.Duration
 	// Now injects a clock for server meters (nil: time.Now).
 	Now func() time.Time
 }
@@ -35,9 +38,12 @@ type TCPCluster struct {
 	Tree  *quorum.Tree
 	Nodes []*server.Node
 
-	servers  []*transport.TCPServer
-	addrs    map[quorum.NodeID]string
-	compress bool
+	servers     []*transport.TCPServer
+	addrs       map[quorum.NodeID]string
+	compress    bool
+	statsWindow time.Duration
+	protectTTL  time.Duration
+	now         func() time.Time
 
 	mu      sync.Mutex
 	clients []*transport.TCPClient
@@ -52,12 +58,18 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		cfg.Degree = 3
 	}
 	c := &TCPCluster{
-		Tree:     quorum.NewTree(cfg.Servers, cfg.Degree),
-		addrs:    make(map[quorum.NodeID]string),
-		compress: cfg.Compress,
+		Tree:        quorum.NewTree(cfg.Servers, cfg.Degree),
+		addrs:       make(map[quorum.NodeID]string),
+		compress:    cfg.Compress,
+		statsWindow: cfg.StatsWindow,
+		protectTTL:  cfg.ProtectTTL,
+		now:         cfg.Now,
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		n := server.NewNode(quorum.NodeID(i), server.Config{StatsWindow: cfg.StatsWindow, Now: cfg.Now})
+		if cfg.ProtectTTL > 0 {
+			n.Store().SetProtectTTL(cfg.ProtectTTL, cfg.Now)
+		}
 		srv := transport.NewTCPServer(n.Handle, cfg.Compress)
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
@@ -108,6 +120,33 @@ func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	rt := dtm.New(cfg)
 	client.SetRetryCounter(&rt.Metrics().TransportRetries)
 	return rt
+}
+
+// Kill stops node id's listener and drops its connections, simulating a
+// process crash. Clients see refused dials until Restart.
+func (c *TCPCluster) Kill(id quorum.NodeID) {
+	c.servers[id].Close()
+}
+
+// Restart brings a killed node back on its original address. With cold
+// true the node restarts with an empty replica (a crash that lost its
+// state) — the path read-repair and anti-entropy exist for; otherwise it
+// rejoins with the state it had when killed (a process pause or partition).
+func (c *TCPCluster) Restart(id quorum.NodeID, cold bool) error {
+	if cold {
+		c.Nodes[id] = server.NewNode(id, server.Config{StatsWindow: c.statsWindow, Now: c.now})
+		if c.protectTTL > 0 {
+			c.Nodes[id].Store().SetProtectTTL(c.protectTTL, c.now)
+		}
+	}
+	srv := transport.NewTCPServer(c.Nodes[id].Handle, c.compress)
+	addr, err := srv.Listen(c.addrs[id])
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", id, err)
+	}
+	c.servers[id] = srv
+	c.addrs[id] = addr
+	return nil
 }
 
 // Close tears down all clients and servers.

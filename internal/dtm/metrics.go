@@ -25,6 +25,21 @@ type Metrics struct {
 	// TransportRetries counts transport-level reconnect attempts (TCP client
 	// re-dials after dead connections).
 	TransportRetries atomic.Uint64
+
+	// Suspicions counts failure-detector alive→suspected transitions.
+	Suspicions atomic.Uint64
+	// Probes counts half-open probe admissions of suspected nodes.
+	Probes atomic.Uint64
+	// Readmissions counts suspected nodes readmitted after a probe answered.
+	Readmissions atomic.Uint64
+	// Failovers counts quorum re-selections forced by member errors (the
+	// retry excluded the failed members and picked a fresh quorum).
+	Failovers atomic.Uint64
+	// StatsQuorumRetries counts FetchStats rounds that had to re-select
+	// their read quorum after incomplete answers.
+	StatsQuorumRetries atomic.Uint64
+	// Repairs counts read-repair pushes sent to stale quorum members.
+	Repairs atomic.Uint64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -41,6 +56,12 @@ type Snapshot struct {
 	BatchReads          uint64
 	PrefetchedObjects   uint64
 	TransportRetries    uint64
+	Suspicions          uint64
+	Probes              uint64
+	Readmissions        uint64
+	Failovers           uint64
+	StatsQuorumRetries  uint64
+	Repairs             uint64
 }
 
 // Snapshot copies the current counter values.
@@ -58,5 +79,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		BatchReads:          m.BatchReads.Load(),
 		PrefetchedObjects:   m.PrefetchedObjects.Load(),
 		TransportRetries:    m.TransportRetries.Load(),
+		Suspicions:          m.Suspicions.Load(),
+		Probes:              m.Probes.Load(),
+		Readmissions:        m.Readmissions.Load(),
+		Failovers:           m.Failovers.Load(),
+		StatsQuorumRetries:  m.StatsQuorumRetries.Load(),
+		Repairs:             m.Repairs.Load(),
 	}
 }

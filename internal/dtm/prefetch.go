@@ -3,6 +3,7 @@ package dtm
 import (
 	"errors"
 
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 	"qracn/internal/wire"
@@ -58,8 +59,12 @@ func (tx *Tx) Prefetch(ids ...store.ObjectID) error {
 	batch := &wire.Request{Kind: wire.KindBatch, TxID: tx.id, Batch: &wire.BatchRequest{Subs: subs}}
 
 	var lastErr error
+	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
-		q, err := rt.cfg.Tree.ReadQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if attempt > 0 {
+			rt.metrics.Failovers.Add(1)
+		}
+		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
 		}
@@ -79,7 +84,8 @@ func (tx *Tx) Prefetch(ids ...store.ObjectID) error {
 			if err := tx.ctx.Err(); err != nil {
 				return err
 			}
-			continue // re-select the quorum against the alive view
+			excl, _ = recordFailed(excl, results)
+			continue // re-select the quorum, excluding the failed members
 		}
 
 		return tx.mergePrefetch(need, results)
@@ -119,6 +125,9 @@ func (tx *Tx) mergePrefetch(need []store.ObjectID, results []callResult) error {
 	for i, id := range need {
 		var best *wire.ReadResponse
 		okCount := 0
+		// perMember reshapes this object's sub-responses into one callResult
+		// per member, so the read-repair stale scan applies unchanged.
+		perMember := make([]callResult, 0, len(results))
 		for _, r := range results {
 			if r.resp.Status != wire.StatusOK || r.resp.Batch == nil || i >= len(r.resp.Batch.Subs) {
 				continue
@@ -127,6 +136,7 @@ func (tx *Tx) mergePrefetch(need []store.ObjectID, results []callResult) error {
 			if sub == nil {
 				continue
 			}
+			perMember = append(perMember, callResult{node: r.node, resp: sub})
 			switch sub.Status {
 			case wire.StatusOK:
 				okCount++
@@ -150,6 +160,7 @@ func (tx *Tx) mergePrefetch(need []store.ObjectID, results []callResult) error {
 			val = best.Value
 			ver = best.Version
 		}
+		rt.maybeRepair(id, perMember, val, ver)
 		tx.reads[id] = ver
 		tx.readOrder = append(tx.readOrder, id)
 		tx.readVals[id] = val

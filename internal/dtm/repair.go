@@ -1,0 +1,83 @@
+package dtm
+
+import (
+	"context"
+
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/wire"
+)
+
+// Read-repair: a quorum read that observes members behind the quorum
+// maximum pushes the fresh value+version back to the stale members. The
+// tree-quorum protocol stays correct without it (every read quorum
+// intersects every write quorum, so the maximum version always surfaces),
+// but a replica that restarted from a crash would otherwise serve stale or
+// empty state until a write quorum happens to include it — each such member
+// silently erodes the availability margin of its level. Repair pushes are
+// asynchronous, deduplicated per object, version-guarded server-side, and
+// never block or fail the read that triggered them.
+
+// staleMembers returns the quorum members whose answer for the object lags
+// behind version ver.
+func staleMembers(results []callResult, ver uint64) []quorum.NodeID {
+	var out []quorum.NodeID
+	for _, r := range results {
+		if r.err != nil || r.resp == nil {
+			continue
+		}
+		switch r.resp.Status {
+		case wire.StatusOK:
+			if r.resp.Read != nil && r.resp.Read.Version < ver {
+				out = append(out, r.node)
+			}
+		case wire.StatusNotFound:
+			// The replica does not know the object at all (version 0).
+			out = append(out, r.node)
+		}
+	}
+	return out
+}
+
+// maybeRepair inspects one quorum read's per-member answers and schedules
+// an asynchronous repair push to every member behind the winning version.
+func (rt *Runtime) maybeRepair(id store.ObjectID, results []callResult, val store.Value, ver uint64) {
+	if rt.cfg.NoRepair || ver == 0 {
+		return
+	}
+	stale := staleMembers(results, ver)
+	if len(stale) == 0 {
+		return
+	}
+	rt.repairMu.Lock()
+	if rt.repairing[id] {
+		rt.repairMu.Unlock()
+		return
+	}
+	rt.repairing[id] = true
+	rt.repairMu.Unlock()
+
+	go rt.repairAsync(id, stale, val, ver)
+}
+
+// repairAsync pushes value+version to the stale members. It runs detached
+// from any transaction context — the read that noticed the staleness may
+// have long committed — but bounded by the runtime's request timeout.
+func (rt *Runtime) repairAsync(id store.ObjectID, nodes []quorum.NodeID, val store.Value, ver uint64) {
+	defer func() {
+		rt.repairMu.Lock()
+		delete(rt.repairing, id)
+		rt.repairMu.Unlock()
+	}()
+	req := &wire.Request{
+		Kind:   wire.KindRepair,
+		Repair: &wire.RepairRequest{Object: id, Value: val, Version: ver},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.RequestTimeout)
+	defer cancel()
+	for _, r := range rt.fanout(ctx, nodes, req) {
+		if r.err == nil && r.resp.Status == wire.StatusOK {
+			rt.metrics.Repairs.Add(1)
+		}
+	}
+}

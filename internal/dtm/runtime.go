@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"qracn/internal/health"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
@@ -20,8 +21,24 @@ type Config struct {
 	Tree *quorum.Tree
 	// Client is the transport used to reach quorum nodes.
 	Client transport.Client
-	// Alive filters nodes believed reachable (nil: all alive).
+	// Alive filters nodes believed reachable (nil: all alive). When both
+	// Alive and the failure detector are present, a node must pass both to
+	// be selected.
 	Alive quorum.AliveFunc
+	// Health is the client-side failure detector fed by every RPC outcome.
+	// Nil installs a default detector (unless DisableDetector is set); pass
+	// a preconfigured detector to tune suspicion thresholds or share one
+	// across runtimes. Note the runtime points the detector's counter sink
+	// at its own Metrics, so sharing a detector mirrors events into the
+	// last runtime created with it.
+	Health *health.Detector
+	// DisableDetector turns the failure detector off entirely, restoring
+	// the pre-detector behaviour where only Alive filters selection (used
+	// for A/B fault experiments).
+	DisableDetector bool
+	// NoRepair disables asynchronous read-repair of quorum members that
+	// report versions behind the quorum maximum.
+	NoRepair bool
 	// ClientSeed differentiates quorum selection across client nodes so
 	// load spreads over tree levels and level members.
 	ClientSeed int
@@ -107,6 +124,7 @@ func (c *Config) fillDefaults() {
 type Runtime struct {
 	cfg     Config
 	metrics Metrics
+	health  *health.Detector
 
 	txSeq   uint64
 	readSeq uint64
@@ -114,6 +132,11 @@ type Runtime struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// repairing dedupes in-flight read-repair pushes per object so a burst
+	// of reads observing the same stale member sends one push, not many.
+	repairMu  sync.Mutex
+	repairing map[store.ObjectID]bool
 }
 
 // New creates a Runtime. It panics if Tree or Client is missing.
@@ -126,11 +149,112 @@ func New(cfg Config) *Runtime {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &Runtime{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	rt := &Runtime{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		repairing: make(map[store.ObjectID]bool),
+	}
+	if !cfg.DisableDetector {
+		rt.health = cfg.Health
+		if rt.health == nil {
+			rt.health = health.New(health.Config{})
+		}
+		rt.health.SetCounters(&health.Counters{
+			Suspicions:   &rt.metrics.Suspicions,
+			Probes:       &rt.metrics.Probes,
+			Readmissions: &rt.metrics.Readmissions,
+		})
+	}
+	return rt
 }
 
 // Metrics exposes the runtime's counters.
 func (rt *Runtime) Metrics() *Metrics { return &rt.metrics }
+
+// Health exposes the runtime's failure detector (nil when disabled).
+func (rt *Runtime) Health() *health.Detector { return rt.health }
+
+// aliveView composes the static Alive oracle with the failure detector: a
+// node must pass both to be eligible for quorum selection.
+func (rt *Runtime) aliveView(id quorum.NodeID) bool {
+	if rt.cfg.Alive != nil && !rt.cfg.Alive(id) {
+		return false
+	}
+	if rt.health != nil && !rt.health.Alive(id) {
+		return false
+	}
+	return true
+}
+
+// selectReadQuorum picks a read quorum under the composed alive view minus
+// the operation's exclude set, relaxing in two steps when that fails: first
+// drop the exclude set, then the detector's suspicions. A quorum containing
+// a suspect beats no quorum — availability never regresses below what the
+// static oracle alone would allow.
+func (rt *Runtime) selectReadQuorum(seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
+	q, err := rt.cfg.Tree.ReadQuorumExcluding(seed, rt.aliveView, excl)
+	if err == nil {
+		return q, nil
+	}
+	if len(excl) > 0 {
+		if q, err2 := rt.cfg.Tree.ReadQuorumExcluding(seed, rt.aliveView, nil); err2 == nil {
+			return q, nil
+		}
+	}
+	if rt.health != nil {
+		if q, err2 := rt.cfg.Tree.ReadQuorumExcluding(seed, rt.cfg.Alive, nil); err2 == nil {
+			return q, nil
+		}
+	}
+	return nil, err
+}
+
+// selectWriteQuorum is selectReadQuorum for write quorums.
+func (rt *Runtime) selectWriteQuorum(seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
+	q, err := rt.cfg.Tree.WriteQuorumExcluding(seed, rt.aliveView, excl)
+	if err == nil {
+		return q, nil
+	}
+	if len(excl) > 0 {
+		if q, err2 := rt.cfg.Tree.WriteQuorumExcluding(seed, rt.aliveView, nil); err2 == nil {
+			return q, nil
+		}
+	}
+	if rt.health != nil {
+		if q, err2 := rt.cfg.Tree.WriteQuorumExcluding(seed, rt.cfg.Alive, nil); err2 == nil {
+			return q, nil
+		}
+	}
+	return nil, err
+}
+
+// observe feeds one RPC outcome to the failure detector.
+func (rt *Runtime) observe(node quorum.NodeID, err error) {
+	if rt.health == nil {
+		return
+	}
+	if err == nil {
+		rt.health.ReportSuccess(node)
+	} else if health.CountsAsFailure(err) {
+		rt.health.ReportFailure(node)
+	}
+}
+
+// recordFailed adds the members that errored in results to the operation's
+// exclude set (allocating it on first use) and reports whether any did.
+func recordFailed(excl quorum.ExcludeSet, results []callResult) (quorum.ExcludeSet, bool) {
+	failed := false
+	for _, r := range results {
+		if r.err != nil {
+			if excl == nil {
+				excl = make(quorum.ExcludeSet)
+			}
+			excl[r.node] = true
+			failed = true
+		}
+	}
+	return excl, failed
+}
 
 func (rt *Runtime) nextTxSeq() uint64 {
 	rt.seqMu.Lock()
@@ -224,7 +348,10 @@ func (rt *Runtime) fanout(ctx context.Context, nodes []quorum.NodeID, req *wire.
 	return rt.fanoutEach(ctx, nodes, func(int) *wire.Request { return req })
 }
 
-// fanoutEach issues a per-node request to every node in parallel.
+// fanoutEach issues a per-node request to every node in parallel. Every
+// call's outcome feeds the failure detector: a response is a success,
+// timeouts and connection errors count against the node, and caller-side
+// cancellations count as neither.
 func (rt *Runtime) fanoutEach(ctx context.Context, nodes []quorum.NodeID, makeReq func(i int) *wire.Request) []callResult {
 	cctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
 	defer cancel()
@@ -236,6 +363,7 @@ func (rt *Runtime) fanoutEach(ctx context.Context, nodes []quorum.NodeID, makeRe
 			defer wg.Done()
 			resp, err := rt.cfg.Client.Call(cctx, n, makeReq(i))
 			out[i] = callResult{node: n, resp: resp, err: err}
+			rt.observe(n, err)
 		}(i, n)
 	}
 	wg.Wait()
@@ -253,14 +381,20 @@ func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[st
 		return map[store.ObjectID]float64{}, nil
 	}
 	req := &wire.Request{Kind: wire.KindStats, Stats: &wire.StatsRequest{Objects: ids}}
+	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
-		q, err := rt.cfg.Tree.ReadQuorum(rt.cfg.ClientSeed+attempt, rt.cfg.Alive)
+		if attempt > 0 {
+			rt.metrics.StatsQuorumRetries.Add(1)
+			rt.metrics.Failovers.Add(1)
+		}
+		q, err := rt.selectReadQuorum(rt.cfg.ClientSeed+attempt, excl)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrQuorumUnreachable, err)
 		}
 		levels := make(map[store.ObjectID]float64, len(ids))
 		answered := 0
-		for _, r := range rt.fanout(ctx, q, req) {
+		results := rt.fanout(ctx, q, req)
+		for _, r := range results {
 			if r.err != nil || r.resp.Status != wire.StatusOK || r.resp.Stats == nil {
 				continue
 			}
@@ -273,6 +407,12 @@ func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[st
 		}
 		if answered == len(q) {
 			return levels, nil
+		}
+		// Exclude the members that errored so the next attempt cannot
+		// re-pick them, even before the failure detector trips.
+		excl, _ = recordFailed(excl, results)
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 	return nil, ErrQuorumUnreachable

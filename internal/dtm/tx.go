@@ -250,6 +250,10 @@ func (tx *Tx) remoteRead(id store.ObjectID) (store.Value, error) {
 			val = best.Value
 			ver = best.Version
 		}
+		// Members that answered with an older version (or no object at all)
+		// are behind the quorum maximum: push the fresh state back to them
+		// asynchronously so revived replicas converge.
+		rt.maybeRepair(id, results, val, ver)
 		tx.reads[id] = ver
 		tx.readOrder = append(tx.readOrder, id)
 		tx.readVals[id] = val
@@ -263,14 +267,19 @@ func (tx *Tx) remoteRead(id store.ObjectID) (store.Value, error) {
 // quorumRead selects a read quorum and fans the request out. If a member
 // died mid-call the level majority we picked is no longer intact and the
 // versions we saw may miss the latest commit, so the read is retried against
-// a freshly selected quorum (the alive view is maintained by the cluster).
-// The returned index marks the member asked for the full value under the
-// lean strategy (-1: every member was asked for the value).
+// a freshly selected quorum that excludes the members that just errored
+// (and, through the failure detector, any node under suspicion). The
+// returned index marks the member asked for the full value under the lean
+// strategy (-1: every member was asked for the value).
 func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
 	rt := tx.rt
 	var lastErr error
+	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
-		q, err := rt.cfg.Tree.ReadQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if attempt > 0 {
+			rt.metrics.Failovers.Add(1)
+		}
+		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
 		if err != nil {
 			return nil, -1, errors.Join(ErrQuorumUnreachable, err)
 		}
@@ -316,6 +325,7 @@ func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
 		if allReachable {
 			return results, fullIdx, nil
 		}
+		excl, _ = recordFailed(excl, results)
 		if err := tx.ctx.Err(); err != nil {
 			return nil, -1, err
 		}
@@ -428,8 +438,12 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 	}
 
 	var lastErr error
+	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
-		wq, err := rt.cfg.Tree.WriteQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if attempt > 0 {
+			rt.metrics.Failovers.Add(1)
+		}
+		wq, err := rt.selectWriteQuorum(tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
 		}
@@ -479,7 +493,10 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 			}
 		}
 		if unreachable {
-			continue // re-select the write quorum against the alive view
+			// Exclude the members that errored so the re-selected quorum
+			// cannot contain them, then retry against the alive view.
+			excl, _ = recordFailed(excl, results)
+			continue
 		}
 		return &AbortError{Level: AbortParent, Reason: "prepare rejected"}
 	}
@@ -496,8 +513,12 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 		Prepare: &wire.PrepareRequest{Reads: reads},
 	}
 	var lastErr error
+	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
-		q, err := rt.cfg.Tree.ReadQuorum(tx.seed+attempt, rt.cfg.Alive)
+		if attempt > 0 {
+			rt.metrics.Failovers.Add(1)
+		}
+		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
 		}
@@ -521,6 +542,7 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 		if ok {
 			return nil
 		}
+		excl, _ = recordFailed(excl, results)
 	}
 	return errors.Join(ErrQuorumUnreachable, lastErr)
 }

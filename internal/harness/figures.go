@@ -18,6 +18,7 @@ type Scale struct {
 	Servers          int
 	Seed             int64
 	DisablePrefetch  bool
+	NoRepair         bool
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -38,6 +39,7 @@ func (s Scale) apply(o Options) Options {
 	o.Servers = s.Servers
 	o.Seed = s.Seed
 	o.DisablePrefetch = s.DisablePrefetch
+	o.NoRepair = s.NoRepair
 	return o
 }
 

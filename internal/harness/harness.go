@@ -104,6 +104,9 @@ type Options struct {
 	// prefetch (one quorum round per Block's statically-known access set),
 	// for A/B comparisons of the RPC pipeline.
 	DisablePrefetch bool
+	// NoRepair disables asynchronous read-repair of stale quorum members,
+	// for A/B comparisons of replica convergence under faults.
+	NoRepair bool
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -254,6 +257,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 			Seed:        opts.Seed + int64(ci) + 1,
 			BackoffBase: 50 * time.Microsecond,
 			BackoffMax:  time.Millisecond,
+			NoRepair:    opts.NoRepair,
 		}
 		if mode == ModeQRACN {
 			// Wire the piggyback hooks; the hub exists only after the
@@ -386,6 +390,10 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		s.Metrics.PrepareFails += m.PrepareFails
 		s.Metrics.ReadOnlyFasts += m.ReadOnlyFasts
 		s.Metrics.CheckpointRollbacks += m.CheckpointRollbacks
+		s.Metrics.Failovers += m.Failovers
+		s.Metrics.Suspicions += m.Suspicions
+		s.Metrics.Readmissions += m.Readmissions
+		s.Metrics.Repairs += m.Repairs
 	}
 	return s, nil
 }

@@ -1,0 +1,219 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qracn/internal/quorum"
+	"qracn/internal/transport"
+)
+
+// fakeClock is a manually advanced clock for deterministic detector tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestDetector(clk *fakeClock) *Detector {
+	return New(Config{
+		SuspectAfter:  3,
+		ProbeInterval: 100 * time.Millisecond,
+		DecayHalfLife: time.Second,
+		Now:           clk.Now,
+	})
+}
+
+func TestDetectorTripsAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	id := quorum.NodeID(2)
+
+	if !d.Alive(id) {
+		t.Fatal("fresh node should be alive")
+	}
+	d.ReportFailure(id)
+	d.ReportFailure(id)
+	if d.IsSuspected(id) {
+		t.Fatal("suspected below threshold")
+	}
+	d.ReportFailure(id)
+	if !d.IsSuspected(id) {
+		t.Fatal("not suspected at threshold")
+	}
+	if d.Alive(id) {
+		t.Fatal("suspected node should not be alive immediately after tripping")
+	}
+	s := d.Snapshot()
+	if s.Suspicions != 1 || s.Failures != 3 {
+		t.Fatalf("snapshot = %+v, want 1 suspicion / 3 failures", s)
+	}
+}
+
+func TestDetectorHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	id := quorum.NodeID(0)
+	for i := 0; i < 3; i++ {
+		d.ReportFailure(id)
+	}
+
+	// Before the probe interval elapses the breaker stays open.
+	if d.Alive(id) {
+		t.Fatal("breaker should be open before probe interval")
+	}
+	clk.Advance(100 * time.Millisecond)
+	// Exactly one caller is admitted per interval.
+	if !d.Alive(id) {
+		t.Fatal("probe not admitted after interval")
+	}
+	if d.Alive(id) {
+		t.Fatal("second caller admitted within the same interval")
+	}
+	if got := d.Snapshot().Probes; got != 1 {
+		t.Fatalf("probes = %d, want 1", got)
+	}
+
+	// A failed probe re-arms the timer…
+	d.ReportFailure(id)
+	clk.Advance(99 * time.Millisecond)
+	if d.Alive(id) {
+		t.Fatal("probe admitted before re-armed interval elapsed")
+	}
+	clk.Advance(time.Millisecond)
+	if !d.Alive(id) {
+		t.Fatal("probe not admitted after re-armed interval")
+	}
+
+	// …and a successful probe readmits the node for everyone.
+	d.ReportSuccess(id)
+	if d.IsSuspected(id) {
+		t.Fatal("node still suspected after successful probe")
+	}
+	if !d.Alive(id) || !d.Alive(id) {
+		t.Fatal("readmitted node should be alive for all callers")
+	}
+	if got := d.Snapshot().Readmissions; got != 1 {
+		t.Fatalf("readmissions = %d, want 1", got)
+	}
+}
+
+func TestDetectorSuspicionDecays(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	id := quorum.NodeID(1)
+
+	// Two failures, then a long quiet period: the score decays below 1, so
+	// two further failures still do not reach the threshold of 3.
+	d.ReportFailure(id)
+	d.ReportFailure(id)
+	clk.Advance(3 * time.Second) // three half-lives: 2 → 0.25
+	d.ReportFailure(id)
+	d.ReportFailure(id)
+	if d.IsSuspected(id) {
+		t.Fatal("sporadic failures separated by quiet periods must not trip the breaker")
+	}
+	// A third rapid failure does.
+	d.ReportFailure(id)
+	if !d.IsSuspected(id) {
+		t.Fatal("rapid failure burst should trip the breaker")
+	}
+}
+
+func TestDetectorSuccessShedsSuspicion(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	id := quorum.NodeID(4)
+	d.ReportFailure(id)
+	d.ReportFailure(id)
+	d.ReportSuccess(id) // halves the score: 2 → 1
+	d.ReportFailure(id)
+	if d.IsSuspected(id) {
+		t.Fatal("successes between failures should keep the node below threshold")
+	}
+}
+
+func TestDetectorCountersMirror(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	var susp, probes, readm atomic.Uint64
+	d.SetCounters(&Counters{Suspicions: &susp, Probes: &probes, Readmissions: &readm})
+
+	id := quorum.NodeID(7)
+	for i := 0; i < 3; i++ {
+		d.ReportFailure(id)
+	}
+	clk.Advance(100 * time.Millisecond)
+	d.Alive(id) // probe
+	d.ReportSuccess(id)
+	if susp.Load() != 1 || probes.Load() != 1 || readm.Load() != 1 {
+		t.Fatalf("mirrored counters = %d/%d/%d, want 1/1/1", susp.Load(), probes.Load(), readm.Load())
+	}
+}
+
+func TestCountsAsFailure(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"node down", transport.ErrNodeDown, true},
+		{"wrapped node down", fmt.Errorf("call: %w", transport.ErrNodeDown), true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"cancel", context.Canceled, false},
+		{"unknown node", transport.ErrUnknownNode, false},
+		{"closed", transport.ErrClosed, false},
+		{"typed dial", &transport.Error{Kind: transport.ErrKindDial, Err: transport.ErrNodeDown}, true},
+		{"typed timeout", &transport.Error{Kind: transport.ErrKindTimeout, Err: context.DeadlineExceeded}, true},
+		{"typed conn-lost", &transport.Error{Kind: transport.ErrKindConnLost, Err: transport.ErrNodeDown}, true},
+		{"typed decode", &transport.Error{Kind: transport.ErrKindDecode, Err: errors.New("gob: bad frame")}, false},
+		{"app error", errors.New("validation failed"), false},
+	}
+	for _, tc := range cases {
+		if got := CountsAsFailure(tc.err); got != tc.want {
+			t.Errorf("%s: CountsAsFailure = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDetectorConcurrency(t *testing.T) {
+	d := New(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := quorum.NodeID(g % 4)
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					d.ReportFailure(id)
+				case 1:
+					d.ReportSuccess(id)
+				default:
+					d.Alive(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,109 @@
+package quorum
+
+import (
+	"errors"
+	"testing"
+)
+
+func contains(q []NodeID, id NodeID) bool {
+	for _, n := range q {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReadQuorumExcludingAvoidsNodes(t *testing.T) {
+	tr := NewTree(10, 3)
+	// Exclude one member of every level that can spare it.
+	excl := ExcludeSet{0: false, 1: true, 4: true}
+	for seed := 0; seed < 20; seed++ {
+		q, err := tr.ReadQuorumExcluding(seed, nil, excl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for id, on := range excl {
+			if on && contains(q, id) {
+				t.Fatalf("seed %d: quorum %v contains excluded node %d", seed, q, id)
+			}
+		}
+	}
+}
+
+func TestWriteQuorumExcludingAvoidsNodes(t *testing.T) {
+	tr := NewTree(13, 3) // levels 1, 3, 9 — level 1 can lose one of three
+	excl := ExcludeSet{2: true, 6: true, 11: true}
+	for seed := 0; seed < 20; seed++ {
+		q, err := tr.WriteQuorumExcluding(seed, nil, excl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for id := range excl {
+			if contains(q, id) {
+				t.Fatalf("seed %d: write quorum %v contains excluded node %d", seed, q, id)
+			}
+		}
+	}
+}
+
+func TestExcludingFailsWhenMajorityImpossible(t *testing.T) {
+	tr := NewTree(4, 3) // levels 1, 3 — excluding the root kills every write quorum
+	if _, err := tr.WriteQuorumExcluding(0, nil, ExcludeSet{0: true}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	// Reads fall back to level 1, which still has its majority.
+	q, err := tr.ReadQuorumExcluding(0, nil, ExcludeSet{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(q, 0) {
+		t.Fatalf("read quorum %v contains excluded root", q)
+	}
+}
+
+func TestExcludingPreservesIntersection(t *testing.T) {
+	// Property: any read quorum under any exclusion set intersects any write
+	// quorum under any (other) exclusion set, because both are still plain
+	// level majorities. Sweep seeds and single/double exclusions.
+	tr := NewTree(10, 3)
+	exclusions := []ExcludeSet{
+		nil,
+		{5: true},
+		{1: true, 7: true},
+		{4: true, 8: true},
+	}
+	for _, re := range exclusions {
+		for _, we := range exclusions {
+			for rs := 0; rs < 6; rs++ {
+				rq, err := tr.ReadQuorumExcluding(rs, nil, re)
+				if err != nil {
+					t.Fatalf("read excl=%v seed=%d: %v", re, rs, err)
+				}
+				for ws := 0; ws < 6; ws++ {
+					wq, err := tr.WriteQuorumExcluding(ws, nil, we)
+					if err != nil {
+						t.Fatalf("write excl=%v seed=%d: %v", we, ws, err)
+					}
+					if !Intersects(rq, wq) {
+						t.Fatalf("read %v (excl %v) does not intersect write %v (excl %v)",
+							rq, re, wq, we)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExcludeComposesWithAlive(t *testing.T) {
+	tr := NewTree(10, 3)
+	down := map[NodeID]bool{9: true}
+	aliveF := func(id NodeID) bool { return !down[id] }
+	q, err := tr.ReadQuorumExcluding(2, aliveF, ExcludeSet{8: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(q, 8) || contains(q, 9) {
+		t.Fatalf("quorum %v contains a dead or excluded node", q)
+	}
+}

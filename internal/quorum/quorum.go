@@ -80,19 +80,27 @@ type AliveFunc func(NodeID) bool
 
 func alive(f AliveFunc, id NodeID) bool { return f == nil || f(id) }
 
+// ExcludeSet names nodes a single operation must not select again — the
+// members that just errored during one of its earlier attempts. It narrows
+// one selection without touching the shared alive view, so a failover retry
+// can never re-pick the node that failed it even before the failure
+// detector trips.
+type ExcludeSet map[NodeID]bool
+
 // majority returns floor(n/2)+1.
 func majority(n int) int { return n/2 + 1 }
 
-// levelMajority picks a majority-size subset of alive nodes at one level,
-// starting the circular scan at seed so different clients spread load across
-// level members. It returns nil when the level has lost its majority.
-func (t *Tree) levelMajority(l, seed int, f AliveFunc) []NodeID {
+// levelMajority picks a majority-size subset of alive, non-excluded nodes
+// at one level, starting the circular scan at seed so different clients
+// spread load across level members. It returns nil when the level has lost
+// its majority.
+func (t *Tree) levelMajority(l, seed int, f AliveFunc, excl ExcludeSet) []NodeID {
 	level := t.levels[l]
 	need := majority(len(level))
 	out := make([]NodeID, 0, need)
 	for i := 0; i < len(level) && len(out) < need; i++ {
 		id := level[(seed+i)%len(level)]
-		if alive(f, id) {
+		if alive(f, id) && !excl[id] {
 			out = append(out, id)
 		}
 	}
@@ -108,13 +116,21 @@ func (t *Tree) levelMajority(l, seed int, f AliveFunc) []NodeID {
 // levels are tried in order. ErrUnavailable is returned when no level can
 // supply a majority of alive nodes.
 func (t *Tree) ReadQuorum(seed int, f AliveFunc) ([]NodeID, error) {
+	return t.ReadQuorumExcluding(seed, f, nil)
+}
+
+// ReadQuorumExcluding is ReadQuorum restricted to nodes outside excl.
+// Every quorum it returns is a plain level majority, so the read/write
+// intersection property is untouched: exclusion only narrows which majority
+// is picked.
+func (t *Tree) ReadQuorumExcluding(seed int, f AliveFunc, excl ExcludeSet) ([]NodeID, error) {
 	if seed < 0 {
 		seed = -seed
 	}
 	nl := len(t.levels)
 	for off := 0; off < nl; off++ {
 		l := (seed + off) % nl
-		if q := t.levelMajority(l, seed, f); q != nil {
+		if q := t.levelMajority(l, seed, f, excl); q != nil {
 			return q, nil
 		}
 	}
@@ -124,12 +140,17 @@ func (t *Tree) ReadQuorum(seed int, f AliveFunc) ([]NodeID, error) {
 // WriteQuorum returns a write quorum: a majority of the nodes at every
 // level. ErrUnavailable is returned when some level has lost its majority.
 func (t *Tree) WriteQuorum(seed int, f AliveFunc) ([]NodeID, error) {
+	return t.WriteQuorumExcluding(seed, f, nil)
+}
+
+// WriteQuorumExcluding is WriteQuorum restricted to nodes outside excl.
+func (t *Tree) WriteQuorumExcluding(seed int, f AliveFunc, excl ExcludeSet) ([]NodeID, error) {
 	if seed < 0 {
 		seed = -seed
 	}
 	var out []NodeID
 	for l := range t.levels {
-		q := t.levelMajority(l, seed, f)
+		q := t.levelMajority(l, seed, f, excl)
 		if q == nil {
 			return nil, fmt.Errorf("level %d: %w", l, ErrUnavailable)
 		}

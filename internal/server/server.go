@@ -72,6 +72,8 @@ func (n *Node) Handle(ctx context.Context, req *wire.Request) *wire.Response {
 		return n.handleStats(req)
 	case wire.KindSync:
 		return n.handleSync(req)
+	case wire.KindRepair:
+		return n.handleRepair(req)
 	case wire.KindBatch:
 		return transport.HandleBatch(ctx, n.Handle, req)
 	case wire.KindPing:
@@ -218,6 +220,31 @@ func (n *Node) handleSync(req *wire.Request) *wire.Response {
 		Status: wire.StatusOK,
 		Sync:   &wire.SyncResponse{Objects: n.store.Newer(s.Known)},
 	}
+}
+
+// handleRepair applies a read-repair push: the client observed this replica
+// behind the quorum maximum and is forwarding the fresh value. The write is
+// version-guarded (Apply only moves versions forward) and refused while the
+// object is protected by another transaction's in-flight commit, so a
+// racing 2PC always wins.
+func (n *Node) handleRepair(req *wire.Request) *wire.Response {
+	r := req.Repair
+	if r == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "repair request missing payload"}
+	}
+	if cur, ok := n.store.Version(r.Object); ok && cur >= r.Version {
+		return &wire.Response{Status: wire.StatusOK} // already current
+	}
+	w := store.WriteDesc{ID: r.Object, Value: r.Value, NewVersion: r.Version}
+	if err := n.store.Apply(w, "read-repair"); err != nil {
+		if errors.Is(err, store.ErrNotOwner) {
+			// A commit holds the protection; its decision will publish a
+			// version at least as new. Busy tells the client it was a no-op.
+			return &wire.Response{Status: wire.StatusBusy}
+		}
+		return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
+	}
+	return &wire.Response{Status: wire.StatusOK}
 }
 
 // RepairFrom pulls missing state from a peer replica through the transport

@@ -23,6 +23,26 @@ type ChannelConfig struct {
 	Seed int64
 }
 
+// Fault is the outcome a FaultFunc injects into one call.
+type Fault struct {
+	// Drop loses the message: the call blocks until the caller's context
+	// expires, modelling a silently dropped packet (the client sees a
+	// timeout, not a refused connection).
+	Drop bool
+	// Delay adds extra one-way latency before delivery.
+	Delay time.Duration
+	// Err fails the call immediately with this error (e.g. ErrNodeDown to
+	// model a refused connection, or a typed *Error).
+	Err error
+}
+
+// FaultFunc inspects an outgoing call and decides what fault, if any, to
+// inject. It runs on the caller's goroutine for every Call, so hooks keyed
+// on the destination node (or node pairs, via closure state) give tests
+// deterministic drop/delay/partition control without touching the oracle
+// down-map.
+type FaultFunc func(to quorum.NodeID, req *wire.Request) Fault
+
 // ChannelNetwork is an in-process "cluster": server handlers registered per
 // node ID, calls delivered synchronously after a simulated network delay,
 // and messages deep-copied at both boundaries so replicas cannot share
@@ -34,6 +54,7 @@ type ChannelNetwork struct {
 	mu       sync.RWMutex
 	handlers map[quorum.NodeID]Handler
 	down     map[quorum.NodeID]bool
+	fault    FaultFunc
 	closed   bool
 
 	rngMu sync.Mutex
@@ -66,6 +87,15 @@ func (n *ChannelNetwork) SetDown(id quorum.NodeID, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.down[id] = down
+}
+
+// SetFault installs (or, with nil, removes) a fault-injection hook consulted
+// on every call. Unlike SetDown, injected faults are invisible to the Alive
+// oracle — exactly what failure-detector tests need.
+func (n *ChannelNetwork) SetFault(f FaultFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fault = f
 }
 
 // Alive reports whether the node is registered and not marked down. It has
@@ -111,6 +141,7 @@ func (n *ChannelNetwork) Call(ctx context.Context, to quorum.NodeID, req *wire.R
 	n.mu.RLock()
 	h, ok := n.handlers[to]
 	down := n.down[to]
+	fault := n.fault
 	closed := n.closed
 	n.mu.RUnlock()
 	if closed {
@@ -121,6 +152,26 @@ func (n *ChannelNetwork) Call(ctx context.Context, to quorum.NodeID, req *wire.R
 	}
 	if down {
 		return nil, ErrNodeDown
+	}
+	if fault != nil {
+		f := fault(to, req)
+		if f.Err != nil {
+			return nil, f.Err
+		}
+		if f.Drop {
+			<-ctx.Done()
+			return nil, classify(to, ErrKindTimeout, ctx.Err())
+		}
+		if f.Delay > 0 {
+			t := time.NewTimer(f.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			t.Stop()
+		}
 	}
 	if err := n.hop(ctx); err != nil {
 		return nil, err

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"qracn/internal/quorum"
+	"qracn/internal/wire"
+)
+
+// ChaosClient wraps any Client with per-node fault injection: message-loss
+// probability, added latency, and hard cuts (a partitioned node fails fast
+// as if its address were unroutable). It is the TCP-deployment counterpart
+// of ChannelNetwork.SetFault — tests interpose it between a runtime and a
+// real TCPClient to exercise the failure detector without killing
+// processes, or alongside listener kills for full chaos runs.
+type ChaosClient struct {
+	inner Client
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	drop  map[quorum.NodeID]float64
+	delay map[quorum.NodeID]time.Duration
+	cut   map[quorum.NodeID]bool
+}
+
+// NewChaosClient wraps inner; seed fixes the drop-roll sequence (0 derives
+// one from the clock).
+func NewChaosClient(inner Client, seed int64) *ChaosClient {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &ChaosClient{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		drop:  make(map[quorum.NodeID]float64),
+		delay: make(map[quorum.NodeID]time.Duration),
+		cut:   make(map[quorum.NodeID]bool),
+	}
+}
+
+// SetDropRate makes calls to the node vanish with probability p (the caller
+// blocks until its context expires, as a lost packet would).
+func (c *ChaosClient) SetDropRate(id quorum.NodeID, p float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drop[id] = p
+}
+
+// SetDelay adds fixed latency to every call to the node.
+func (c *ChaosClient) SetDelay(id quorum.NodeID, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delay[id] = d
+}
+
+// Cut partitions the node away (true) or heals it (false): calls fail
+// immediately with a dial-classified error.
+func (c *ChaosClient) Cut(id quorum.NodeID, cut bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cut[id] = cut
+}
+
+// Call implements Client.
+func (c *ChaosClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	cut := c.cut[to]
+	delay := c.delay[to]
+	dropped := false
+	if p := c.drop[to]; p > 0 {
+		dropped = c.rng.Float64() < p
+	}
+	c.mu.Unlock()
+
+	if cut {
+		return nil, &Error{Kind: ErrKindDial, Node: to, Err: ErrNodeDown}
+	}
+	if dropped {
+		<-ctx.Done()
+		return nil, classify(to, ErrKindTimeout, ctx.Err())
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+		t.Stop()
+	}
+	return c.inner.Call(ctx, to, req)
+}
+
+var _ Client = (*ChaosClient)(nil)

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"qracn/internal/quorum"
+)
+
+// ErrKind classifies a transport failure so callers (the health detector,
+// metrics) can distinguish a crashed node from a slow one or from a local
+// protocol problem.
+type ErrKind int
+
+// Error kinds.
+const (
+	// ErrKindUnknown is an unclassified failure.
+	ErrKindUnknown ErrKind = iota
+	// ErrKindDial: establishing a connection failed (refused, unroutable) —
+	// the strongest crash signal.
+	ErrKindDial
+	// ErrKindTimeout: the request deadline expired with no response — the
+	// node may be dead or merely slow.
+	ErrKindTimeout
+	// ErrKindConnLost: an established connection died mid-call (reset,
+	// EOF) — typically the peer process exited.
+	ErrKindConnLost
+	// ErrKindDecode: the byte stream could not be decoded — the peer is
+	// alive but the frames are corrupt or incompatible; not a crash signal.
+	ErrKindDecode
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrKindDial:
+		return "dial"
+	case ErrKindTimeout:
+		return "timeout"
+	case ErrKindConnLost:
+		return "conn-lost"
+	case ErrKindDecode:
+		return "decode"
+	default:
+		return "unknown"
+	}
+}
+
+// Error is a classified transport failure for one node.
+type Error struct {
+	Kind ErrKind
+	Node quorum.NodeID
+	Err  error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("transport: node %d: %s: %v", e.Node, e.Kind, e.Err)
+}
+
+// Unwrap exposes the underlying error so errors.Is/As keep working (dial
+// failures wrap ErrNodeDown, timeouts wrap the context error, and so on).
+func (e *Error) Unwrap() error { return e.Err }
+
+// classify wraps err in an *Error for the given node, deriving the kind
+// from the error chain when the caller passes ErrKindUnknown. Already
+// classified errors pass through unchanged.
+func classify(node quorum.NodeID, kind ErrKind, err error) error {
+	if err == nil {
+		return nil
+	}
+	var te *Error
+	if errors.As(err, &te) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) {
+		// The caller gave up; that says nothing about the node.
+		return err
+	}
+	if kind == ErrKindUnknown {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			kind = ErrKindTimeout
+		case errors.Is(err, ErrNodeDown):
+			kind = ErrKindConnLost
+		}
+	}
+	return &Error{Kind: kind, Node: node, Err: err}
+}
+
+// streamFailKind classifies the error that killed a connection's read loop:
+// an orderly or abrupt close is a lost connection, anything else is a
+// decode-level failure (the peer spoke, but not our protocol).
+func streamFailKind(err error) ErrKind {
+	if err == nil {
+		return ErrKindConnLost
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return ErrKindConnLost
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return ErrKindConnLost
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ErrKindConnLost
+	}
+	return ErrKindDecode
+}

@@ -260,6 +260,9 @@ type tcpConn struct {
 	nextSeq  uint64
 	pending  map[uint64]chan *wire.Response
 	dead     bool
+	// failKind records why the connection died (conn-lost vs. decode) so
+	// waiters surface a classified error.
+	failKind ErrKind
 }
 
 // NewTCPClient creates a client for the given node address map.
@@ -309,7 +312,8 @@ func (c *TCPClient) getConn(to quorum.NodeID) (*tcpConn, error) {
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeDown, addr, err)
+		return nil, &Error{Kind: ErrKindDial, Node: to,
+			Err: fmt.Errorf("%w: dial %s: %v", ErrNodeDown, addr, err)}
 	}
 	tc := &tcpConn{
 		conn:    conn,
@@ -339,7 +343,7 @@ func (tc *tcpConn) readLoop() {
 	for {
 		env, err := dec.Decode()
 		if err != nil {
-			tc.fail()
+			tc.failWith(streamFailKind(err))
 			return
 		}
 		if !env.IsResponse {
@@ -359,14 +363,19 @@ func (tc *tcpConn) readLoop() {
 
 // fail marks the connection dead, stops the writer, and unblocks all
 // waiters. Idempotent.
-func (tc *tcpConn) fail() {
+func (tc *tcpConn) fail() { tc.failWith(ErrKindConnLost) }
+
+func (tc *tcpConn) failWith(kind ErrKind) {
 	tc.conn.Close()
 	tc.mu.Lock()
 	if tc.dead && tc.stopDone {
 		tc.mu.Unlock()
 		return
 	}
-	tc.dead = true
+	if !tc.dead {
+		tc.dead = true
+		tc.failKind = kind
+	}
 	if !tc.stopDone {
 		tc.stopDone = true
 		close(tc.stop)
@@ -379,15 +388,26 @@ func (tc *tcpConn) fail() {
 	}
 }
 
+// deadErr builds the classified error for a dead connection.
+func (tc *tcpConn) deadErr(node quorum.NodeID) error {
+	tc.mu.Lock()
+	kind := tc.failKind
+	tc.mu.Unlock()
+	if kind == ErrKindUnknown {
+		kind = ErrKindConnLost
+	}
+	return &Error{Kind: kind, Node: node, Err: ErrNodeDown}
+}
+
 // roundTrip sends one request on this connection and waits for its response.
 // It returns ErrNodeDown-wrapped errors when the connection died, which the
 // caller treats as retriable.
-func (tc *tcpConn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+func (tc *tcpConn) roundTrip(ctx context.Context, node quorum.NodeID, req *wire.Request) (*wire.Response, error) {
 	ch := make(chan *wire.Response, 1)
 	tc.mu.Lock()
 	if tc.dead {
 		tc.mu.Unlock()
-		return nil, ErrNodeDown
+		return nil, tc.deadErr(node)
 	}
 	seq := tc.nextSeq
 	tc.nextSeq++
@@ -404,16 +424,16 @@ func (tc *tcpConn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Resp
 	case tc.out <- &wire.Envelope{Seq: seq, Req: req}:
 	case <-tc.stop:
 		drop()
-		return nil, ErrNodeDown
+		return nil, tc.deadErr(node)
 	case <-ctx.Done():
 		drop()
-		return nil, ctx.Err()
+		return nil, classify(node, ErrKindUnknown, ctx.Err())
 	}
 
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, ErrNodeDown
+			return nil, tc.deadErr(node)
 		}
 		return resp, nil
 	case <-ctx.Done():
@@ -424,7 +444,7 @@ func (tc *tcpConn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Resp
 		case tc.out <- &wire.Envelope{Seq: seq, Cancel: true}:
 		default:
 		}
-		return nil, ctx.Err()
+		return nil, classify(node, ErrKindUnknown, ctx.Err())
 	}
 }
 
@@ -446,12 +466,12 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Reques
 			}
 			lastErr = err
 		} else {
-			resp, err := tc.roundTrip(ctx, req)
+			resp, err := tc.roundTrip(ctx, to, req)
 			if err == nil {
 				return resp, nil
 			}
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return nil, classify(to, ErrKindUnknown, ctx.Err())
 			}
 			lastErr = err
 		}

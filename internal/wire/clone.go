@@ -83,6 +83,12 @@ func (r *Request) Clone() *Request {
 	if r.Sync != nil {
 		out.Sync = &SyncRequest{Known: cloneReadDescs(r.Sync.Known)}
 	}
+	if r.Repair != nil {
+		out.Repair = &RepairRequest{Object: r.Repair.Object, Version: r.Repair.Version}
+		if r.Repair.Value != nil {
+			out.Repair.Value = r.Repair.Value.CloneValue()
+		}
+	}
 	if r.Batch != nil {
 		out.Batch = &BatchRequest{Subs: make([]*Request, len(r.Batch.Subs))}
 		for i, sub := range r.Batch.Subs {

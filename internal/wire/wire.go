@@ -65,6 +65,11 @@ const (
 	// order. One batched quorum round replaces N serial fan-outs — the wire
 	// half of the UnitGraph-driven read prefetch.
 	KindBatch
+	// KindRepair pushes a fresh value+version to a replica that reported a
+	// stale version during a quorum read (read-repair). The server applies
+	// it only if the pushed version is newer than its own and the object is
+	// not protected by an in-flight commit.
+	KindRepair
 )
 
 func (k Kind) String() string {
@@ -81,6 +86,8 @@ func (k Kind) String() string {
 		return "sync"
 	case KindBatch:
 		return "batch"
+	case KindRepair:
+		return "repair"
 	default:
 		return "ping"
 	}
@@ -97,6 +104,7 @@ type Request struct {
 	Stats    *StatsRequest
 	Sync     *SyncRequest
 	Batch    *BatchRequest
+	Repair   *RepairRequest
 }
 
 // BatchRequest bundles independent sub-requests into one frame. Sub-requests
@@ -143,6 +151,16 @@ type DecisionRequest struct {
 // StatsRequest asks for the contention level of specific objects.
 type StatsRequest struct {
 	Objects []store.ObjectID
+}
+
+// RepairRequest carries one object's fresh value+version to a stale
+// replica. Unlike SyncRequest (pull, full-state diff) it is a push of a
+// single object, issued asynchronously by clients whose quorum read showed
+// the replica behind the quorum maximum.
+type RepairRequest struct {
+	Object  store.ObjectID
+	Value   store.Value
+	Version uint64
 }
 
 // SyncRequest asks a peer for every object whose version exceeds the
