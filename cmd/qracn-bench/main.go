@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,10 +34,19 @@ func main() {
 		ablation   = flag.Bool("ablation", false, "run the ACN step-ablation study instead of the system comparison")
 		sweep      = flag.String("sweep", "", "comma-separated client counts for a scalability sweep (e.g. 2,4,8,16)")
 		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of tables")
+		jsonFile   = flag.String("json-out", "", "write the JSON results to this file (implies -json)")
 		noPrefetch = flag.Bool("no-prefetch", false, "disable the batched first-access read prefetch (A/B the RPC pipeline)")
 		noRepair   = flag.Bool("no-repair", false, "disable asynchronous read-repair of stale quorum members (A/B fault recovery)")
+		noWAL      = flag.Bool("no-wal", false, "run the nodes volatile (no commit log) — the pre-durability configuration")
+		walDir     = flag.String("wal-dir", "", "base directory for per-run commit logs (default: system temp)")
+		fsyncEvery = flag.Duration("fsync-interval", 0, "group-commit accumulation window (0: 2ms default; negative: fsync every append)")
+		snapEvery  = flag.Int("snapshot-every", 0, "checkpoint the store every N logged records (0: default; negative: never)")
+		walAB      = flag.Bool("wal-ab", false, "run each figure twice — WAL on and off — and emit a combined JSON A/B document")
 	)
 	flag.Parse()
+	if *jsonFile != "" {
+		*jsonOut = true
+	}
 
 	scale := harness.Scale{
 		IntervalLength:   *interval,
@@ -46,6 +56,10 @@ func main() {
 		Seed:             *seed,
 		DisablePrefetch:  *noPrefetch,
 		NoRepair:         *noRepair,
+		Durable:          !*noWAL,
+		WALDir:           *walDir,
+		FsyncInterval:    *fsyncEvery,
+		SnapshotEvery:    *snapEvery,
 	}
 
 	modes, err := parseModes(*modesArg)
@@ -67,6 +81,7 @@ func main() {
 	}
 
 	ctx := context.Background()
+	var jsonDocs []json.RawMessage
 	for _, f := range figures {
 		fmt.Printf("=== Figure %s: %s ===\n", f.ID, f.Title)
 		fmt.Printf("paper: %s\n\n", f.Expect)
@@ -93,6 +108,18 @@ func main() {
 			fmt.Println()
 			continue
 		}
+		if *walAB {
+			doc, err := runWALAB(ctx, f, scale, modes, *repeat)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s wal A/B: %v\n", f.ID, err)
+				os.Exit(1)
+			}
+			jsonDocs = append(jsonDocs, doc)
+			if *jsonFile == "" {
+				fmt.Println(string(doc))
+			}
+			continue
+		}
 		res, err := runAveraged(ctx, f, scale, modes, *repeat)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.ID, err)
@@ -104,7 +131,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Println(string(data))
+			jsonDocs = append(jsonDocs, data)
+			if *jsonFile == "" {
+				fmt.Println(string(data))
+			}
 			continue
 		}
 		fmt.Print(res.Table())
@@ -112,6 +142,96 @@ func main() {
 		fmt.Print(res.Summary())
 		fmt.Println()
 	}
+	if *jsonFile != "" {
+		var blob []byte
+		switch len(jsonDocs) {
+		case 0:
+			fmt.Fprintln(os.Stderr, "no JSON results produced; nothing written")
+			os.Exit(1)
+		case 1:
+			blob = append([]byte(nil), jsonDocs[0]...)
+		default:
+			var err error
+			if blob, err = json.MarshalIndent(jsonDocs, "", "  "); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonFile, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonFile)
+	}
+}
+
+// runWALAB measures the durability cost: the same figure, same seeds, once
+// with the commit log on and once volatile, combined into one JSON document
+// with the headline throughput delta.
+func runWALAB(ctx context.Context, f harness.Figure, scale harness.Scale, modes []harness.Mode, repeat int) (json.RawMessage, error) {
+	on := scale
+	on.Durable = true
+	off := scale
+	off.Durable = false
+
+	resOn, err := runAveraged(ctx, f, on, modes, repeat)
+	if err != nil {
+		return nil, fmt.Errorf("wal on: %w", err)
+	}
+	resOff, err := runAveraged(ctx, f, off, modes, repeat)
+	if err != nil {
+		return nil, fmt.Errorf("wal off: %w", err)
+	}
+	jsOn, err := resOn.ExportJSON()
+	if err != nil {
+		return nil, err
+	}
+	jsOff, err := resOff.ExportJSON()
+	if err != nil {
+		return nil, err
+	}
+	doc := struct {
+		Figure     string          `json:"figure"`
+		Title      string          `json:"title"`
+		WALOn      json.RawMessage `json:"wal_on"`
+		WALOff     json.RawMessage `json:"wal_off"`
+		Throughput map[string]struct {
+			On    float64 `json:"wal_on_tx_per_s"`
+			Off   float64 `json:"wal_off_tx_per_s"`
+			Ratio float64 `json:"on_over_off"`
+		} `json:"mean_throughput"`
+	}{Figure: f.ID, Title: f.Title, WALOn: jsOn, WALOff: jsOff}
+	doc.Throughput = map[string]struct {
+		On    float64 `json:"wal_on_tx_per_s"`
+		Off   float64 `json:"wal_off_tx_per_s"`
+		Ratio float64 `json:"on_over_off"`
+	}{}
+	for _, m := range modes {
+		sOn, sOff := resOn.Series[m], resOff.Series[m]
+		if sOn == nil || sOff == nil {
+			continue
+		}
+		entry := doc.Throughput[m.String()]
+		entry.On = meanOf(sOn.Throughput)
+		entry.Off = meanOf(sOff.Throughput)
+		if entry.Off > 0 {
+			entry.Ratio = entry.On / entry.Off
+		}
+		doc.Throughput[m.String()] = entry
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
 }
 
 // runAblation measures QR-ACN with each algorithm step disabled in turn,
@@ -234,6 +354,7 @@ func runAveraged(ctx context.Context, f harness.Figure, scale harness.Scale, mod
 			a.Metrics.SubAborts += series.Metrics.SubAborts
 			a.Metrics.BusyBackoffs += series.Metrics.BusyBackoffs
 			a.Metrics.RemoteReads += series.Metrics.RemoteReads
+			a.WAL.Add(series.WAL)
 		}
 	}
 	for _, series := range acc.Series {

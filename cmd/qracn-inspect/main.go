@@ -10,6 +10,13 @@
 //	qracn-inspect -program bank/transfer
 //	qracn-inspect -program tpcc/new-order -levels 1=40,0=2 -threshold 0.3
 //	qracn-inspect -program vacation/reserve -dot > reserve.dot
+//
+// The wal subcommand dumps and verifies a node's commit log (a WAL
+// directory or a single segment file), exiting non-zero if the log ends in
+// a torn record or any CRC check fails:
+//
+//	qracn-inspect wal /var/lib/qracn/node-0
+//	qracn-inspect wal -records wal-00000003.log
 package main
 
 import (
@@ -30,6 +37,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "wal" {
+		os.Exit(walMain(os.Args[2:], os.Stdout))
+	}
 	var (
 		list      = flag.Bool("list", false, "list registered programs")
 		name      = flag.String("program", "", "program to inspect (workload/profile)")

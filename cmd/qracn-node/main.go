@@ -8,10 +8,17 @@
 // and both stream directions use persistent gob codecs with coalesced
 // writes.
 //
+// With -wal-dir the node is durable: commits are appended to a write-ahead
+// log and group-commit fsynced before they are acknowledged, the store is
+// periodically checkpointed into snapshots, and a restart replays
+// snapshot+log — answering pings but refusing work with StatusUnavailable
+// until the replay has finished.
+//
 // Usage:
 //
 //	qracn-node -id 0 -listen :7450
 //	qracn-node -id 1 -listen :7451 -stats-window 10s -compress
+//	qracn-node -id 2 -listen :7452 -wal-dir /var/lib/qracn/node-2 -fsync-interval 2ms
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"qracn/internal/quorum"
 	"qracn/internal/server"
 	"qracn/internal/transport"
+	"qracn/internal/wal"
 )
 
 func main() {
@@ -34,12 +42,26 @@ func main() {
 		statsWindow = flag.Duration("stats-window", 10*time.Second, "contention observation window (paper: 10s)")
 		protectTTL  = flag.Duration("protect-ttl", 30*time.Second, "lease expiry for protections left by crashed clients (0 disables)")
 		compress    = flag.Bool("compress", false, "flate-compress large frames")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory; empty runs the node volatile")
+		noWAL       = flag.Bool("no-wal", false, "force a volatile node even when -wal-dir is set")
+		fsyncEvery  = flag.Duration("fsync-interval", 0, "group-commit accumulation window (0: 2ms default; negative: fsync every append)")
+		snapEvery   = flag.Int("snapshot-every", 0, "checkpoint the store every N logged records (0: default 4096; negative: never)")
 	)
 	flag.Parse()
 
-	node := server.NewNode(quorum.NodeID(*id), server.Config{StatsWindow: *statsWindow})
+	durable := *walDir != "" && !*noWAL
+	node := server.NewNode(quorum.NodeID(*id), server.Config{
+		StatsWindow:   *statsWindow,
+		SnapshotEvery: *snapEvery,
+	})
 	if *protectTTL > 0 {
 		node.Store().SetProtectTTL(*protectTTL, nil)
+	}
+	if durable {
+		// Recovery handshake: the listener comes up first on a recovering
+		// node, so restarting clients fail over instead of reading
+		// pre-replay state; the replay below then opens the node.
+		node.BeginRecovery()
 	}
 	srv := transport.NewTCPServer(node.Handle, *compress)
 	addr, err := srv.Listen(*listen)
@@ -47,11 +69,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("qracn-node %d serving on %s (stats window %v)\n", *id, addr, *statsWindow)
+	if durable {
+		log, rec, err := wal.Open(*walDir, wal.Options{FsyncInterval: *fsyncEvery})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			srv.Close()
+			os.Exit(1)
+		}
+		node.AttachWAL(log)
+		node.FinishRecovery(rec)
+		fmt.Printf("qracn-node %d serving on %s (stats window %v, wal %s: %d snapshot objects + %d log records replayed)\n",
+			*id, addr, *statsWindow, *walDir, rec.SnapshotObjects, rec.LogRecords)
+	} else {
+		fmt.Printf("qracn-node %d serving on %s (stats window %v, volatile)\n", *id, addr, *statsWindow)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
 	srv.Close()
+	if w := node.WAL(); w != nil {
+		if err := node.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+		}
+		if err := w.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "wal close: %v\n", err)
+		}
+	}
 }

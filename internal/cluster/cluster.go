@@ -7,6 +7,8 @@ package cluster
 
 import (
 	"context"
+	"fmt"
+	"path/filepath"
 	"time"
 
 	"qracn/internal/dtm"
@@ -14,6 +16,7 @@ import (
 	"qracn/internal/server"
 	"qracn/internal/store"
 	"qracn/internal/transport"
+	"qracn/internal/wal"
 )
 
 // Config sizes and tunes a cluster.
@@ -32,6 +35,18 @@ type Config struct {
 	ProtectTTL time.Duration
 	// Now injects a clock for server meters (nil: time.Now).
 	Now func() time.Time
+	// WALDir, when non-empty, gives every node a durable commit log under
+	// WALDir/node-i — the full write path (group-commit fsync before ack)
+	// runs even on the in-process transport, so benchmarks measure the
+	// durability cost without real networking. New returns an error only
+	// through NewDurable; New panics on a WAL that cannot open.
+	WALDir string
+	// FsyncInterval is the group-commit accumulation window (0: wal
+	// default; negative: fsync every append).
+	FsyncInterval time.Duration
+	// SnapshotEvery is the automatic checkpoint threshold in records
+	// (0: server default; negative: only explicit checkpoints).
+	SnapshotEvery int
 }
 
 // Cluster is a running in-process deployment.
@@ -41,8 +56,18 @@ type Cluster struct {
 	Nodes []*server.Node
 }
 
-// New builds and starts a cluster.
+// New builds and starts a cluster. See NewDurable for the error-returning
+// form required when cfg.WALDir is set.
 func New(cfg Config) *Cluster {
+	c, err := NewDurable(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewDurable builds and starts a cluster, surfacing WAL open errors.
+func NewDurable(cfg Config) (*Cluster, error) {
 	if cfg.Servers == 0 {
 		cfg.Servers = 10
 	}
@@ -54,14 +79,33 @@ func New(cfg Config) *Cluster {
 		Net:  transport.NewChannelNetwork(cfg.Network),
 	}
 	for i := 0; i < cfg.Servers; i++ {
-		n := server.NewNode(quorum.NodeID(i), server.Config{StatsWindow: cfg.StatsWindow, Now: cfg.Now})
+		scfg := server.Config{
+			StatsWindow:   cfg.StatsWindow,
+			Now:           cfg.Now,
+			SnapshotEvery: cfg.SnapshotEvery,
+		}
+		var rec *wal.Recovered
+		if cfg.WALDir != "" {
+			dir := filepath.Join(cfg.WALDir, fmt.Sprintf("node-%d", i))
+			log, r, err := wal.Open(dir, wal.Options{FsyncInterval: cfg.FsyncInterval})
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: node %d wal: %w", i, err)
+			}
+			scfg.WAL = log
+			rec = r
+		}
+		n := server.NewNode(quorum.NodeID(i), scfg)
+		if rec != nil {
+			n.Store().Restore(rec.Objects)
+		}
 		if cfg.ProtectTTL > 0 {
 			n.Store().SetProtectTTL(cfg.ProtectTTL, cfg.Now)
 		}
 		c.Nodes = append(c.Nodes, n)
 		c.Net.Register(n.ID(), n.Handle)
 	}
-	return c
+	return c, nil
 }
 
 // Seed installs the same objects on every replica (full replication).
@@ -111,8 +155,27 @@ func (c *Cluster) Kill(id quorum.NodeID) { c.Net.SetDown(id, true) }
 // partition heal rather than a cold restart).
 func (c *Cluster) Revive(id quorum.NodeID) { c.Net.SetDown(id, false) }
 
-// Close shuts the network down.
-func (c *Cluster) Close() { c.Net.Close() }
+// Close shuts the network down and cleanly closes any commit logs.
+func (c *Cluster) Close() {
+	c.Net.Close()
+	for _, n := range c.Nodes {
+		if w := n.WAL(); w != nil {
+			w.Close()
+		}
+	}
+}
+
+// WALStats sums the commit-log counters across all nodes (zero value on a
+// volatile cluster).
+func (c *Cluster) WALStats() dtm.WALStats {
+	var out dtm.WALStats
+	for _, n := range c.Nodes {
+		if w := n.WAL(); w != nil {
+			out.Add(walStatsFor(w))
+		}
+	}
+	return out
+}
 
 // ReviveAndRepair brings a node back and runs anti-entropy against a live
 // peer so the healed replica serves fresh state immediately instead of

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"qracn/internal/server"
 	"qracn/internal/store"
 	"qracn/internal/transport"
+	"qracn/internal/wal"
 )
 
 // TCPConfig sizes a loopback TCP deployment.
@@ -27,6 +29,17 @@ type TCPConfig struct {
 	ProtectTTL time.Duration
 	// Now injects a clock for server meters (nil: time.Now).
 	Now func() time.Time
+	// WALDir, when non-empty, makes every node durable: node i logs its
+	// commits under WALDir/node-i, Kill crashes the log without flushing,
+	// and Restart replays snapshot+log before serving (recovery handshake).
+	// Empty keeps the pre-WAL volatile behaviour.
+	WALDir string
+	// FsyncInterval is the group-commit accumulation window (0: wal default;
+	// negative: fsync every append).
+	FsyncInterval time.Duration
+	// SnapshotEvery is the automatic checkpoint threshold in records
+	// (0: server default; negative: only explicit checkpoints).
+	SnapshotEvery int
 }
 
 // TCPCluster is a multi-listener deployment on the loopback interface: the
@@ -45,8 +58,33 @@ type TCPCluster struct {
 	protectTTL  time.Duration
 	now         func() time.Time
 
+	walDir        string
+	fsyncInterval time.Duration
+	snapshotEvery int
+
 	mu      sync.Mutex
 	clients []*transport.TCPClient
+}
+
+// Durable reports whether the cluster's nodes write commit logs.
+func (c *TCPCluster) Durable() bool { return c.walDir != "" }
+
+func (c *TCPCluster) nodeWALDir(id quorum.NodeID) string {
+	return filepath.Join(c.walDir, fmt.Sprintf("node-%d", id))
+}
+
+// newNode builds a quorum node with the cluster's store/meter tuning.
+func (c *TCPCluster) newNode(id quorum.NodeID, log *wal.Log) *server.Node {
+	n := server.NewNode(id, server.Config{
+		StatsWindow:   c.statsWindow,
+		Now:           c.now,
+		WAL:           log,
+		SnapshotEvery: c.snapshotEvery,
+	})
+	if c.protectTTL > 0 {
+		n.Store().SetProtectTTL(c.protectTTL, c.now)
+	}
+	return n
 }
 
 // NewTCP starts the servers and returns the running cluster.
@@ -58,27 +96,42 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		cfg.Degree = 3
 	}
 	c := &TCPCluster{
-		Tree:        quorum.NewTree(cfg.Servers, cfg.Degree),
-		addrs:       make(map[quorum.NodeID]string),
-		compress:    cfg.Compress,
-		statsWindow: cfg.StatsWindow,
-		protectTTL:  cfg.ProtectTTL,
-		now:         cfg.Now,
+		Tree:          quorum.NewTree(cfg.Servers, cfg.Degree),
+		addrs:         make(map[quorum.NodeID]string),
+		compress:      cfg.Compress,
+		statsWindow:   cfg.StatsWindow,
+		protectTTL:    cfg.ProtectTTL,
+		now:           cfg.Now,
+		walDir:        cfg.WALDir,
+		fsyncInterval: cfg.FsyncInterval,
+		snapshotEvery: cfg.SnapshotEvery,
 	}
 	for i := 0; i < cfg.Servers; i++ {
-		n := server.NewNode(quorum.NodeID(i), server.Config{StatsWindow: cfg.StatsWindow, Now: cfg.Now})
-		if cfg.ProtectTTL > 0 {
-			n.Store().SetProtectTTL(cfg.ProtectTTL, cfg.Now)
+		id := quorum.NodeID(i)
+		var log *wal.Log
+		if c.Durable() {
+			var rec *wal.Recovered
+			var err error
+			log, rec, err = wal.Open(c.nodeWALDir(id), wal.Options{FsyncInterval: cfg.FsyncInterval})
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: node %d wal: %w", i, err)
+			}
+			n := c.newNode(id, log)
+			// A pre-existing log (re-opened directory) seeds the replica.
+			n.Store().Restore(rec.Objects)
+			c.Nodes = append(c.Nodes, n)
+		} else {
+			c.Nodes = append(c.Nodes, c.newNode(id, nil))
 		}
-		srv := transport.NewTCPServer(n.Handle, cfg.Compress)
+		srv := transport.NewTCPServer(c.Nodes[i].Handle, cfg.Compress)
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
-		c.Nodes = append(c.Nodes, n)
 		c.servers = append(c.servers, srv)
-		c.addrs[n.ID()] = addr
+		c.addrs[id] = addr
 	}
 	return c, nil
 }
@@ -92,7 +145,9 @@ func (c *TCPCluster) Addrs() map[quorum.NodeID]string {
 	return out
 }
 
-// Seed installs the same objects on every replica.
+// Seed installs the same objects on every replica. On a durable cluster the
+// seeded baseline is immediately checkpointed, so a node killed before its
+// first commit still recovers the full object space.
 func (c *TCPCluster) Seed(objs map[store.ObjectID]store.Value) {
 	for _, n := range c.Nodes {
 		cp := make(map[store.ObjectID]store.Value, len(objs))
@@ -104,6 +159,7 @@ func (c *TCPCluster) Seed(objs map[store.ObjectID]store.Value) {
 			}
 		}
 		n.Store().SeedBatch(cp)
+		_ = n.Checkpoint()
 	}
 }
 
@@ -123,21 +179,52 @@ func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 }
 
 // Kill stops node id's listener and drops its connections, simulating a
-// process crash. Clients see refused dials until Restart.
+// process crash. Clients see refused dials until Restart. On a durable
+// cluster the node's commit log is crashed too — abandoned without a final
+// flush — so only group-commit-synced (i.e. acknowledged) appends survive,
+// exactly what a real power cut leaves behind.
 func (c *TCPCluster) Kill(id quorum.NodeID) {
 	c.servers[id].Close()
+	if w := c.Nodes[id].WAL(); w != nil {
+		w.Crash()
+	}
 }
 
-// Restart brings a killed node back on its original address. With cold
-// true the node restarts with an empty replica (a crash that lost its
-// state) — the path read-repair and anti-entropy exist for; otherwise it
-// rejoins with the state it had when killed (a process pause or partition).
+// Restart brings a killed node back on its original address.
+//
+// On a durable cluster every restart is a cold process start that recovers
+// from disk: the listener comes up first on a recovering node (clients get
+// StatusUnavailable and fail over — the recovery handshake), the node
+// replays its newest snapshot plus the log tail, then opens for service
+// already version-current. The cold flag is ignored; the WAL is the state.
+//
+// On a volatile cluster, cold true restarts with an empty replica (a crash
+// that lost its state — the path read-repair and anti-entropy exist for);
+// otherwise the node rejoins with the state it had when killed (a process
+// pause or partition).
 func (c *TCPCluster) Restart(id quorum.NodeID, cold bool) error {
-	if cold {
-		c.Nodes[id] = server.NewNode(id, server.Config{StatsWindow: c.statsWindow, Now: c.now})
-		if c.protectTTL > 0 {
-			c.Nodes[id].Store().SetProtectTTL(c.protectTTL, c.now)
+	if c.Durable() {
+		n := c.newNode(id, nil)
+		n.BeginRecovery()
+		srv := transport.NewTCPServer(n.Handle, c.compress)
+		addr, err := srv.Listen(c.addrs[id])
+		if err != nil {
+			return fmt.Errorf("cluster: restart node %d: %w", id, err)
 		}
+		log, rec, err := wal.Open(c.nodeWALDir(id), wal.Options{FsyncInterval: c.fsyncInterval})
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("cluster: restart node %d wal: %w", id, err)
+		}
+		n.AttachWAL(log)
+		n.FinishRecovery(rec)
+		c.Nodes[id] = n
+		c.servers[id] = srv
+		c.addrs[id] = addr
+		return nil
+	}
+	if cold {
+		c.Nodes[id] = c.newNode(id, nil)
 	}
 	srv := transport.NewTCPServer(c.Nodes[id].Handle, c.compress)
 	addr, err := srv.Listen(c.addrs[id])
@@ -149,7 +236,39 @@ func (c *TCPCluster) Restart(id quorum.NodeID, cold bool) error {
 	return nil
 }
 
-// Close tears down all clients and servers.
+// WALStats sums the commit-log counters across all nodes (zero value on a
+// volatile cluster).
+func (c *TCPCluster) WALStats() dtm.WALStats {
+	var out dtm.WALStats
+	for _, n := range c.Nodes {
+		if w := n.WAL(); w != nil {
+			out.Add(walStatsFor(w))
+		}
+	}
+	return out
+}
+
+// walStatsFor converts one log's counters into the dtm aggregate form.
+func walStatsFor(w *wal.Log) dtm.WALStats {
+	s := w.Stats()
+	out := dtm.WALStats{
+		Appends:           s.Appends,
+		Records:           s.Records,
+		Fsyncs:            s.Fsyncs,
+		MaxBatch:          s.MaxBatch,
+		Snapshots:         s.Snapshots,
+		SegmentsRemoved:   s.SegmentsRemoved,
+		ReplayedRecords:   s.ReplayedRecords,
+		ReplayedSnapshots: s.ReplayedSnapshot,
+	}
+	if s.TornTailTruncated {
+		out.TornTails = 1
+	}
+	return out
+}
+
+// Close tears down all clients, servers, and commit logs (logs are flushed,
+// not crashed — Close is a clean shutdown).
 func (c *TCPCluster) Close() {
 	c.mu.Lock()
 	clients := c.clients
@@ -160,5 +279,10 @@ func (c *TCPCluster) Close() {
 	}
 	for _, s := range c.servers {
 		s.Close()
+	}
+	for _, n := range c.Nodes {
+		if w := n.WAL(); w != nil {
+			w.Close()
+		}
 	}
 }

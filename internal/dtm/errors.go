@@ -69,4 +69,10 @@ var (
 	// ErrQuorumUnreachable reports that no quorum could be assembled or
 	// reached.
 	ErrQuorumUnreachable = errors.New("dtm: quorum unreachable")
+	// ErrNodeUnavailable reports a member that answered StatusUnavailable:
+	// the process is live but still replaying its commit log after a
+	// restart. The caller fails over to another member; the error
+	// deliberately does not satisfy health.CountsAsFailure, so a recovering
+	// node is not pushed toward suspicion by the very clients it refused.
+	ErrNodeUnavailable = errors.New("dtm: node unavailable (recovering)")
 )

@@ -42,6 +42,48 @@ type Metrics struct {
 	Repairs atomic.Uint64
 }
 
+// WALStats aggregates server-side write-ahead-log counters across the nodes
+// a harness run owns. The WAL lives on the servers, not in the client
+// runtime, so these are collected from wal.Log.Stats() at snapshot time
+// rather than maintained by the Metrics counters above.
+type WALStats struct {
+	// Appends counts Append calls (≈ one per durable commit decision).
+	Appends uint64
+	// Records counts individual log records written (one per object write).
+	Records uint64
+	// Fsyncs counts physical fsync batches; Appends/Fsyncs is the group
+	// commit amortization factor.
+	Fsyncs uint64
+	// MaxBatch is the largest number of appends retired by one fsync.
+	MaxBatch uint64
+	// Snapshots counts store checkpoints taken.
+	Snapshots uint64
+	// SegmentsRemoved counts log segments compacted away by checkpoints.
+	SegmentsRemoved uint64
+	// ReplayedRecords counts log records re-applied during recovery.
+	ReplayedRecords uint64
+	// ReplayedSnapshots counts objects restored from snapshots during
+	// recovery.
+	ReplayedSnapshots uint64
+	// TornTails counts recoveries that truncated a torn final record.
+	TornTails uint64
+}
+
+// Add accumulates another node's WAL counters (MaxBatch merges by maximum).
+func (w *WALStats) Add(o WALStats) {
+	w.Appends += o.Appends
+	w.Records += o.Records
+	w.Fsyncs += o.Fsyncs
+	if o.MaxBatch > w.MaxBatch {
+		w.MaxBatch = o.MaxBatch
+	}
+	w.Snapshots += o.Snapshots
+	w.SegmentsRemoved += o.SegmentsRemoved
+	w.ReplayedRecords += o.ReplayedRecords
+	w.ReplayedSnapshots += o.ReplayedSnapshots
+	w.TornTails += o.TornTails
+}
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Commits             uint64

@@ -304,13 +304,14 @@ func (rt *Runtime) Atomic(ctx context.Context, fn func(*Tx) error) error {
 			return err
 		}
 		tx := &Tx{
-			rt:       rt,
-			ctx:      ctx,
-			id:       fmt.Sprintf("c%d-t%d-a%d", rt.cfg.ClientSeed, seq, attempt),
-			seed:     rt.cfg.ClientSeed + int(seq),
-			reads:    make(map[store.ObjectID]uint64),
-			readVals: make(map[store.ObjectID]store.Value),
-			writes:   make(map[store.ObjectID]store.Value),
+			rt:         rt,
+			ctx:        ctx,
+			id:         fmt.Sprintf("c%d-t%d-a%d", rt.cfg.ClientSeed, seq, attempt),
+			seed:       rt.cfg.ClientSeed + int(seq),
+			reads:      make(map[store.ObjectID]uint64),
+			readVals:   make(map[store.ObjectID]store.Value),
+			writes:     make(map[store.ObjectID]store.Value),
+			writeBlock: make(map[store.ObjectID]int),
 		}
 		err := fn(tx)
 		if err == nil {
@@ -362,6 +363,12 @@ func (rt *Runtime) fanoutEach(ctx context.Context, nodes []quorum.NodeID, makeRe
 		go func(i int, n quorum.NodeID) {
 			defer wg.Done()
 			resp, err := rt.cfg.Client.Call(cctx, n, makeReq(i))
+			if err == nil && resp != nil && resp.Status == wire.StatusUnavailable {
+				// Recovery handshake: the node is up but replaying its
+				// commit log. Surface it as a call error so the usual
+				// exclude-and-failover path re-picks the quorum around it.
+				resp, err = nil, ErrNodeUnavailable
+			}
 			out[i] = callResult{node: n, resp: resp, err: err}
 			rt.observe(n, err)
 		}(i, n)

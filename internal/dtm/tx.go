@@ -23,6 +23,16 @@ type Tx struct {
 
 	parent *Tx
 
+	// block identifies which ACN Block (closed-nested sub-transaction) this
+	// context executes: 0 for the top-level context, k for the k-th Sub of
+	// the transaction. subSeq counts Sub calls on a top-level context, and
+	// writeBlock (top level only) remembers, per written object, the block
+	// whose write survives in the merged write-set — the dependency metadata
+	// the commit log records for parallel replay.
+	block      int
+	subSeq     int
+	writeBlock map[store.ObjectID]int
+
 	// reads maps first-accessed objects to the version observed at fetch
 	// time; readOrder preserves access order for commit messages.
 	reads     map[store.ObjectID]uint64
@@ -138,6 +148,9 @@ func (tx *Tx) Write(id store.ObjectID, v store.Value) error {
 		}
 	}
 	tx.writes[id] = v
+	if tx.parent == nil {
+		tx.writeBlock[id] = tx.block
+	}
 	return nil
 }
 
@@ -364,6 +377,8 @@ func (tx *Tx) Sub(fn func(*Tx) error) error {
 		return ErrNestingDepth
 	}
 	rt := tx.rt
+	tx.subSeq++
+	block := tx.subSeq
 	for attempt := 0; attempt < rt.cfg.MaxSubAttempts; attempt++ {
 		child := &Tx{
 			rt:       rt,
@@ -371,6 +386,7 @@ func (tx *Tx) Sub(fn func(*Tx) error) error {
 			id:       tx.id,
 			seed:     tx.seed,
 			parent:   tx,
+			block:    block,
 			reads:    make(map[store.ObjectID]uint64),
 			readVals: make(map[store.ObjectID]store.Value),
 			writes:   make(map[store.ObjectID]store.Value),
@@ -404,6 +420,7 @@ func (tx *Tx) merge(child *Tx) {
 	}
 	for id, v := range child.writes {
 		tx.writes[id] = v
+		tx.writeBlock[id] = child.block
 	}
 }
 
@@ -423,7 +440,12 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 	writes := make([]store.WriteDesc, 0, len(tx.writes))
 	for _, id := range tx.readOrder { // deterministic order
 		if v, ok := tx.writes[id]; ok {
-			writes = append(writes, store.WriteDesc{ID: id, Value: v, NewVersion: tx.reads[id] + 1})
+			writes = append(writes, store.WriteDesc{
+				ID:         id,
+				Value:      v,
+				NewVersion: tx.reads[id] + 1,
+				Block:      tx.writeBlock[id],
+			})
 		}
 	}
 	release := make([]store.ObjectID, 0, len(reads))

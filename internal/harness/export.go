@@ -15,6 +15,22 @@ type exportedSeries struct {
 	RemoteReads    uint64    `json:"remote_reads"`
 	CPRollbacks    uint64    `json:"checkpoint_rollbacks,omitempty"`
 	ReadOnlyFastOK uint64    `json:"read_only_validations"`
+	// WAL is present only for durable runs.
+	WAL *exportedWAL `json:"wal,omitempty"`
+}
+
+// exportedWAL is the stable JSON schema for the commit-log counters of a
+// durable run, summed across nodes.
+type exportedWAL struct {
+	Appends         uint64 `json:"appends"`
+	Records         uint64 `json:"records"`
+	Fsyncs          uint64 `json:"fsyncs"`
+	MaxBatch        uint64 `json:"max_batch"`
+	Snapshots       uint64 `json:"snapshots"`
+	SegmentsRemoved uint64 `json:"segments_removed"`
+	// FsyncsPerCommit is the group-commit amortization: physical syncs per
+	// logged decision (lower is better; 1.0 means no batching happened).
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
 }
 
 // exportedResult is the stable JSON schema for one experiment.
@@ -48,7 +64,7 @@ func (r *Result) ExportJSON() ([]byte, error) {
 		if s == nil {
 			continue
 		}
-		out.Series = append(out.Series, exportedSeries{
+		es := exportedSeries{
 			System:         m.String(),
 			Throughput:     s.Throughput,
 			Commits:        s.Commits,
@@ -60,7 +76,19 @@ func (r *Result) ExportJSON() ([]byte, error) {
 			RemoteReads:    s.Metrics.RemoteReads,
 			CPRollbacks:    s.Metrics.CheckpointRollbacks,
 			ReadOnlyFastOK: s.Metrics.ReadOnlyFasts,
-		})
+		}
+		if s.WAL.Appends > 0 {
+			es.WAL = &exportedWAL{
+				Appends:         s.WAL.Appends,
+				Records:         s.WAL.Records,
+				Fsyncs:          s.WAL.Fsyncs,
+				MaxBatch:        s.WAL.MaxBatch,
+				Snapshots:       s.WAL.Snapshots,
+				SegmentsRemoved: s.WAL.SegmentsRemoved,
+				FsyncsPerCommit: float64(s.WAL.Fsyncs) / float64(s.WAL.Appends),
+			}
+		}
+		out.Series = append(out.Series, es)
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -19,6 +19,10 @@ type Scale struct {
 	Seed             int64
 	DisablePrefetch  bool
 	NoRepair         bool
+	Durable          bool
+	WALDir           string
+	FsyncInterval    time.Duration
+	SnapshotEvery    int
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -40,6 +44,10 @@ func (s Scale) apply(o Options) Options {
 	o.Seed = s.Seed
 	o.DisablePrefetch = s.DisablePrefetch
 	o.NoRepair = s.NoRepair
+	o.Durable = s.Durable
+	o.WALDir = s.WALDir
+	o.FsyncInterval = s.FsyncInterval
+	o.SnapshotEvery = s.SnapshotEvery
 	return o
 }
 

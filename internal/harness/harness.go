@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +108,20 @@ type Options struct {
 	// NoRepair disables asynchronous read-repair of stale quorum members,
 	// for A/B comparisons of replica convergence under faults.
 	NoRepair bool
+	// Durable gives every node a commit log: the full write-ahead path
+	// (append + group-commit fsync before the decision ack) runs during the
+	// experiment, measuring the durability cost. Each mode's run gets a
+	// fresh directory, removed afterwards.
+	Durable bool
+	// WALDir is the base directory for the per-run logs ("" uses the
+	// system temp directory). Only read when Durable is set.
+	WALDir string
+	// FsyncInterval is the group-commit accumulation window (0: wal
+	// default; negative: fsync every append).
+	FsyncInterval time.Duration
+	// SnapshotEvery is the automatic checkpoint threshold in records
+	// (0: server default; negative: only explicit checkpoints).
+	SnapshotEvery int
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -171,6 +186,9 @@ type Series struct {
 	P99Latency  time.Duration
 	// Runtime counters aggregated over all clients.
 	Metrics dtm.Snapshot
+	// WAL aggregates the nodes' commit-log counters (zero unless the run
+	// was durable).
+	WAL dtm.WALStats
 }
 
 // Result is one experiment's outcome across systems.
@@ -218,7 +236,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		analyses[i] = an
 	}
 
-	c := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Servers: opts.Servers,
 		Network: transport.ChannelConfig{
 			Latency: opts.NetLatency,
@@ -227,7 +245,23 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		},
 		StatsWindow: opts.IntervalLength,
 		ProtectTTL:  opts.ProtectTTL,
-	})
+	}
+	if opts.Durable {
+		// A fresh directory per run: replaying a previous run's log would
+		// seed the replicas with stale versions and skew the measurement.
+		dir, err := os.MkdirTemp(opts.WALDir, "qracn-wal-"+mode.String()+"-")
+		if err != nil {
+			return nil, fmt.Errorf("wal dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		ccfg.WALDir = dir
+		ccfg.FsyncInterval = opts.FsyncInterval
+		ccfg.SnapshotEvery = opts.SnapshotEvery
+	}
+	c, err := cluster.NewDurable(ccfg)
+	if err != nil {
+		return nil, err
+	}
 	defer c.Close()
 	c.Seed(w.SeedObjects())
 
@@ -378,6 +412,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		Commits:     meter.Total(),
 		MeanLatency: latency.Mean(),
 		P99Latency:  latency.Quantile(0.99),
+		WAL:         c.WALStats(),
 	}
 	for _, cs := range clients {
 		m := cs.rt.Metrics().Snapshot()

@@ -9,12 +9,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"qracn/internal/contention"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/transport"
+	"qracn/internal/wal"
 	"qracn/internal/wire"
 )
 
@@ -25,6 +28,15 @@ type Config struct {
 	StatsWindow time.Duration
 	// Now injects a clock for tests; nil means time.Now.
 	Now func() time.Time
+	// WAL, when non-nil, makes the node durable: every applied write (2PC
+	// decisions, read-repair pushes, anti-entropy transfers) is appended to
+	// the log and group-commit fsynced BEFORE the request is acknowledged,
+	// so an acked commit survives a process crash.
+	WAL *wal.Log
+	// SnapshotEvery triggers an automatic store checkpoint (snapshot +
+	// segment compaction) once that many records have been appended since
+	// the last one (0: default 4096; negative: never automatically).
+	SnapshotEvery int
 }
 
 // Node is one quorum server.
@@ -32,6 +44,21 @@ type Node struct {
 	id    quorum.NodeID
 	store *store.Store
 	meter *contention.Meter
+
+	wal      *wal.Log
+	snapEvry uint64
+	// commitMu serializes checkpoints against the append→apply window of
+	// in-flight writes: writers hold it shared across (WAL append, store
+	// apply), Checkpoint takes it exclusively, so a snapshot can never cover
+	// a log record whose store apply had not happened yet.
+	commitMu sync.RWMutex
+	snapping atomic.Bool
+
+	// recovering gates the recovery handshake: while set, every request but
+	// KindPing is refused with StatusUnavailable so clients fail over
+	// instead of reading pre-replay (stale or empty) state. Cleared by
+	// FinishRecovery once the WAL replay has been installed.
+	recovering atomic.Bool
 }
 
 // NewNode creates a node with an empty replica.
@@ -39,10 +66,19 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 	if cfg.StatsWindow <= 0 {
 		cfg.StatsWindow = 10 * time.Second
 	}
+	snapEvery := uint64(4096)
+	switch {
+	case cfg.SnapshotEvery > 0:
+		snapEvery = uint64(cfg.SnapshotEvery)
+	case cfg.SnapshotEvery < 0:
+		snapEvery = 0
+	}
 	return &Node{
-		id:    id,
-		store: store.New(),
-		meter: contention.NewMeter(cfg.StatsWindow, cfg.Now),
+		id:       id,
+		store:    store.New(),
+		meter:    contention.NewMeter(cfg.StatsWindow, cfg.Now),
+		wal:      cfg.WAL,
+		snapEvry: snapEvery,
 	}
 }
 
@@ -55,12 +91,110 @@ func (n *Node) Store() *store.Store { return n.store }
 // Meter exposes the contention meter (tests only).
 func (n *Node) Meter() *contention.Meter { return n.meter }
 
+// WAL exposes the node's commit log (nil when the node is volatile).
+func (n *Node) WAL() *wal.Log { return n.wal }
+
+// AttachWAL installs the commit log on a node built before its log was
+// opened. The durable restart sequence needs this ordering: bind the
+// listener on a recovering node first (so clients get StatusUnavailable and
+// fail over), then replay the log, then attach and FinishRecovery. Only
+// legal while the node is recovering — the recovering gate is what keeps
+// handlers from racing this write.
+func (n *Node) AttachWAL(l *wal.Log) { n.wal = l }
+
+// BeginRecovery puts the node in the recovering state: it answers pings but
+// refuses every other request with StatusUnavailable. Call before exposing
+// a restarted node's listener, so clients fail over during replay instead
+// of observing pre-replay state.
+func (n *Node) BeginRecovery() { n.recovering.Store(true) }
+
+// FinishRecovery installs the WAL-recovered object state into the replica
+// and opens the node for service.
+func (n *Node) FinishRecovery(rec *wal.Recovered) {
+	if rec != nil {
+		n.store.Restore(rec.Objects)
+	}
+	n.recovering.Store(false)
+}
+
+// Recovering reports whether the node is still replaying.
+func (n *Node) Recovering() bool { return n.recovering.Load() }
+
+// logWrite makes one write durable before it is applied. Callers hold
+// n.commitMu shared. A WAL error fails the request — a node that cannot log
+// must not ack, or the commit would be silently volatile.
+func (n *Node) logWrite(txID string, w store.WriteDesc) error {
+	if n.wal == nil {
+		return nil
+	}
+	return n.wal.Append(wal.Record{
+		TxID:    txID,
+		Block:   w.Block,
+		Key:     w.ID,
+		Version: w.NewVersion,
+		Value:   w.Value,
+	})
+}
+
+// logWrites batches a decision's writes into one Append (one group-commit
+// wait for the whole transaction).
+func (n *Node) logWrites(txID string, writes []store.WriteDesc) error {
+	if n.wal == nil || len(writes) == 0 {
+		return nil
+	}
+	recs := make([]wal.Record, len(writes))
+	for i, w := range writes {
+		recs[i] = wal.Record{
+			TxID:    txID,
+			Block:   w.Block,
+			Key:     w.ID,
+			Version: w.NewVersion,
+			Value:   w.Value,
+		}
+	}
+	return n.wal.Append(recs...)
+}
+
+// Checkpoint snapshots the replica into the WAL and compacts old segments.
+// No-op on volatile nodes.
+func (n *Node) Checkpoint() error {
+	if n.wal == nil {
+		return nil
+	}
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	snap := n.store.Snapshot()
+	objs := make([]store.WriteDesc, 0, len(snap))
+	for id, o := range snap {
+		objs = append(objs, store.WriteDesc{ID: id, Value: o.Value, NewVersion: o.Version})
+	}
+	return n.wal.Checkpoint(objs)
+}
+
+// maybeCheckpoint runs an automatic checkpoint when enough records have
+// accumulated since the last one. It runs at most one at a time and in the
+// caller's goroutine (the commit that trips the threshold pays for it, a
+// deliberate choice: backpressure instead of an unbounded snapshot queue).
+func (n *Node) maybeCheckpoint() {
+	if n.wal == nil || n.snapEvry == 0 || n.wal.RecordsSinceSnapshot() < n.snapEvry {
+		return
+	}
+	if !n.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	defer n.snapping.Store(false)
+	_ = n.Checkpoint()
+}
+
 // Handle implements transport.Handler. Batch requests fan their
 // sub-requests out to concurrent goroutines; everything else dispatches
 // inline. The context carries the caller's deadline/cancellation (the
 // transport cancels it when the client gives up), which batch dispatch
 // honours between and during sub-requests.
 func (n *Node) Handle(ctx context.Context, req *wire.Request) *wire.Response {
+	if n.recovering.Load() && req.Kind != wire.KindPing {
+		return &wire.Response{Status: wire.StatusUnavailable, Detail: "node recovering: replaying commit log"}
+	}
 	switch req.Kind {
 	case wire.KindRead:
 		return n.handleRead(req)
@@ -182,18 +316,31 @@ func (n *Node) handleDecision(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusError, Detail: "decision request missing payload"}
 	}
 	if d.Commit {
+		// Durability point: the whole write-set is appended and group-commit
+		// fsynced before any of it is applied or the decision acked. The
+		// shared commitMu keeps the append→apply window out of snapshots.
+		n.commitMu.RLock()
+		if err := n.logWrites(req.TxID, d.Writes); err != nil {
+			n.commitMu.RUnlock()
+			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
+		}
 		for _, w := range d.Writes {
 			if err := n.store.Apply(w, req.TxID); err != nil {
+				n.commitMu.RUnlock()
 				return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
 			}
 			n.meter.RecordWrite(w.ID)
 		}
+		n.commitMu.RUnlock()
 	}
 	for _, id := range d.Release {
 		// Apply already released write objects; releasing an unprotected
 		// object is a no-op, and ErrNotOwner/ErrNotFound mean another
 		// transaction raced in after our release — nothing to do.
 		_ = n.store.Unprotect(id, req.TxID)
+	}
+	if d.Commit {
+		n.maybeCheckpoint()
 	}
 	return &wire.Response{Status: wire.StatusOK}
 }
@@ -236,6 +383,8 @@ func (n *Node) handleRepair(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusOK} // already current
 	}
 	w := store.WriteDesc{ID: r.Object, Value: r.Value, NewVersion: r.Version}
+	n.commitMu.RLock()
+	defer n.commitMu.RUnlock()
 	if err := n.store.Apply(w, "read-repair"); err != nil {
 		if errors.Is(err, store.ErrNotOwner) {
 			// A commit holds the protection; its decision will publish a
@@ -243,6 +392,11 @@ func (n *Node) handleRepair(req *wire.Request) *wire.Response {
 			return &wire.Response{Status: wire.StatusBusy}
 		}
 		return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
+	}
+	// Log after the version-guarded apply decided the push wins, and before
+	// the ack, so a repaired replica stays repaired across a crash.
+	if err := n.logWrite("read-repair", w); err != nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
 	}
 	return &wire.Response{Status: wire.StatusOK}
 }
@@ -264,10 +418,18 @@ func (n *Node) RepairFrom(ctx context.Context, client transport.Client, peer quo
 		return 0, fmt.Errorf("server: sync with node %d: %s (%s)", peer, resp.Status, resp.Detail)
 	}
 	repaired := 0
+	var applied []store.WriteDesc
+	n.commitMu.RLock()
 	for _, w := range resp.Sync.Objects {
 		if err := n.store.Apply(w, "anti-entropy"); err == nil {
 			repaired++
+			applied = append(applied, w)
 		}
+	}
+	err = n.logWrites("anti-entropy", applied)
+	n.commitMu.RUnlock()
+	if err != nil {
+		return repaired, fmt.Errorf("server: wal: %w", err)
 	}
 	return repaired, nil
 }

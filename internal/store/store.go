@@ -38,6 +38,12 @@ type WriteDesc struct {
 	ID         ObjectID
 	Value      Value
 	NewVersion uint64
+	// Block is the index of the ACN Block (closed-nested sub-transaction)
+	// that produced this write within its transaction: 0 for writes made at
+	// top level, k for the k-th sub-transaction. It is dependency metadata
+	// carried into the commit log so recovery can partition replay by the
+	// sub-transaction structure; replicas ignore it when applying.
+	Block int
 }
 
 // Object is one replica-local versioned object.
@@ -239,6 +245,31 @@ func (s *Store) Apply(w WriteDesc, owner string) error {
 	o.Protected = false
 	o.ProtectedBy = ""
 	return nil
+}
+
+// Restore installs recovered objects (value + version, no protection
+// state) ahead of serving, e.g. from a write-ahead-log replay. Versions
+// only move forward, so restoring over seeded or partially repaired state
+// never regresses an object.
+func (s *Store) Restore(objs []WriteDesc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range objs {
+		o, ok := s.objs[w.ID]
+		if !ok {
+			o = &Object{}
+			s.objs[w.ID] = o
+		}
+		if w.NewVersion <= o.Version {
+			continue
+		}
+		o.Version = w.NewVersion
+		if w.Value != nil {
+			o.Value = w.Value.CloneValue()
+		} else {
+			o.Value = nil
+		}
+	}
 }
 
 // Len reports the number of objects on this replica.

@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qracn/internal/store"
+)
+
+// Record is one durable commit entry: a single object write together with
+// the dependency metadata the paper's recovery argument needs — the
+// transaction that produced it and the ACN Block (sub-transaction) index
+// inside that transaction. Replay only needs (Key, Value, Version), but the
+// (TxID, Block) pair lets a future parallel-replay pass partition the log by
+// dependency the way dependency logging does.
+type Record struct {
+	TxID    string
+	Block   int
+	Key     store.ObjectID
+	Version uint64
+	Value   store.Value
+}
+
+// castagnoli is the CRC-32C table used for record and snapshot framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MaxRecordSize bounds one record's encoded payload; a length field above it
+// is treated as corruption rather than an allocation request.
+const MaxRecordSize = 64 << 20
+
+// TornTailError reports a segment whose final bytes do not form a complete,
+// CRC-valid record — the classic torn write of a crash mid-append. Offset is
+// the file position after the last intact record; everything before it is
+// trustworthy.
+type TornTailError struct {
+	Path   string
+	Offset int64
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("wal: torn tail in %s after offset %d", e.Path, e.Offset)
+}
+
+// Frame layout, shared by log records and the snapshot body:
+//
+//	4B big-endian payload length | 4B big-endian CRC-32C(payload) | payload
+//
+// The CRC covers only the payload; a bit flip in the length field surfaces
+// as a short read or a CRC mismatch, both classified as a torn tail.
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame. io.EOF means a clean end; any partial or
+// corrupt frame is reported as errTorn so callers can classify it.
+var errTorn = errors.New("wal: incomplete or corrupt frame")
+
+func readFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTorn
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxRecordSize {
+		return nil, errTorn
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTorn
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(hdr[4:]) {
+		return nil, errTorn
+	}
+	return payload, nil
+}
+
+// encodeRecord gob-encodes one record into a frame appended to buf.
+// Each record is a self-contained gob stream so segments can be scanned
+// from any record boundary and a torn tail never poisons earlier records.
+func encodeRecord(buf *bytes.Buffer, rec *Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	return writeFrame(buf, payload.Bytes())
+}
+
+// ScanSegment reads every intact record of a segment file in order, calling
+// fn with the record and the file offset at which its frame starts. It
+// returns the number of intact records. A segment that ends mid-record
+// returns a *TornTailError whose Offset marks the end of the intact prefix;
+// a clean end returns a nil error.
+func ScanSegment(path string, fn func(rec *Record, off int64) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := newCountingReader(f)
+	count := 0
+	for {
+		start := br.n
+		payload, err := readFrame(br)
+		if err == io.EOF {
+			return count, nil
+		}
+		if err != nil {
+			return count, &TornTailError{Path: path, Offset: start}
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			// CRC-valid but undecodable: treat as torn so recovery keeps
+			// the intact prefix instead of refusing the whole segment.
+			return count, &TornTailError{Path: path, Offset: start}
+		}
+		if fn != nil {
+			if err := fn(&rec, start); err != nil {
+				return count, err
+			}
+		}
+		count++
+	}
+}
+
+// countingReader tracks how many bytes have been consumed so scan offsets
+// are exact even though reads go through a buffer.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// File naming: segments are wal-%08d.log with a monotonically increasing
+// index; snapshots are snap-%08d.db where the index names the first segment
+// NOT covered by the snapshot (replay = snapshot + segments >= index).
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".db"
+)
+
+func segmentPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segmentPrefix, idx, segmentSuffix))
+}
+
+func snapshotPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", snapshotPrefix, idx, snapshotSuffix))
+}
+
+func parseIndexed(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	idx, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Segments lists a WAL directory's segment files in index order.
+func Segments(dir string) ([]string, error) {
+	idxs, err := listIndexed(dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = segmentPath(dir, idx)
+	}
+	return out, nil
+}
+
+// Snapshots lists a WAL directory's snapshot files in index order.
+func Snapshots(dir string) ([]string, error) {
+	idxs, err := listIndexed(dir, snapshotPrefix, snapshotSuffix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = snapshotPath(dir, idx)
+	}
+	return out, nil
+}
+
+func listIndexed(dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		if idx, ok := parseIndexed(e.Name(), prefix, suffix); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs, nil
+}
+
+// snapshotBody is the gob payload of a snapshot file: the full object state
+// at checkpoint time. WriteDesc.NewVersion doubles as the object's version.
+type snapshotBody struct {
+	Objects []store.WriteDesc
+}
+
+// ReadSnapshot loads and CRC-verifies one snapshot file.
+func ReadSnapshot(path string) ([]store.WriteDesc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	payload, err := readFrame(f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	var body snapshotBody
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	return body.Objects, nil
+}
+
+// writeSnapshotFile atomically writes a CRC-framed snapshot: temp file,
+// fsync, rename, directory fsync.
+func writeSnapshotFile(dir string, idx uint64, objs []store.WriteDesc) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snapshotBody{Objects: objs}); err != nil {
+		return fmt.Errorf("wal: encode snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeFrame(tmp, payload.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), snapshotPath(dir, idx)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and removals are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms refuse to fsync directories; that only weakens the
+	// durability of the rename itself, not file contents.
+	_ = d.Sync()
+	return nil
+}

@@ -22,7 +22,7 @@ func cloneWriteDescs(in []store.WriteDesc) []store.WriteDesc {
 	}
 	out := make([]store.WriteDesc, len(in))
 	for i, w := range in {
-		out[i] = store.WriteDesc{ID: w.ID, NewVersion: w.NewVersion}
+		out[i] = store.WriteDesc{ID: w.ID, NewVersion: w.NewVersion, Block: w.Block}
 		if w.Value != nil {
 			out[i].Value = w.Value.CloneValue()
 		}

@@ -31,6 +31,12 @@ const (
 	StatusNotFound
 	// StatusError: any other server-side failure, detail in Response.Detail.
 	StatusError
+	// StatusUnavailable: the node is up but not serving yet — it is
+	// replaying its write-ahead log after a restart (the recovery handshake
+	// guard). Clients treat it like an unreachable member and fail over;
+	// unlike a refused dial it does not feed the failure detector's
+	// suspicion score, because answering at all proves the process is live.
+	StatusUnavailable
 )
 
 func (s Status) String() string {
@@ -41,6 +47,8 @@ func (s Status) String() string {
 		return "busy"
 	case StatusNotFound:
 		return "not-found"
+	case StatusUnavailable:
+		return "unavailable"
 	default:
 		return "error"
 	}
@@ -70,6 +78,13 @@ const (
 	// it only if the pushed version is newer than its own and the object is
 	// not protected by an in-flight commit.
 	KindRepair
+
+	// numKinds counts the Kind values. It MUST stay last: the wire
+	// round-trip test iterates [0, numKinds) and fails compilation-adjacent
+	// (with a missing fixture) when a new Kind is added without codec
+	// coverage, so a new message type cannot silently break the persistent
+	// gob stream codecs.
+	numKinds
 )
 
 func (k Kind) String() string {
