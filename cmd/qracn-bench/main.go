@@ -42,6 +42,10 @@ func main() {
 		fsyncEvery = flag.Duration("fsync-interval", 0, "group-commit accumulation window (0: 2ms default; negative: fsync every append)")
 		snapEvery  = flag.Int("snapshot-every", 0, "checkpoint the store every N logged records (0: default; negative: never)")
 		walAB      = flag.Bool("wal-ab", false, "run each figure twice — WAL on and off — and emit a combined JSON A/B document")
+		stages     = flag.Bool("stages", false, "print per-stage latency percentiles (read, prefetch, prepare, commit, fsync wait) after each summary")
+		traceCap   = flag.Int("trace-capacity", 0, "span/event ring size per node and client; >0 turns tracing on")
+		traceRate  = flag.Int("trace-sample", 1, "with tracing on, record spans for 1-in-N transactions (0/1: all, negative: events only)")
+		traceAB    = flag.Bool("trace-ab", false, "run each figure twice — tracing on and off — and emit a combined JSON A/B document with the overhead ratio")
 	)
 	flag.Parse()
 	if *jsonFile != "" {
@@ -60,6 +64,8 @@ func main() {
 		WALDir:           *walDir,
 		FsyncInterval:    *fsyncEvery,
 		SnapshotEvery:    *snapEvery,
+		TraceCapacity:    *traceCap,
+		TraceSample:      *traceRate,
 	}
 
 	modes, err := parseModes(*modesArg)
@@ -120,6 +126,18 @@ func main() {
 			}
 			continue
 		}
+		if *traceAB {
+			doc, err := runTraceAB(ctx, f, scale, modes, *repeat)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s trace A/B: %v\n", f.ID, err)
+				os.Exit(1)
+			}
+			jsonDocs = append(jsonDocs, doc)
+			if *jsonFile == "" {
+				fmt.Println(string(doc))
+			}
+			continue
+		}
 		res, err := runAveraged(ctx, f, scale, modes, *repeat)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.ID, err)
@@ -140,6 +158,10 @@ func main() {
 		fmt.Print(res.Table())
 		fmt.Println()
 		fmt.Print(res.Summary())
+		if *stages {
+			fmt.Println()
+			fmt.Print(res.StageReport())
+		}
 		fmt.Println()
 	}
 	if *jsonFile != "" {
@@ -215,6 +237,68 @@ func runWALAB(ctx context.Context, f harness.Figure, scale harness.Scale, modes 
 		entry := doc.Throughput[m.String()]
 		entry.On = meanOf(sOn.Throughput)
 		entry.Off = meanOf(sOff.Throughput)
+		if entry.Off > 0 {
+			entry.Ratio = entry.On / entry.Off
+		}
+		doc.Throughput[m.String()] = entry
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// runTraceAB measures the observability cost: the same figure, same seeds,
+// once with full tracing (span ring on every node and client, every
+// transaction sampled) and once untraced, combined into one JSON document
+// with the throughput ratio. The acceptance bar is on/off ≥ 0.95.
+func runTraceAB(ctx context.Context, f harness.Figure, scale harness.Scale, modes []harness.Mode, repeat int) (json.RawMessage, error) {
+	on := scale
+	if on.TraceCapacity <= 0 {
+		on.TraceCapacity = 4096
+	}
+	if on.TraceSample == 0 {
+		on.TraceSample = 1
+	}
+	off := scale
+	off.TraceCapacity = 0
+	off.TraceSample = 0
+
+	resOn, err := runAveraged(ctx, f, on, modes, repeat)
+	if err != nil {
+		return nil, fmt.Errorf("trace on: %w", err)
+	}
+	resOff, err := runAveraged(ctx, f, off, modes, repeat)
+	if err != nil {
+		return nil, fmt.Errorf("trace off: %w", err)
+	}
+	jsOn, err := resOn.ExportJSON()
+	if err != nil {
+		return nil, err
+	}
+	jsOff, err := resOff.ExportJSON()
+	if err != nil {
+		return nil, err
+	}
+	type ratio struct {
+		On    float64 `json:"traced_tx_per_s"`
+		Off   float64 `json:"untraced_tx_per_s"`
+		Ratio float64 `json:"traced_over_untraced"`
+	}
+	doc := struct {
+		Figure      string           `json:"figure"`
+		Title       string           `json:"title"`
+		TraceSample int              `json:"trace_sample"`
+		TraceOn     json.RawMessage  `json:"trace_on"`
+		TraceOff    json.RawMessage  `json:"trace_off"`
+		Throughput  map[string]ratio `json:"mean_throughput"`
+	}{
+		Figure: f.ID, Title: f.Title, TraceSample: on.TraceSample,
+		TraceOn: jsOn, TraceOff: jsOff, Throughput: map[string]ratio{},
+	}
+	for _, m := range modes {
+		sOn, sOff := resOn.Series[m], resOff.Series[m]
+		if sOn == nil || sOff == nil {
+			continue
+		}
+		entry := ratio{On: meanOf(sOn.Throughput), Off: meanOf(sOff.Throughput)}
 		if entry.Off > 0 {
 			entry.Ratio = entry.On / entry.Off
 		}
@@ -349,12 +433,13 @@ func runAveraged(ctx context.Context, f harness.Figure, scale harness.Scale, mod
 				a.Throughput[i] += series.Throughput[i]
 			}
 			a.Commits += series.Commits
-			a.Metrics.Commits += series.Metrics.Commits
-			a.Metrics.ParentAborts += series.Metrics.ParentAborts
-			a.Metrics.SubAborts += series.Metrics.SubAborts
-			a.Metrics.BusyBackoffs += series.Metrics.BusyBackoffs
-			a.Metrics.RemoteReads += series.Metrics.RemoteReads
+			// Reflection-based: every counter aggregates, including ones
+			// added after this loop was written.
+			a.Metrics.Add(series.Metrics)
+			a.DroppedCommits += series.DroppedCommits
 			a.WAL.Add(series.WAL)
+			// Stage percentiles are digests and cannot be averaged across
+			// runs; the first repetition's digest stands for the figure.
 		}
 	}
 	for _, series := range acc.Series {

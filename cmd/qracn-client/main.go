@@ -25,6 +25,7 @@ import (
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
+	"qracn/internal/trace"
 	"qracn/internal/transport"
 	"qracn/internal/unitgraph"
 	"qracn/internal/workload"
@@ -50,6 +51,10 @@ func main() {
 		suspectAfter  = flag.Int("suspect-after", 3, "rapid RPC failures before a node is suspected and excluded from quorums")
 		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "how often one trial request probes a suspected node")
 		noRepair      = flag.Bool("no-repair", false, "disable asynchronous read-repair of stale quorum members")
+
+		traceCap    = flag.Int("trace", 0, "span/event ring size for distributed tracing; >0 turns tracing on")
+		traceSample = flag.Int("trace-sample", 1, "with tracing on, record spans for 1-in-N transactions (0/1: all, negative: events only)")
+		spansOut    = flag.String("spans-out", "", "after the run, fetch this client's spans plus every node's and write them as JSON (implies tracing)")
 	)
 	flag.Parse()
 
@@ -76,10 +81,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *spansOut != "" && *traceCap == 0 {
+		*traceCap = 4096
+	}
 	client := transport.NewTCPClient(addrs, *compress)
 	defer client.Close()
 	tree := quorum.NewTree(len(addrs), 3)
-	rt := dtm.New(dtm.Config{
+	dcfg := dtm.Config{
 		Tree:       tree,
 		Client:     client,
 		ClientSeed: *clientID,
@@ -88,8 +96,13 @@ func main() {
 			SuspectAfter:  *suspectAfter,
 			ProbeInterval: *probeInterval,
 		}),
-		NoRepair: *noRepair,
-	})
+		NoRepair:    *noRepair,
+		TraceSample: *traceSample,
+	}
+	if *traceCap > 0 {
+		dcfg.Tracer = trace.New(*traceCap)
+	}
+	rt := dtm.New(dcfg)
 	client.SetRetryCounter(&rt.Metrics().TransportRetries)
 	ctx := context.Background()
 
@@ -148,6 +161,38 @@ func main() {
 		m.RemoteReads, m.BatchReads, m.PrefetchedObjects, m.TransportRetries)
 	fmt.Printf("faults: failovers=%d suspicions=%d probes=%d readmissions=%d repairs=%d\n",
 		m.Failovers, m.Suspicions, m.Probes, m.Readmissions, m.Repairs)
+	st := rt.Stages()
+	fmt.Printf("stages: read[%s] prefetch[%s] prepare[%s] commit[%s]\n",
+		st.Read.Summarize(), st.PrefetchBatch.Summarize(),
+		st.Prepare.Summarize(), st.Commit.Summarize())
+
+	if *spansOut != "" {
+		var nodes []quorum.NodeID
+		for id := range addrs {
+			nodes = append(nodes, id)
+		}
+		spans, err := rt.FetchSpans(ctx, nodes, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fetching spans: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteSpans(f, spans); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d spans (%d traces) written to %s\n",
+			len(spans), len(trace.TraceIDs(spans)), *spansOut)
+	}
 }
 
 func buildExecutors(rt *dtm.Runtime, w workload.Workload, mode string) ([]*acn.Executor, []*acn.Controller, error) {

@@ -17,6 +17,13 @@
 //
 //	qracn-inspect wal /var/lib/qracn/node-0
 //	qracn-inspect wal -records wal-00000003.log
+//
+// The trace subcommand renders distributed-tracing spans — from a JSON file
+// written by qracn-client -spans-out or drained live from a cluster — as a
+// plain-text timeline or Chrome trace_event JSON:
+//
+//	qracn-inspect trace -in spans.json -timeline
+//	qracn-inspect trace -nodes 127.0.0.1:7450,127.0.0.1:7451 -chrome trace.json
 package main
 
 import (
@@ -39,6 +46,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "wal" {
 		os.Exit(walMain(os.Args[2:], os.Stdout))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceMain(os.Args[2:], os.Stdout))
 	}
 	var (
 		list      = flag.Bool("list", false, "list registered programs")

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"qracn/internal/metrics"
+	"qracn/internal/server"
+)
+
+// debugMux builds the node's operational HTTP endpoint: Prometheus-style
+// /metrics rendered per scrape from the live counters, Go's expvar page,
+// and the standard pprof profiling handlers.
+func debugMux(node *server.Node) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e := nodeExposition(node)
+		_, _ = e.WriteTo(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "qracn-node %d\n/metrics\n/debug/vars\n/debug/pprof/\n", node.ID())
+	})
+	return mux
+}
+
+// nodeExposition renders the node's live counters as one Prometheus text
+// page: request-stage latency histograms, the store size, and (on durable
+// nodes) the commit-log counters.
+func nodeExposition(node *server.Node) *metrics.Exposition {
+	e := &metrics.Exposition{}
+	st := node.Stages()
+	e.Histogram("qracn_node_read_serve_seconds", "Time serving one read or batched-read request.", &st.ReadServe)
+	e.Histogram("qracn_node_prepare_serve_seconds", "Time serving one 2PC prepare request.", &st.PrepareServe)
+	e.Histogram("qracn_node_commit_apply_seconds", "Time applying one commit decision (including WAL append).", &st.CommitApply)
+	e.Histogram("qracn_node_repair_apply_seconds", "Time applying one read-repair or anti-entropy push.", &st.RepairApply)
+	e.Histogram("qracn_node_fsync_wait_seconds", "Time a commit decision waited on the group-commit fsync.", &st.FsyncWait)
+	e.Gauge("qracn_node_store_objects", "Objects currently resident in the replica store.", float64(node.Store().Len()))
+	recovering := 0.0
+	if node.Recovering() {
+		recovering = 1
+	}
+	e.Gauge("qracn_node_recovering", "1 while the node is replaying its log and refusing work.", recovering)
+	if w := node.WAL(); w != nil {
+		ws := w.Stats()
+		e.Counter("qracn_wal_appends_total", "Commit-log append calls (one per durable decision).", ws.Appends)
+		e.Counter("qracn_wal_records_total", "Individual commit-log records written.", ws.Records)
+		e.Counter("qracn_wal_fsyncs_total", "Physical fsync batches (appends/fsyncs = group-commit factor).", ws.Fsyncs)
+		e.Gauge("qracn_wal_max_batch", "Largest number of appends retired by one fsync.", float64(ws.MaxBatch))
+		e.Counter("qracn_wal_snapshots_total", "Store checkpoints taken.", ws.Snapshots)
+		e.Counter("qracn_wal_segments_removed_total", "Log segments compacted away by checkpoints.", ws.SegmentsRemoved)
+	}
+	return e
+}
+
+// serveDebug starts the debug listener; it returns the bound address.
+func serveDebug(addr string, node *server.Node) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, debugMux(node))
+	}()
+	return ln.Addr().String(), nil
+}

@@ -31,6 +31,7 @@ import (
 
 	"qracn/internal/quorum"
 	"qracn/internal/server"
+	"qracn/internal/trace"
 	"qracn/internal/transport"
 	"qracn/internal/wal"
 )
@@ -46,14 +47,20 @@ func main() {
 		noWAL       = flag.Bool("no-wal", false, "force a volatile node even when -wal-dir is set")
 		fsyncEvery  = flag.Duration("fsync-interval", 0, "group-commit accumulation window (0: 2ms default; negative: fsync every append)")
 		snapEvery   = flag.Int("snapshot-every", 0, "checkpoint the store every N logged records (0: default 4096; negative: never)")
+		traceCap    = flag.Int("trace", 0, "span/event ring size for distributed tracing; >0 turns tracing on (spans fetchable via qracn-inspect trace)")
+		debugAddr   = flag.String("debug-addr", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 
 	durable := *walDir != "" && !*noWAL
-	node := server.NewNode(quorum.NodeID(*id), server.Config{
+	scfg := server.Config{
 		StatsWindow:   *statsWindow,
 		SnapshotEvery: *snapEvery,
-	})
+	}
+	if *traceCap > 0 {
+		scfg.Tracer = trace.New(*traceCap)
+	}
+	node := server.NewNode(quorum.NodeID(*id), scfg)
 	if *protectTTL > 0 {
 		node.Store().SetProtectTTL(*protectTTL, nil)
 	}
@@ -68,6 +75,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		dbg, err := serveDebug(*debugAddr, node)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			srv.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", dbg)
 	}
 	if durable {
 		log, rec, err := wal.Open(*walDir, wal.Options{FsyncInterval: *fsyncEvery})

@@ -1,37 +1,49 @@
-// Observability: trace the protocol events behind an adaptive run, persist
+// Observability: trace the protocol events behind an adaptive run, follow
+// one transaction's distributed spans across client and servers, persist
 // the learned Block sequence, and warm-start a "restarted" client from it.
 package main
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"qracn"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	const servers = 10
 	c := qracn.NewCluster(qracn.ClusterConfig{
-		Servers:     10,
-		Network:     qracn.NetworkConfig{Latency: 50 * time.Microsecond, Seed: 1},
-		StatsWindow: 150 * time.Millisecond,
+		Servers:       servers,
+		Network:       qracn.NetworkConfig{Latency: 50 * time.Microsecond, Seed: 1},
+		StatsWindow:   150 * time.Millisecond,
+		TraceCapacity: 4096, // server-side span rings
 	})
 	defer c.Close()
 
-	w := qracn.NewBank(qracn.BankConfig{Branches: 8, Accounts: 100, HotBranches: 2})
-	c.Seed(w.SeedObjects())
+	w2 := qracn.NewBank(qracn.BankConfig{Branches: 8, Accounts: 100, HotBranches: 2})
+	c.Seed(w2.SeedObjects())
 
-	transfer := w.Profiles()[0]
+	transfer := w2.Profiles()[0]
 	an, err := qracn.Analyze(transfer.Program)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	// A tracer on the runtime records reads, aborts, and commits; the
-	// controller records every recomposition.
-	tracer := qracn.NewTracer(256)
-	rt := c.Runtime(1, qracn.RuntimeConfig{Seed: 7, Tracer: tracer})
+	// A tracer on the runtime records protocol events and — because
+	// TraceSample is 1 — one span tree per transaction; the controller
+	// records every recomposition.
+	tracer := qracn.NewTracer(4096)
+	rt := c.Runtime(1, qracn.RuntimeConfig{Seed: 7, Tracer: tracer, TraceSample: 1})
 	exec := qracn.NewExecutor(rt, an, qracn.Static(an))
 	ctrl := qracn.NewController(exec, qracn.ControllerConfig{Interval: time.Hour, Tracer: tracer})
 
@@ -47,44 +59,76 @@ func main() {
 	n := 0
 	for time.Now().Before(deadline) {
 		if err := exec.Execute(ctx, params(n)); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		n++
 	}
 	if err := ctrl.RefreshOnce(ctx); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	counts := tracer.Count()
-	fmt.Printf("ran %d transfers; trace ring holds %d event kinds:\n", n, len(counts))
+	fmt.Fprintf(w, "ran %d transfers; trace ring holds %d event kinds:\n", n, len(counts))
 	for _, k := range []string{"read", "commit", "full-abort", "partial-abort", "busy", "recompose"} {
 		for kind, cnt := range counts {
 			if kind.String() == k {
-				fmt.Printf("  %-14s %d\n", k, cnt)
+				fmt.Fprintf(w, "  %-14s %d\n", k, cnt)
 			}
 		}
 	}
+
+	// Distributed tracing: pick one transaction, merge the client's spans
+	// with the serve spans fetched from every node, and reassemble its
+	// cross-node timeline. The same spans export losslessly as Chrome
+	// trace_event JSON (chrome://tracing, Perfetto) — qracn-inspect trace
+	// renders either form from a live cluster or a JSON file.
+	ids := qracn.TraceIDs(tracer.Spans())
+	if len(ids) == 0 {
+		return fmt.Errorf("no traces recorded")
+	}
+	var nodes []qracn.NodeID
+	for i := 0; i < servers; i++ {
+		nodes = append(nodes, qracn.NodeID(i))
+	}
+	spans, err := rt.FetchSpans(ctx, nodes, ids[0])
+	if err != nil {
+		return err
+	}
+	roots := qracn.AssembleTrace(spans, ids[0])
+	serverSpans := 0
+	for _, s := range spans {
+		if s.Site != "client-1" {
+			serverSpans++
+		}
+	}
+	fmt.Fprintf(w, "\ntrace %s: %d spans (%d from servers), %d root(s)\n",
+		ids[0], len(spans), serverSpans, len(roots))
+	chrome, err := qracn.ChromeTrace(spans)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "chrome trace export: %d bytes of JSON\n", len(chrome))
 
 	// Persist the adapted composition...
 	adapted := exec.Composition()
 	blob, err := adapted.Encode(an)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nadapted composition %s persisted as %d bytes of JSON\n", adapted, len(blob))
+	fmt.Fprintf(w, "\nadapted composition %s persisted as %d bytes of JSON\n", adapted, len(blob))
 
 	// ...and warm-start a fresh client from it: no monitoring interval
 	// needed before it runs the adapted sequence.
 	restored, err := qracn.LoadComposition(an, blob)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rt2 := c.Runtime(2, qracn.RuntimeConfig{Seed: 8})
 	exec2 := qracn.NewExecutor(rt2, an, restored)
 	if err := exec2.Execute(ctx, params(0)); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("restarted client warm-started with %s\n", exec2.Composition())
+	fmt.Fprintf(w, "restarted client warm-started with %s\n", exec2.Composition())
 
 	// Typed read-back through the generic helper.
 	total, err := qracn.Result(ctx, rt2, func(tx *qracn.Tx) (int64, error) {
@@ -99,7 +143,8 @@ func main() {
 		return sum, nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("branch total after %d transfers: %d (conserved)\n", n+1, total)
+	fmt.Fprintf(w, "branch total after %d transfers: %d (conserved)\n", n+1, total)
+	return nil
 }

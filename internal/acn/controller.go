@@ -96,6 +96,15 @@ func (c *Controller) RefreshOnce(ctx context.Context) error {
 		c.table.ObserveAll(levels)
 	}
 	comp := c.algo.Recompose(c.anchorLevel)
+	// Skip the swap when the algorithm module reproduced the current Block
+	// sequence: SetComposition recompiles the whole plan, and an unchanged
+	// composition would churn it (and every in-flight Execute's view) for
+	// nothing.
+	if cur := c.exec.Composition(); cur != nil && cur.String() == comp.String() {
+		c.refreshes.Add(1)
+		c.tracer.Record(trace.KindRecomposeSkip, "", comp.String())
+		return nil
+	}
 	c.exec.SetComposition(comp)
 	c.refreshes.Add(1)
 	c.tracer.Record(trace.KindRecompose, "", comp.String())

@@ -7,6 +7,7 @@ import (
 	"qracn/internal/contention"
 	"qracn/internal/dtm"
 	"qracn/internal/store"
+	"qracn/internal/trace"
 )
 
 // Hub coordinates ACN across every transaction profile of one client node:
@@ -95,6 +96,10 @@ func (h *Hub) RefreshOnce(ctx context.Context) error {
 		comp := algos[i].Recompose(func(anchor int) float64 {
 			return h.table.Mean(e.AnchorSample(anchor))
 		})
+		if cur := e.Composition(); cur != nil && cur.String() == comp.String() {
+			h.rt.Tracer().Record(trace.KindRecomposeSkip, "", comp.String())
+			continue
+		}
 		e.SetComposition(comp)
 	}
 	return nil

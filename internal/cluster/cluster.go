@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"qracn/internal/dtm"
+	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/server"
 	"qracn/internal/store"
+	"qracn/internal/trace"
 	"qracn/internal/transport"
 	"qracn/internal/wal"
 )
@@ -47,6 +49,10 @@ type Config struct {
 	// SnapshotEvery is the automatic checkpoint threshold in records
 	// (0: server default; negative: only explicit checkpoints).
 	SnapshotEvery int
+	// TraceCapacity, when positive, gives every node a tracer ring of that
+	// many events and spans, so traced transactions get server-side serve
+	// spans and Cluster.Spans can reassemble cross-node timelines.
+	TraceCapacity int
 }
 
 // Cluster is a running in-process deployment.
@@ -83,6 +89,9 @@ func NewDurable(cfg Config) (*Cluster, error) {
 			StatsWindow:   cfg.StatsWindow,
 			Now:           cfg.Now,
 			SnapshotEvery: cfg.SnapshotEvery,
+		}
+		if cfg.TraceCapacity > 0 {
+			scfg.Tracer = trace.New(cfg.TraceCapacity)
 		}
 		var rec *wal.Recovered
 		if cfg.WALDir != "" {
@@ -173,6 +182,25 @@ func (c *Cluster) WALStats() dtm.WALStats {
 		if w := n.WAL(); w != nil {
 			out.Add(walStatsFor(w))
 		}
+	}
+	return out
+}
+
+// Spans merges the spans recorded by every node, optionally filtered to one
+// trace ID (empty for everything). Nil on an untraced cluster.
+func (c *Cluster) Spans(traceID string) []trace.Span {
+	var out []trace.Span
+	for _, n := range c.Nodes {
+		out = append(out, n.Tracer().SpansFor(traceID)...)
+	}
+	return out
+}
+
+// FsyncWait merges the per-node group-commit wait histograms into one.
+func (c *Cluster) FsyncWait() *metrics.LatencyHistogram {
+	out := &metrics.LatencyHistogram{}
+	for _, n := range c.Nodes {
+		out.Merge(&n.Stages().FsyncWait)
 	}
 	return out
 }

@@ -1,6 +1,26 @@
 package dtm
 
-import "sync/atomic"
+import (
+	"reflect"
+	"sync/atomic"
+
+	"qracn/internal/metrics"
+)
+
+// StageLatencies are the client runtime's always-on per-stage latency
+// histograms: where a transaction's wall-clock time goes. Recording is a
+// pair of atomic adds per event, cheap enough to leave on in production.
+type StageLatencies struct {
+	// Read is one first-access quorum read, including busy retries and
+	// quorum failovers.
+	Read metrics.LatencyHistogram
+	// PrefetchBatch is one batched prefetch round (Tx.Prefetch).
+	PrefetchBatch metrics.LatencyHistogram
+	// Prepare is one 2PC prepare fan-out round trip.
+	Prepare metrics.LatencyHistogram
+	// Commit is a whole top-level commit (prepare rounds + decision).
+	Commit metrics.LatencyHistogram
+}
 
 // Metrics aggregates protocol-level counters for one Runtime. All fields are
 // updated atomically and may be read at any time.
@@ -104,6 +124,19 @@ type Snapshot struct {
 	Failovers           uint64
 	StatsQuorumRetries  uint64
 	Repairs             uint64
+}
+
+// Add accumulates another snapshot into s, field by field. It walks the
+// struct by reflection so a counter added to Metrics and Snapshot can never
+// be silently dropped from aggregation again (harness and bench both sum
+// per-client snapshots through this). All Snapshot fields must be uint64 —
+// enforced by a test alongside the Metrics↔Snapshot name check.
+func (s *Snapshot) Add(o Snapshot) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o)
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetUint(sv.Field(i).Uint() + ov.Field(i).Uint())
+	}
 }
 
 // Snapshot copies the current counter values.

@@ -1,0 +1,87 @@
+package dtm
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMetricsSnapshotFieldsMatch pins the Metrics↔Snapshot contract by
+// reflection: every Metrics counter is an atomic.Uint64, every counter has
+// a same-named uint64 Snapshot field and vice versa, and Snapshot() copies
+// every one. A counter added to Metrics but forgotten in Snapshot (or in
+// the Snapshot() copy) silently vanishes from harness and bench
+// aggregation; this test makes that a build-time-adjacent failure instead.
+func TestMetricsSnapshotFieldsMatch(t *testing.T) {
+	mt := reflect.TypeOf(Metrics{})
+	st := reflect.TypeOf(Snapshot{})
+	au := reflect.TypeOf(atomic.Uint64{})
+	u64 := reflect.TypeOf(uint64(0))
+
+	snapFields := map[string]bool{}
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type != u64 {
+			t.Errorf("Snapshot.%s is %s, not uint64 — Snapshot.Add assumes all-uint64 fields", f.Name, f.Type)
+		}
+		snapFields[f.Name] = true
+	}
+	metricFields := map[string]bool{}
+	for i := 0; i < mt.NumField(); i++ {
+		f := mt.Field(i)
+		if f.Type != au {
+			t.Errorf("Metrics.%s is %s, not atomic.Uint64", f.Name, f.Type)
+			continue
+		}
+		metricFields[f.Name] = true
+		if !snapFields[f.Name] {
+			t.Errorf("Metrics.%s has no matching Snapshot field: it will be dropped from aggregated reports", f.Name)
+		}
+	}
+	for name := range snapFields {
+		if !metricFields[name] {
+			t.Errorf("Snapshot.%s has no matching Metrics counter", name)
+		}
+	}
+}
+
+// TestMetricsSnapshotCopiesEveryCounter stores a distinct value in each
+// counter and checks Snapshot() carries every one over — catching a
+// Snapshot() body that misses a field even when the structs line up.
+func TestMetricsSnapshotCopiesEveryCounter(t *testing.T) {
+	var m Metrics
+	mv := reflect.ValueOf(&m).Elem()
+	for i := 0; i < mv.NumField(); i++ {
+		c, ok := mv.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			t.Fatalf("Metrics.%s is not atomic.Uint64", mv.Type().Field(i).Name)
+		}
+		c.Store(uint64(100 + i))
+	}
+	s := m.Snapshot()
+	sv := reflect.ValueOf(s)
+	for i := 0; i < mv.NumField(); i++ {
+		name := mv.Type().Field(i).Name
+		got := sv.FieldByName(name).Uint()
+		if want := uint64(100 + i); got != want {
+			t.Errorf("Snapshot().%s = %d, want %d (Snapshot() does not copy it)", name, got, want)
+		}
+	}
+}
+
+// TestSnapshotAdd checks the reflection-based accumulator sums every field.
+func TestSnapshotAdd(t *testing.T) {
+	var a, b Snapshot
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetUint(uint64(i + 1))
+		bv.Field(i).SetUint(uint64(10 * (i + 1)))
+	}
+	a.Add(b)
+	for i := 0; i < av.NumField(); i++ {
+		if got, want := av.Field(i).Uint(), uint64(11*(i+1)); got != want {
+			t.Errorf("Add: field %s = %d, want %d", av.Type().Field(i).Name, got, want)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package dtm
 
 import (
 	"errors"
+	"fmt"
+	"time"
 
 	"qracn/internal/quorum"
 	"qracn/internal/store"
@@ -26,6 +28,35 @@ import (
 // Prefetch always fetches full values (the lean read strategy does not apply
 // to batched rounds).
 func (tx *Tx) Prefetch(ids ...store.ObjectID) error {
+	if tx.traceID == "" {
+		t0 := time.Now()
+		err := tx.prefetchInner(ids, 0)
+		tx.rt.stages.PrefetchBatch.Record(time.Since(t0))
+		return err
+	}
+	span := trace.Span{
+		Trace:  tx.traceID,
+		ID:     trace.NextSpanID(),
+		Parent: tx.span,
+		Name:   "prefetch",
+		Site:   tx.rt.site,
+		Detail: fmt.Sprintf("%d objects", len(ids)),
+		Start:  time.Now(),
+	}
+	err := tx.prefetchInner(ids, span.ID)
+	span.End = time.Now()
+	tx.rt.stages.PrefetchBatch.Record(span.End.Sub(span.Start))
+	if err != nil {
+		span.Detail = err.Error()
+	}
+	tx.rt.cfg.Tracer.RecordSpan(span)
+	return err
+}
+
+// prefetchInner is the batched-read body; spanID (when non-zero) is stamped
+// on the batch request and its sub-reads so server spans nest under the
+// client's prefetch span.
+func (tx *Tx) prefetchInner(ids []store.ObjectID, spanID uint64) error {
 	need := make([]store.ObjectID, 0, len(ids))
 	seen := make(map[store.ObjectID]bool, len(ids))
 	for _, id := range ids {
@@ -55,14 +86,23 @@ func (tx *Tx) Prefetch(ids ...store.ObjectID) error {
 			rr.Validate = tx.validationList()
 		}
 		subs[i] = &wire.Request{Kind: wire.KindRead, TxID: tx.id, Read: rr}
+		if spanID != 0 {
+			subs[i].TraceID = tx.traceID
+			subs[i].SpanID = spanID
+		}
 	}
 	batch := &wire.Request{Kind: wire.KindBatch, TxID: tx.id, Batch: &wire.BatchRequest{Subs: subs}}
+	if spanID != 0 {
+		batch.TraceID = tx.traceID
+		batch.SpanID = spanID
+	}
 
 	var lastErr error
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
 			rt.metrics.Failovers.Add(1)
+			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "prefetch quorum re-selection")
 		}
 		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
 		if err != nil {

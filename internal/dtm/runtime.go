@@ -78,6 +78,12 @@ type Config struct {
 	// Tracer, when non-nil, records protocol events (reads, aborts,
 	// commits) for debugging; nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// TraceSample controls which top-level transactions get a distributed
+	// trace (span context on every wire request, client + server spans).
+	// 0 or 1 traces every transaction, N>1 traces one in N, negative
+	// disables span tracing while keeping protocol-event tracing. Ignored
+	// without a Tracer.
+	TraceSample int
 }
 
 // ReadStrategy selects the quorum-read variant.
@@ -124,7 +130,10 @@ func (c *Config) fillDefaults() {
 type Runtime struct {
 	cfg     Config
 	metrics Metrics
+	stages  StageLatencies
 	health  *health.Detector
+	// site names this client in distributed-trace spans.
+	site string
 
 	txSeq   uint64
 	readSeq uint64
@@ -151,6 +160,7 @@ func New(cfg Config) *Runtime {
 	}
 	rt := &Runtime{
 		cfg:       cfg,
+		site:      fmt.Sprintf("client-%d", cfg.ClientSeed),
 		rng:       rand.New(rand.NewSource(seed)),
 		repairing: make(map[store.ObjectID]bool),
 	}
@@ -164,12 +174,33 @@ func New(cfg Config) *Runtime {
 			Probes:       &rt.metrics.Probes,
 			Readmissions: &rt.metrics.Readmissions,
 		})
+		if cfg.Tracer != nil {
+			rt.health.SetTracer(cfg.Tracer)
+		}
 	}
 	return rt
 }
 
 // Metrics exposes the runtime's counters.
 func (rt *Runtime) Metrics() *Metrics { return &rt.metrics }
+
+// Stages exposes the runtime's client-side per-stage latency histograms.
+func (rt *Runtime) Stages() *StageLatencies { return &rt.stages }
+
+// Tracer exposes the runtime's tracer (nil when untraced).
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.cfg.Tracer }
+
+// sampleTrace decides whether the top-level transaction with this sequence
+// number gets a distributed trace.
+func (rt *Runtime) sampleTrace(seq uint64) bool {
+	if rt.cfg.TraceSample < 0 || !rt.cfg.Tracer.Enabled() {
+		return false
+	}
+	if rt.cfg.TraceSample <= 1 {
+		return true
+	}
+	return seq%uint64(rt.cfg.TraceSample) == 0
+}
 
 // Health exposes the runtime's failure detector (nil when disabled).
 func (rt *Runtime) Health() *health.Detector { return rt.health }
@@ -297,17 +328,59 @@ func (rt *Runtime) Backoff(ctx context.Context, attempt int) error {
 // Atomic runs fn as a top-level transaction, retrying on aborts until it
 // commits, the context is cancelled, or the attempt budget is exhausted.
 // fn must be idempotent: it may run many times.
+//
+// A sampled transaction (Config.TraceSample) records a "tx" root span with
+// one "attempt-N" child per execution; every wire request the attempts issue
+// carries the trace context so server spans nest under them. Unsampled
+// transactions skip all span work — no IDs, no time stamps, no allocations.
 func (rt *Runtime) Atomic(ctx context.Context, fn func(*Tx) error) error {
 	seq := rt.nextTxSeq()
+	if !rt.sampleTrace(seq) {
+		return rt.runAttempts(ctx, fn, seq, "", 0)
+	}
+	root := trace.Span{
+		Trace: fmt.Sprintf("c%d-t%d", rt.cfg.ClientSeed, seq),
+		ID:    trace.NextSpanID(),
+		Name:  "tx",
+		Site:  rt.site,
+		Start: time.Now(),
+	}
+	err := rt.runAttempts(ctx, fn, seq, root.Trace, root.ID)
+	root.End = time.Now()
+	if err != nil {
+		root.Detail = err.Error()
+	} else {
+		root.Detail = "committed"
+	}
+	rt.cfg.Tracer.RecordSpan(root)
+	return err
+}
+
+// runAttempts is Atomic's retry loop. traceID/rootID carry the sampled
+// trace context (empty/0 when unsampled).
+func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint64, traceID string, rootID uint64) error {
 	for attempt := 0; attempt < rt.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		var attemptSpan trace.Span
+		if traceID != "" {
+			attemptSpan = trace.Span{
+				Trace:  traceID,
+				ID:     trace.NextSpanID(),
+				Parent: rootID,
+				Name:   fmt.Sprintf("attempt-%d", attempt),
+				Site:   rt.site,
+				Start:  time.Now(),
+			}
 		}
 		tx := &Tx{
 			rt:         rt,
 			ctx:        ctx,
 			id:         fmt.Sprintf("c%d-t%d-a%d", rt.cfg.ClientSeed, seq, attempt),
 			seed:       rt.cfg.ClientSeed + int(seq),
+			traceID:    traceID,
+			span:       attemptSpan.ID,
 			reads:      make(map[store.ObjectID]uint64),
 			readVals:   make(map[store.ObjectID]store.Value),
 			writes:     make(map[store.ObjectID]store.Value),
@@ -315,7 +388,16 @@ func (rt *Runtime) Atomic(ctx context.Context, fn func(*Tx) error) error {
 		}
 		err := fn(tx)
 		if err == nil {
-			err = rt.commit(ctx, tx)
+			err = rt.commitStaged(ctx, tx, attemptSpan.ID)
+		}
+		if traceID != "" {
+			attemptSpan.End = time.Now()
+			if err != nil {
+				attemptSpan.Detail = err.Error()
+			} else {
+				attemptSpan.Detail = "committed"
+			}
+			rt.cfg.Tracer.RecordSpan(attemptSpan)
 		}
 		if err == nil {
 			rt.metrics.Commits.Add(1)
@@ -336,6 +418,36 @@ func (rt *Runtime) Atomic(ctx context.Context, fn func(*Tx) error) error {
 		}
 	}
 	return fmt.Errorf("%w after %d attempts", ErrRetriesExhausted, rt.cfg.MaxAttempts)
+}
+
+// commitStaged wraps commit with the Commit stage histogram and, when the
+// transaction is traced, a "commit" span the 2PC requests parent to.
+func (rt *Runtime) commitStaged(ctx context.Context, tx *Tx, attemptID uint64) error {
+	if tx.traceID == "" {
+		t0 := time.Now()
+		err := rt.commit(ctx, tx)
+		rt.stages.Commit.Record(time.Since(t0))
+		return err
+	}
+	span := trace.Span{
+		Trace:  tx.traceID,
+		ID:     trace.NextSpanID(),
+		Parent: attemptID,
+		Name:   "commit",
+		Site:   rt.site,
+		Start:  time.Now(),
+	}
+	tx.span = span.ID // prepare/decision requests nest under the commit span
+	err := rt.commit(ctx, tx)
+	span.End = time.Now()
+	rt.stages.Commit.Record(span.End.Sub(span.Start))
+	if err != nil {
+		span.Detail = err.Error()
+	} else {
+		span.Detail = "committed"
+	}
+	rt.cfg.Tracer.RecordSpan(span)
+	return err
 }
 
 type callResult struct {
@@ -393,6 +505,7 @@ func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[st
 		if attempt > 0 {
 			rt.metrics.StatsQuorumRetries.Add(1)
 			rt.metrics.Failovers.Add(1)
+			rt.cfg.Tracer.Record(trace.KindFailover, "stats", "quorum re-selection")
 		}
 		q, err := rt.selectReadQuorum(rt.cfg.ClientSeed+attempt, excl)
 		if err != nil {

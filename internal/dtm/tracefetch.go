@@ -1,0 +1,55 @@
+package dtm
+
+import (
+	"context"
+	"fmt"
+
+	"qracn/internal/quorum"
+	"qracn/internal/trace"
+	"qracn/internal/transport"
+	"qracn/internal/wire"
+)
+
+// FetchSpans drains the trace spans recorded by the given nodes (optionally
+// filtered to one trace ID) and merges them into one slice, ready for
+// trace.AssembleTrace alongside the client's own spans. withEvents also
+// drains each node's protocol-event ring. Nodes that fail to answer are
+// skipped; the error is non-nil only when every node failed.
+func FetchSpans(ctx context.Context, client transport.Client, nodes []quorum.NodeID, traceID string, withEvents bool) ([]trace.Span, []trace.Event, error) {
+	req := &wire.Request{
+		Kind:       wire.KindTraceFetch,
+		TraceFetch: &wire.TraceFetchRequest{TraceID: traceID, Events: withEvents},
+	}
+	var spans []trace.Span
+	var events []trace.Event
+	answered := 0
+	var lastErr error
+	for _, n := range nodes {
+		resp, err := client.Call(ctx, n, req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Status != wire.StatusOK || resp.Trace == nil {
+			lastErr = fmt.Errorf("dtm: trace fetch from node %d: %s (%s)", n, resp.Status, resp.Detail)
+			continue
+		}
+		answered++
+		spans = append(spans, resp.Trace.Spans...)
+		events = append(events, resp.Trace.Events...)
+	}
+	if answered == 0 && len(nodes) > 0 {
+		return nil, nil, lastErr
+	}
+	return spans, events, nil
+}
+
+// FetchSpans collects the runtime's own spans plus every given node's spans
+// for one trace (empty traceID: everything buffered anywhere).
+func (rt *Runtime) FetchSpans(ctx context.Context, nodes []quorum.NodeID, traceID string) ([]trace.Span, error) {
+	remote, _, err := FetchSpans(ctx, rt.cfg.Client, nodes, traceID, false)
+	if err != nil {
+		return nil, err
+	}
+	return append(rt.cfg.Tracer.SpansFor(traceID), remote...), nil
+}

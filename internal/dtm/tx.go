@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"qracn/internal/quorum"
 	"qracn/internal/store"
@@ -32,6 +33,14 @@ type Tx struct {
 	block      int
 	subSeq     int
 	writeBlock map[store.ObjectID]int
+
+	// traceID is the distributed-trace ID of the sampled top-level
+	// transaction this context belongs to (empty: unsampled — every span
+	// branch below is skipped, keeping the hot path allocation-free). span is
+	// the enclosing client span (attempt, try, or commit) that wire requests
+	// issued by this context parent to.
+	traceID string
+	span    uint64
 
 	// reads maps first-accessed objects to the version observed at fetch
 	// time; readOrder preserves access order for commit messages.
@@ -154,8 +163,40 @@ func (tx *Tx) Write(id store.ObjectID, v store.Value) error {
 	return nil
 }
 
-// remoteRead performs the quorum read protocol for a first access.
+// remoteRead performs the quorum read protocol for a first access. It wraps
+// remoteReadInner with the Read stage histogram and, when the transaction is
+// traced, a "read" span whose ID rides on the request so server serve spans
+// nest under it.
 func (tx *Tx) remoteRead(id store.ObjectID) (store.Value, error) {
+	rt := tx.rt
+	if tx.traceID == "" {
+		t0 := time.Now()
+		v, err := tx.remoteReadInner(id, 0)
+		rt.stages.Read.Record(time.Since(t0))
+		return v, err
+	}
+	span := trace.Span{
+		Trace:  tx.traceID,
+		ID:     trace.NextSpanID(),
+		Parent: tx.span,
+		Name:   "read",
+		Site:   rt.site,
+		Detail: string(id),
+		Start:  time.Now(),
+	}
+	v, err := tx.remoteReadInner(id, span.ID)
+	span.End = time.Now()
+	rt.stages.Read.Record(span.End.Sub(span.Start))
+	if err != nil {
+		span.Detail = string(id) + ": " + err.Error()
+	}
+	rt.cfg.Tracer.RecordSpan(span)
+	return v, err
+}
+
+// remoteReadInner is the quorum read protocol body. spanID, when non-zero,
+// is stamped on the wire requests as the parent for server spans.
+func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, error) {
 	rt := tx.rt
 	validate := tx.validationList()
 
@@ -163,6 +204,10 @@ func (tx *Tx) remoteRead(id store.ObjectID) (store.Value, error) {
 		Kind: wire.KindRead,
 		TxID: tx.id,
 		Read: &wire.ReadRequest{Object: id, Validate: validate},
+	}
+	if spanID != 0 {
+		req.TraceID = tx.traceID
+		req.SpanID = spanID
 	}
 	// Piggyback a contention-stats query every Nth read (dynamic module).
 	if n := rt.cfg.StatsEveryNReads; n > 0 && rt.cfg.StatsWanted != nil {
@@ -291,6 +336,7 @@ func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
 			rt.metrics.Failovers.Add(1)
+			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "read quorum re-selection")
 		}
 		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
 		if err != nil {
@@ -355,6 +401,10 @@ func (tx *Tx) followUpRead(id store.ObjectID, node quorum.NodeID) (*wire.ReadRes
 		TxID: tx.id,
 		Read: &wire.ReadRequest{Object: id, Validate: tx.validationList()},
 	}
+	if tx.traceID != "" {
+		req.TraceID = tx.traceID
+		req.SpanID = tx.span
+	}
 	cctx, cancel := context.WithTimeout(tx.ctx, rt.cfg.RequestTimeout)
 	defer cancel()
 	resp, err := rt.cfg.Client.Call(cctx, node, req)
@@ -376,10 +426,49 @@ func (tx *Tx) Sub(fn func(*Tx) error) error {
 	if tx.parent != nil {
 		return ErrNestingDepth
 	}
-	rt := tx.rt
 	tx.subSeq++
 	block := tx.subSeq
+	if tx.traceID == "" {
+		return tx.runSub(fn, block, 0)
+	}
+	// Traced: one "block-K" span per Sub call with a nested "try-J" span per
+	// execution, so a partial rollback shows up as extra tries under the same
+	// block while the block's own duration captures the total retry cost.
+	span := trace.Span{
+		Trace:  tx.traceID,
+		ID:     trace.NextSpanID(),
+		Parent: tx.span,
+		Name:   fmt.Sprintf("block-%d", block),
+		Site:   tx.rt.site,
+		Start:  time.Now(),
+	}
+	err := tx.runSub(fn, block, span.ID)
+	span.End = time.Now()
+	if err != nil {
+		span.Detail = err.Error()
+	} else {
+		span.Detail = "merged"
+	}
+	tx.rt.cfg.Tracer.RecordSpan(span)
+	return err
+}
+
+// runSub is Sub's partial-rollback retry loop. blockID is the enclosing
+// block span (0 when untraced).
+func (tx *Tx) runSub(fn func(*Tx) error, block int, blockID uint64) error {
+	rt := tx.rt
 	for attempt := 0; attempt < rt.cfg.MaxSubAttempts; attempt++ {
+		var trySpan trace.Span
+		if blockID != 0 {
+			trySpan = trace.Span{
+				Trace:  tx.traceID,
+				ID:     trace.NextSpanID(),
+				Parent: blockID,
+				Name:   fmt.Sprintf("try-%d", attempt),
+				Site:   rt.site,
+				Start:  time.Now(),
+			}
+		}
 		child := &Tx{
 			rt:       rt,
 			ctx:      tx.ctx,
@@ -387,11 +476,22 @@ func (tx *Tx) Sub(fn func(*Tx) error) error {
 			seed:     tx.seed,
 			parent:   tx,
 			block:    block,
+			traceID:  tx.traceID,
+			span:     trySpan.ID,
 			reads:    make(map[store.ObjectID]uint64),
 			readVals: make(map[store.ObjectID]store.Value),
 			writes:   make(map[store.ObjectID]store.Value),
 		}
 		err := fn(child)
+		if blockID != 0 {
+			trySpan.End = time.Now()
+			if err != nil {
+				trySpan.Detail = err.Error()
+			} else {
+				trySpan.Detail = "merged"
+			}
+			rt.cfg.Tracer.RecordSpan(trySpan)
+		}
 		if err == nil {
 			tx.merge(child)
 			return nil
@@ -458,19 +558,26 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 		TxID:    tx.id,
 		Prepare: &wire.PrepareRequest{Reads: reads, Writes: writes},
 	}
+	if tx.traceID != "" {
+		prepare.TraceID = tx.traceID
+		prepare.SpanID = tx.span
+	}
 
 	var lastErr error
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
 			rt.metrics.Failovers.Add(1)
+			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "write quorum re-selection")
 		}
 		wq, err := rt.selectWriteQuorum(tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
 		}
 		rt.metrics.Prepares.Add(1)
+		prepStart := time.Now()
 		results := rt.fanout(ctx, wq, prepare)
+		rt.stages.Prepare.Record(time.Since(prepStart))
 
 		var invalid []store.ObjectID
 		var busyIDs []store.ObjectID
@@ -497,14 +604,14 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 		}
 
 		if yes == len(wq) {
-			rt.decide(ctx, wq, tx.id, true, writes, release)
+			rt.decide(ctx, wq, tx, true, writes, release)
 			return nil
 		}
 
 		// Some participant said no or vanished: abort-release everywhere we
 		// might have left protections.
 		rt.metrics.PrepareFails.Add(1)
-		rt.decide(ctx, preparedOn, tx.id, false, nil, release)
+		rt.decide(ctx, preparedOn, tx, false, nil, release)
 
 		if len(invalid) > 0 || len(busyIDs) > 0 {
 			return &AbortError{
@@ -534,18 +641,25 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 		TxID:    tx.id,
 		Prepare: &wire.PrepareRequest{Reads: reads},
 	}
+	if tx.traceID != "" {
+		req.TraceID = tx.traceID
+		req.SpanID = tx.span
+	}
 	var lastErr error
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
 			rt.metrics.Failovers.Add(1)
+			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "read quorum re-selection")
 		}
 		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
 		}
 		rt.metrics.ReadOnlyFasts.Add(1)
+		prepStart := time.Now()
 		results := rt.fanout(ctx, q, req)
+		rt.stages.Prepare.Record(time.Since(prepStart))
 		var invalid []store.ObjectID
 		ok := true
 		for _, r := range results {
@@ -571,18 +685,22 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 
 // decide delivers the 2PC outcome to the participants (best effort; a
 // participant that misses the decision recovers via the protection lease).
-func (rt *Runtime) decide(ctx context.Context, nodes []quorum.NodeID, txID string, commit bool, writes []store.WriteDesc, release []store.ObjectID) {
+func (rt *Runtime) decide(ctx context.Context, nodes []quorum.NodeID, tx *Tx, commit bool, writes []store.WriteDesc, release []store.ObjectID) {
 	if len(nodes) == 0 {
 		return
 	}
 	req := &wire.Request{
 		Kind: wire.KindDecision,
-		TxID: txID,
+		TxID: tx.id,
 		Decision: &wire.DecisionRequest{
 			Commit:  commit,
 			Writes:  writes,
 			Release: release,
 		},
+	}
+	if tx.traceID != "" {
+		req.TraceID = tx.traceID
+		req.SpanID = tx.span
 	}
 	rt.fanout(ctx, nodes, req)
 }

@@ -1,6 +1,33 @@
 package harness
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"qracn/internal/metrics"
+)
+
+// exportedSummary is the stable JSON schema for one latency-histogram
+// digest (all latencies in microseconds).
+type exportedSummary struct {
+	Count  uint64 `json:"count"`
+	MeanUS int64  `json:"mean_us"`
+	P50US  int64  `json:"p50_us"`
+	P95US  int64  `json:"p95_us"`
+	P99US  int64  `json:"p99_us"`
+}
+
+func exportSummary(s metrics.Summary) *exportedSummary {
+	if s.Count == 0 {
+		return nil
+	}
+	return &exportedSummary{
+		Count:  s.Count,
+		MeanUS: s.Mean.Microseconds(),
+		P50US:  s.P50.Microseconds(),
+		P95US:  s.P95.Microseconds(),
+		P99US:  s.P99.Microseconds(),
+	}
+}
 
 // exportedSeries is the stable JSON schema for one system's measurements.
 type exportedSeries struct {
@@ -15,6 +42,14 @@ type exportedSeries struct {
 	RemoteReads    uint64    `json:"remote_reads"`
 	CPRollbacks    uint64    `json:"checkpoint_rollbacks,omitempty"`
 	ReadOnlyFastOK uint64    `json:"read_only_validations"`
+	// DroppedCommits counts commits outside the measurement window.
+	DroppedCommits uint64 `json:"dropped_commits,omitempty"`
+	// Stage latency digests (absent when the stage never ran).
+	ReadStage     *exportedSummary `json:"read_stage,omitempty"`
+	PrefetchStage *exportedSummary `json:"prefetch_stage,omitempty"`
+	PrepareStage  *exportedSummary `json:"prepare_stage,omitempty"`
+	CommitStage   *exportedSummary `json:"commit_stage,omitempty"`
+	FsyncWait     *exportedSummary `json:"fsync_wait,omitempty"`
 	// WAL is present only for durable runs.
 	WAL *exportedWAL `json:"wal,omitempty"`
 }
@@ -76,6 +111,12 @@ func (r *Result) ExportJSON() ([]byte, error) {
 			RemoteReads:    s.Metrics.RemoteReads,
 			CPRollbacks:    s.Metrics.CheckpointRollbacks,
 			ReadOnlyFastOK: s.Metrics.ReadOnlyFasts,
+			DroppedCommits: s.DroppedCommits,
+			ReadStage:      exportSummary(s.Stages.Read),
+			PrefetchStage:  exportSummary(s.Stages.PrefetchBatch),
+			PrepareStage:   exportSummary(s.Stages.Prepare),
+			CommitStage:    exportSummary(s.Stages.Commit),
+			FsyncWait:      exportSummary(s.FsyncWait),
 		}
 		if s.WAL.Appends > 0 {
 			es.WAL = &exportedWAL{

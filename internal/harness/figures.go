@@ -23,6 +23,8 @@ type Scale struct {
 	WALDir           string
 	FsyncInterval    time.Duration
 	SnapshotEvery    int
+	TraceCapacity    int
+	TraceSample      int
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -48,6 +50,8 @@ func (s Scale) apply(o Options) Options {
 	o.WALDir = s.WALDir
 	o.FsyncInterval = s.FsyncInterval
 	o.SnapshotEvery = s.SnapshotEvery
+	o.TraceCapacity = s.TraceCapacity
+	o.TraceSample = s.TraceSample
 	return o
 }
 

@@ -22,6 +22,7 @@ import (
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
+	"qracn/internal/trace"
 	"qracn/internal/transport"
 	"qracn/internal/unitgraph"
 	"qracn/internal/workload"
@@ -122,6 +123,13 @@ type Options struct {
 	// SnapshotEvery is the automatic checkpoint threshold in records
 	// (0: server default; negative: only explicit checkpoints).
 	SnapshotEvery int
+	// TraceCapacity, when positive, turns tracing on: every node and every
+	// client runtime gets a span/event ring of this size (0: tracing off).
+	TraceCapacity int
+	// TraceSample is the client-side span sampling rate when tracing is on:
+	// 0 or 1 records every transaction, N>1 records one in N, negative
+	// disables spans while keeping protocol events.
+	TraceSample int
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -189,6 +197,25 @@ type Series struct {
 	// WAL aggregates the nodes' commit-log counters (zero unless the run
 	// was durable).
 	WAL dtm.WALStats
+	// Stages summarizes the always-on client stage histograms (quorum read,
+	// prefetch batch, 2PC prepare, whole commit) merged across all clients.
+	Stages StageSummaries
+	// FsyncWait summarizes the group-commit wait on the servers (durable
+	// runs only; zero count otherwise).
+	FsyncWait metrics.Summary
+	// DroppedCommits counts commits that landed outside the measurement
+	// intervals (after Close or past the configured window) and therefore
+	// are absent from Throughput.
+	DroppedCommits uint64
+}
+
+// StageSummaries are the percentile summaries of the client-side stage
+// latency histograms for one run.
+type StageSummaries struct {
+	Read          metrics.Summary
+	PrefetchBatch metrics.Summary
+	Prepare       metrics.Summary
+	Commit        metrics.Summary
 }
 
 // Result is one experiment's outcome across systems.
@@ -243,8 +270,9 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 			Jitter:  opts.NetJitter,
 			Seed:    opts.Seed,
 		},
-		StatsWindow: opts.IntervalLength,
-		ProtectTTL:  opts.ProtectTTL,
+		StatsWindow:   opts.IntervalLength,
+		ProtectTTL:    opts.ProtectTTL,
+		TraceCapacity: opts.TraceCapacity,
 	}
 	if opts.Durable {
 		// A fresh directory per run: replaying a previous run's log would
@@ -292,6 +320,10 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 			BackoffBase: 50 * time.Microsecond,
 			BackoffMax:  time.Millisecond,
 			NoRepair:    opts.NoRepair,
+			TraceSample: opts.TraceSample,
+		}
+		if opts.TraceCapacity > 0 {
+			dcfg.Tracer = trace.New(opts.TraceCapacity)
 		}
 		if mode == ModeQRACN {
 			// Wire the piggyback hooks; the hub exists only after the
@@ -407,28 +439,31 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 	wg.Wait()
 
 	s := &Series{
-		Mode:        mode,
-		Throughput:  meter.PerSecond(opts.IntervalLength),
-		Commits:     meter.Total(),
-		MeanLatency: latency.Mean(),
-		P99Latency:  latency.Quantile(0.99),
-		WAL:         c.WALStats(),
+		Mode:           mode,
+		Throughput:     meter.PerSecond(opts.IntervalLength),
+		Commits:        meter.Total(),
+		MeanLatency:    latency.Mean(),
+		P99Latency:     latency.Quantile(0.99),
+		WAL:            c.WALStats(),
+		FsyncWait:      c.FsyncWait().Summarize(),
+		DroppedCommits: meter.Dropped(),
 	}
+	var stages dtm.StageLatencies
 	for _, cs := range clients {
-		m := cs.rt.Metrics().Snapshot()
-		s.Metrics.Commits += m.Commits
-		s.Metrics.ParentAborts += m.ParentAborts
-		s.Metrics.SubAborts += m.SubAborts
-		s.Metrics.BusyBackoffs += m.BusyBackoffs
-		s.Metrics.RemoteReads += m.RemoteReads
-		s.Metrics.Prepares += m.Prepares
-		s.Metrics.PrepareFails += m.PrepareFails
-		s.Metrics.ReadOnlyFasts += m.ReadOnlyFasts
-		s.Metrics.CheckpointRollbacks += m.CheckpointRollbacks
-		s.Metrics.Failovers += m.Failovers
-		s.Metrics.Suspicions += m.Suspicions
-		s.Metrics.Readmissions += m.Readmissions
-		s.Metrics.Repairs += m.Repairs
+		// Snapshot.Add walks the struct by reflection, so new counters are
+		// aggregated without touching this loop.
+		s.Metrics.Add(cs.rt.Metrics().Snapshot())
+		st := cs.rt.Stages()
+		stages.Read.Merge(&st.Read)
+		stages.PrefetchBatch.Merge(&st.PrefetchBatch)
+		stages.Prepare.Merge(&st.Prepare)
+		stages.Commit.Merge(&st.Commit)
+	}
+	s.Stages = StageSummaries{
+		Read:          stages.Read.Summarize(),
+		PrefetchBatch: stages.PrefetchBatch.Summarize(),
+		Prepare:       stages.Prepare.Summarize(),
+		Commit:        stages.Commit.Summarize(),
 	}
 	return s, nil
 }

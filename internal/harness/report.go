@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"qracn/internal/metrics"
 )
 
 // Improvement returns the percentage by which mode outperforms base in the
@@ -129,7 +131,42 @@ func (r *Result) Summary() string {
 			fmt.Fprintf(&b, " latency(mean/p99)=%v/%v",
 				s.MeanLatency.Round(10*time.Microsecond), s.P99Latency.Round(10*time.Microsecond))
 		}
+		if s.DroppedCommits > 0 {
+			fmt.Fprintf(&b, " dropped=%d", s.DroppedCommits)
+		}
 		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// StageReport renders the per-stage latency percentiles of every measured
+// system: where a transaction's wall-clock time goes (quorum read, batched
+// prefetch, 2PC prepare, whole commit, and — on durable runs — the servers'
+// group-commit fsync wait).
+func (r *Result) StageReport() string {
+	var b strings.Builder
+	for _, m := range AllModesWithCheckpoint {
+		s := r.Series[m]
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s stages:\n", m)
+		rows := []struct {
+			name string
+			sum  metrics.Summary
+		}{
+			{"read", s.Stages.Read},
+			{"prefetch-batch", s.Stages.PrefetchBatch},
+			{"prepare", s.Stages.Prepare},
+			{"commit", s.Stages.Commit},
+			{"fsync-wait", s.FsyncWait},
+		}
+		for _, row := range rows {
+			if row.sum.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-15s %s\n", row.name, row.sum)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exposition accumulates Prometheus text-format (version 0.0.4) metric
+// families: counters, gauges, and latency histograms with cumulative "le"
+// buckets in seconds. It is a writer, not a registry — callers re-render the
+// page per scrape from their live counters.
+type Exposition struct {
+	b strings.Builder
+}
+
+func (e *Exposition) header(name, help, typ string) {
+	fmt.Fprintf(&e.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter emits one monotonically-increasing counter.
+func (e *Exposition) Counter(name, help string, value uint64) {
+	e.header(name, help, "counter")
+	fmt.Fprintf(&e.b, "%s %d\n", name, value)
+}
+
+// Gauge emits one point-in-time value.
+func (e *Exposition) Gauge(name, help string, value float64) {
+	e.header(name, help, "gauge")
+	fmt.Fprintf(&e.b, "%s %s\n", name, formatFloat(value))
+}
+
+// Histogram emits one latency histogram with cumulative le buckets (in
+// seconds, the Prometheus convention for durations) plus _sum and _count.
+func (e *Exposition) Histogram(name, help string, h *LatencyHistogram) {
+	e.header(name, help, "histogram")
+	for _, b := range h.Buckets() {
+		fmt.Fprintf(&e.b, "%s_bucket{le=\"%s\"} %d\n",
+			name, formatFloat(b.Upper.Seconds()), b.Cumulative)
+	}
+	fmt.Fprintf(&e.b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(&e.b, "%s_sum %s\n", name, formatFloat(h.Sum().Seconds()))
+	fmt.Fprintf(&e.b, "%s_count %d\n", name, h.Count())
+}
+
+// WriteTo writes the accumulated page.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, e.b.String())
+	return int64(n), err
+}
+
+// String returns the accumulated page.
+func (e *Exposition) String() string { return e.b.String() }
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

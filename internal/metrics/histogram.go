@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHistogram bucket layout: bucket 0 holds everything below 2^minOctave
+// nanoseconds (~1µs); above that each power-of-two octave is split into
+// subBuckets sub-ranges (HDR-style log-linear), giving a worst-case relative
+// quantile error of 1/subBuckets (25%) per bucket — more than enough for
+// p50/p95/p99 reporting. Everything at or above 2^maxOctave ns (~69s) lands
+// in the final overflow bucket.
+const (
+	minOctave  = 10
+	maxOctave  = 36
+	subBuckets = 4
+	numBuckets = 1 + (maxOctave-minOctave)*subBuckets + 1
+)
+
+// LatencyHistogram is a fixed-size, lock-free latency recorder. Record is a
+// single atomic increment (no allocation, safe for hot paths); readers
+// compute quantiles from the bucket counts. The zero value is ready to use.
+type LatencyHistogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns uint64) int {
+	if ns < 1<<minOctave {
+		return 0
+	}
+	octave := bits.Len64(ns) - 1 // floor(log2 ns)
+	if octave >= maxOctave {
+		return numBuckets - 1
+	}
+	// The two bits below the leading bit select the sub-bucket.
+	sub := (ns >> (uint(octave) - 2)) & (subBuckets - 1)
+	return 1 + (octave-minOctave)*subBuckets + int(sub)
+}
+
+// bucketUpper returns the exclusive upper bound of a bucket in nanoseconds.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 1 << minOctave
+	}
+	if i >= numBuckets-1 {
+		return 1<<63 - 1
+	}
+	octave := minOctave + (i-1)/subBuckets
+	sub := uint64((i-1)%subBuckets) + 1
+	return 1<<uint(octave) + sub<<(uint(octave)-2)
+}
+
+// Record adds one latency sample.
+func (h *LatencyHistogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Mean returns the average sample, or 0 without samples.
+func (h *LatencyHistogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper bound on the q-th (0..1) quantile: the upper
+// edge of the bucket holding the q-th sample. Returns 0 without samples.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(bucketUpper(numBuckets - 1))
+}
+
+// Merge adds the other histogram's samples into h.
+func (h *LatencyHistogram) Merge(other *LatencyHistogram) {
+	if h == nil || other == nil {
+		return
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	for i := range h.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
+// Bucket is one histogram bucket as exposed to exporters: the cumulative
+// count of samples at or below Upper.
+type Bucket struct {
+	Upper      time.Duration
+	Cumulative uint64
+}
+
+// Buckets returns the non-trivial cumulative buckets (Prometheus "le"
+// semantics): every bucket up to and including the last non-empty one.
+func (h *LatencyHistogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	last := -1
+	counts := make([]uint64, numBuckets)
+	for i := 0; i < numBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]Bucket, 0, last+1)
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		out = append(out, Bucket{Upper: time.Duration(bucketUpper(i)), Cumulative: cum})
+	}
+	return out
+}
+
+// Sum returns the total of all samples.
+func (h *LatencyHistogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Summary is a fixed percentile digest of a histogram, for reports and JSON
+// export.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Summarize digests the histogram into Count/Mean/p50/p95/p99.
+func (h *LatencyHistogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99)
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	// Bucket edges must be consistent: every sample below bucketUpper(i) and
+	// at/above bucketUpper(i-1) maps to bucket i.
+	prev := -1
+	for ns := uint64(1); ns < 1<<40; ns = ns*5/4 + 1 {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d went backwards from %d", ns, i, prev)
+		}
+		if i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", ns, i)
+		}
+		if i < numBuckets-1 && ns >= bucketUpper(i) {
+			t.Fatalf("ns %d >= upper bound %d of its bucket %d", ns, bucketUpper(i), i)
+		}
+		if i > 0 && ns < bucketUpper(i-1) {
+			t.Fatalf("ns %d < upper bound %d of previous bucket %d", ns, bucketUpper(i-1), i-1)
+		}
+		prev = i
+	}
+}
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h LatencyHistogram
+	// 1000 samples spread 1ms..1000ms: p50 ≈ 500ms, p99 ≈ 990ms.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		// Log-linear buckets bound the error at 25% of the value.
+		if got < want || got > want+want/3 {
+			t.Fatalf("Quantile(%v) = %v, want within [%v, %v]", q, got, want, want+want/3)
+		}
+	}
+	check(0.50, 500*time.Millisecond)
+	check(0.95, 950*time.Millisecond)
+	check(0.99, 990*time.Millisecond)
+	mean := h.Mean()
+	if mean < 400*time.Millisecond || mean > 600*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestLatencyHistogramEdges(t *testing.T) {
+	var h LatencyHistogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Record(0)
+	h.Record(-time.Second) // clamped to 0
+	h.Record(200 * time.Second)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(0) > 2*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want sub-microsecond bucket", h.Quantile(0))
+	}
+	if h.Quantile(1) < 60*time.Second {
+		t.Fatalf("Quantile(1) = %v, want overflow bucket", h.Quantile(1))
+	}
+	var nilH *LatencyHistogram
+	nilH.Record(time.Second) // must not panic
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not zero")
+	}
+}
+
+func TestLatencyHistogramMerge(t *testing.T) {
+	var a, b LatencyHistogram
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if q := a.Quantile(0.75); q < time.Second || q > 2*time.Second {
+		t.Fatalf("merged p75 = %v, want ~1s", q)
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var total uint64
+	for _, b := range h.Buckets() {
+		total = b.Cumulative
+	}
+	if total != 8000 {
+		t.Fatalf("cumulative = %d", total)
+	}
+}
+
+func TestThroughputMeterDropped(t *testing.T) {
+	m := NewThroughputMeter(2)
+	m.Record()
+	m.Advance()
+	m.Record()
+	m.Close()
+	m.Record()
+	m.Record()
+	if got := m.Total(); got != 2 {
+		t.Fatalf("total = %d", got)
+	}
+	if got := m.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+func TestExposition(t *testing.T) {
+	var h LatencyHistogram
+	h.Record(5 * time.Millisecond)
+	h.Record(50 * time.Millisecond)
+	var e Exposition
+	e.Counter("qracn_commits_total", "Committed transactions.", 42)
+	e.Gauge("qracn_suspected_nodes", "Currently suspected nodes.", 1)
+	e.Histogram("qracn_read_seconds", "Quorum read latency.", &h)
+	out := e.String()
+	for _, want := range []string{
+		"# TYPE qracn_commits_total counter",
+		"qracn_commits_total 42",
+		"# TYPE qracn_suspected_nodes gauge",
+		"# TYPE qracn_read_seconds histogram",
+		`qracn_read_seconds_bucket{le="+Inf"} 2`,
+		"qracn_read_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing.
+	var prev uint64
+	for _, b := range h.Buckets() {
+		if b.Cumulative < prev {
+			t.Fatalf("bucket cumulative decreased: %d < %d", b.Cumulative, prev)
+		}
+		prev = b.Cumulative
+	}
+}
+
+func BenchmarkLatencyHistogramRecord(b *testing.B) {
+	var h LatencyHistogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Record(1234567)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 type ThroughputMeter struct {
 	counts  []atomic.Uint64
 	current atomic.Int64
+	dropped atomic.Uint64
 }
 
 // NewThroughputMeter creates a meter with the given number of intervals.
@@ -30,13 +31,21 @@ func NewThroughputMeter(intervals int) *ThroughputMeter {
 }
 
 // Record counts one event in the current interval. Events recorded after
-// the last interval has been closed are dropped.
+// the last interval has been closed are counted in Dropped rather than
+// attributed to any interval.
 func (m *ThroughputMeter) Record() {
 	i := m.current.Load()
 	if i >= 0 && int(i) < len(m.counts) {
 		m.counts[i].Add(1)
+		return
 	}
+	m.dropped.Add(1)
 }
+
+// Dropped returns how many events arrived outside every interval (workers
+// that committed after Close, or before the meter was opened). A large value
+// means the measurement window under-reports real throughput.
+func (m *ThroughputMeter) Dropped() uint64 { return m.dropped.Load() }
 
 // Advance moves recording to the next interval; after the final interval it
 // closes the meter.

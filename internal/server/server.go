@@ -14,12 +14,31 @@ import (
 	"time"
 
 	"qracn/internal/contention"
+	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
+	"qracn/internal/trace"
 	"qracn/internal/transport"
 	"qracn/internal/wal"
 	"qracn/internal/wire"
 )
+
+// StageLatencies are the node's always-on per-stage latency histograms.
+// Recording is a pair of atomic adds, so they stay live even in untraced
+// production runs and feed the /metrics exposition and harness reports.
+type StageLatencies struct {
+	// ReadServe is the server-side cost of a read (validate + fetch).
+	ReadServe metrics.LatencyHistogram
+	// PrepareServe is 2PC phase one (protect + validate + vote).
+	PrepareServe metrics.LatencyHistogram
+	// CommitApply is 2PC phase two (WAL append + store apply + release).
+	CommitApply metrics.LatencyHistogram
+	// RepairApply is a read-repair push application.
+	RepairApply metrics.LatencyHistogram
+	// FsyncWait is the group-commit wait inside CommitApply: how long the
+	// decision blocked on the WAL before its writes were durable.
+	FsyncWait metrics.LatencyHistogram
+}
 
 // Config tunes a node.
 type Config struct {
@@ -37,13 +56,20 @@ type Config struct {
 	// segment compaction) once that many records have been appended since
 	// the last one (0: default 4096; negative: never automatically).
 	SnapshotEvery int
+	// Tracer, when non-nil and enabled, records a serve span for every
+	// request that carries a trace ID (plus protocol events like WAL-fsync
+	// waits). Untraced requests skip all span work.
+	Tracer *trace.Tracer
 }
 
 // Node is one quorum server.
 type Node struct {
-	id    quorum.NodeID
-	store *store.Store
-	meter *contention.Meter
+	id     quorum.NodeID
+	site   string
+	store  *store.Store
+	meter  *contention.Meter
+	tracer *trace.Tracer
+	stages StageLatencies
 
 	wal      *wal.Log
 	snapEvry uint64
@@ -75,10 +101,12 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 	}
 	return &Node{
 		id:       id,
+		site:     fmt.Sprintf("node-%d", id),
 		store:    store.New(),
 		meter:    contention.NewMeter(cfg.StatsWindow, cfg.Now),
 		wal:      cfg.WAL,
 		snapEvry: snapEvery,
+		tracer:   cfg.Tracer,
 	}
 }
 
@@ -93,6 +121,12 @@ func (n *Node) Meter() *contention.Meter { return n.meter }
 
 // WAL exposes the node's commit log (nil when the node is volatile).
 func (n *Node) WAL() *wal.Log { return n.wal }
+
+// Tracer exposes the node's tracer (nil when the node is untraced).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// Stages exposes the node's per-stage latency histograms.
+func (n *Node) Stages() *StageLatencies { return &n.stages }
 
 // AttachWAL installs the commit log on a node built before its log was
 // opened. The durable restart sequence needs this ordering: bind the
@@ -191,23 +225,63 @@ func (n *Node) maybeCheckpoint() {
 // inline. The context carries the caller's deadline/cancellation (the
 // transport cancels it when the client gives up), which batch dispatch
 // honours between and during sub-requests.
+//
+// A request carrying span context (TraceID set) gets a "serve-<kind>" span
+// parented to the client span that issued it; untraced requests skip every
+// span branch, so the hot path stays allocation-free.
 func (n *Node) Handle(ctx context.Context, req *wire.Request) *wire.Response {
 	if n.recovering.Load() && req.Kind != wire.KindPing {
 		return &wire.Response{Status: wire.StatusUnavailable, Detail: "node recovering: replaying commit log"}
 	}
+	if req.TraceID == "" || !n.tracer.Enabled() {
+		return n.dispatch(ctx, req, 0)
+	}
+	span := trace.Span{
+		Trace:  req.TraceID,
+		ID:     trace.NextSpanID(),
+		Parent: req.SpanID,
+		Name:   "serve-" + req.Kind.String(),
+		Site:   n.site,
+		Start:  time.Now(),
+	}
+	resp := n.dispatch(ctx, req, span.ID)
+	span.End = time.Now()
+	span.Detail = resp.Status.String()
+	n.tracer.RecordSpan(span)
+	return resp
+}
+
+// dispatch routes one request. serveID is the enclosing serve span's ID
+// (0 when untraced) for handlers that record nested spans (the WAL-fsync
+// wait inside a commit decision).
+func (n *Node) dispatch(ctx context.Context, req *wire.Request, serveID uint64) *wire.Response {
 	switch req.Kind {
 	case wire.KindRead:
-		return n.handleRead(req)
+		t0 := time.Now()
+		resp := n.handleRead(req)
+		n.stages.ReadServe.Record(time.Since(t0))
+		return resp
 	case wire.KindPrepare:
-		return n.handlePrepare(req)
+		t0 := time.Now()
+		resp := n.handlePrepare(req)
+		n.stages.PrepareServe.Record(time.Since(t0))
+		return resp
 	case wire.KindDecision:
-		return n.handleDecision(req)
+		t0 := time.Now()
+		resp := n.handleDecision(req, serveID)
+		n.stages.CommitApply.Record(time.Since(t0))
+		return resp
 	case wire.KindStats:
 		return n.handleStats(req)
 	case wire.KindSync:
 		return n.handleSync(req)
 	case wire.KindRepair:
-		return n.handleRepair(req)
+		t0 := time.Now()
+		resp := n.handleRepair(req)
+		n.stages.RepairApply.Record(time.Since(t0))
+		return resp
+	case wire.KindTraceFetch:
+		return n.handleTraceFetch(req)
 	case wire.KindBatch:
 		return transport.HandleBatch(ctx, n.Handle, req)
 	case wire.KindPing:
@@ -309,8 +383,9 @@ func (n *Node) handlePrepare(req *wire.Request) *wire.Response {
 
 // handleDecision is 2PC phase two: apply the writes (counting each toward
 // the object's contention level) and release every protection the prepare
-// installed.
-func (n *Node) handleDecision(req *wire.Request) *wire.Response {
+// installed. serveID is the enclosing serve span (0 when untraced) so the
+// WAL-fsync wait can appear as a nested span.
+func (n *Node) handleDecision(req *wire.Request, serveID uint64) *wire.Response {
 	d := req.Decision
 	if d == nil {
 		return &wire.Response{Status: wire.StatusError, Detail: "decision request missing payload"}
@@ -320,7 +395,21 @@ func (n *Node) handleDecision(req *wire.Request) *wire.Response {
 		// fsynced before any of it is applied or the decision acked. The
 		// shared commitMu keeps the append→apply window out of snapshots.
 		n.commitMu.RLock()
-		if err := n.logWrites(req.TxID, d.Writes); err != nil {
+		fsyncStart := time.Now()
+		err := n.logWrites(req.TxID, d.Writes)
+		if n.wal != nil && len(d.Writes) > 0 {
+			wait := time.Since(fsyncStart)
+			n.stages.FsyncWait.Record(wait)
+			if req.TraceID != "" && n.tracer.Enabled() {
+				n.tracer.Record(trace.KindWALFsync, req.TxID, wait.String())
+				n.tracer.RecordSpan(trace.Span{
+					Trace: req.TraceID, ID: trace.NextSpanID(), Parent: serveID,
+					Name: "wal-fsync", Site: n.site,
+					Start: fsyncStart, End: fsyncStart.Add(wait),
+				})
+			}
+		}
+		if err != nil {
 			n.commitMu.RUnlock()
 			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
 		}
@@ -343,6 +432,21 @@ func (n *Node) handleDecision(req *wire.Request) *wire.Response {
 		n.maybeCheckpoint()
 	}
 	return &wire.Response{Status: wire.StatusOK}
+}
+
+// handleTraceFetch drains the node's trace rings for a client or
+// qracn-inspect. An untraced node answers with empty payloads rather than an
+// error, so a mixed fleet can still be swept.
+func (n *Node) handleTraceFetch(req *wire.Request) *wire.Response {
+	f := req.TraceFetch
+	if f == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "trace-fetch request missing payload"}
+	}
+	resp := &wire.TraceFetchResponse{Spans: n.tracer.SpansFor(f.TraceID)}
+	if f.Events {
+		resp.Events = n.tracer.Events()
+	}
+	return &wire.Response{Status: wire.StatusOK, Trace: resp}
 }
 
 func (n *Node) handleStats(req *wire.Request) *wire.Response {

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (chrome://tracing / Perfetto "JSON trace" flavour). Complete events
+// (ph "X") carry a start timestamp and a duration in microseconds; metadata
+// events (ph "M") name the synthetic processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ValidateSpans checks that every span is well-formed: a trace ID, a name,
+// a site, a non-zero start, and an end not before the start. It returns the
+// first malformed span's index and a description.
+func ValidateSpans(spans []Span) error {
+	for i, s := range spans {
+		switch {
+		case s.Trace == "":
+			return fmt.Errorf("trace: span %d (%q) has no trace ID", i, s.Name)
+		case s.Name == "":
+			return fmt.Errorf("trace: span %d of trace %s has no name", i, s.Trace)
+		case s.Site == "":
+			return fmt.Errorf("trace: span %d (%q) has no site", i, s.Name)
+		case s.Start.IsZero():
+			return fmt.Errorf("trace: span %d (%q) has a zero start time", i, s.Name)
+		case s.End.Before(s.Start):
+			return fmt.Errorf("trace: span %d (%q) ends %v before it starts", i, s.Name, s.Start.Sub(s.End))
+		}
+	}
+	return nil
+}
+
+// ChromeTrace renders spans as Chrome trace_event JSON, loadable in
+// chrome://tracing and Perfetto. Each site becomes a process row and each
+// trace ID a thread row within it, so one transaction's cross-node timeline
+// lines up vertically. It fails on malformed span data (see ValidateSpans).
+func ChromeTrace(spans []Span) ([]byte, error) {
+	if err := ValidateSpans(spans); err != nil {
+		return nil, err
+	}
+	sites := map[string]int{}
+	traces := map[string]int{}
+	for _, s := range spans {
+		if _, ok := sites[s.Site]; !ok {
+			sites[s.Site] = 0
+		}
+		if _, ok := traces[s.Trace]; !ok {
+			traces[s.Trace] = 0
+		}
+	}
+	number := func(m map[string]int) []string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			m[k] = i + 1
+		}
+		return keys
+	}
+	siteNames := number(sites)
+	traceNames := number(traces)
+
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, site := range siteNames {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: sites[site],
+			Args: map[string]any{"name": site},
+		})
+		for _, tr := range traceNames {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: sites[site], TID: traces[tr],
+				Args: map[string]any{"name": tr},
+			})
+		}
+	}
+	for _, s := range spans {
+		args := map[string]any{"span": s.ID, "trace": s.Trace}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  "qracn",
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration().Nanoseconds()) / 1e3,
+			PID:  sites[s.Site],
+			TID:  traces[s.Trace],
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// Timeline renders spans as a plain-text tree per trace ID: offset from the
+// trace's first span, duration, site, name, and detail, indented by nesting
+// depth.
+func Timeline(spans []Span) string {
+	var b strings.Builder
+	for _, id := range TraceIDs(spans) {
+		roots := AssembleTrace(spans, id)
+		var t0 time.Time
+		for _, r := range roots {
+			if t0.IsZero() || r.Start.Before(t0) {
+				t0 = r.Start
+			}
+		}
+		fmt.Fprintf(&b, "trace %s\n", id)
+		var walk func(n *SpanNode, depth int)
+		walk = func(n *SpanNode, depth int) {
+			fmt.Fprintf(&b, "  %+10s %10s  %s%-12s %s",
+				fmtOffset(n.Start.Sub(t0)), fmtOffset(n.Duration()),
+				strings.Repeat("  ", depth), n.Site, n.Name)
+			if n.Detail != "" {
+				fmt.Fprintf(&b, "  (%s)", n.Detail)
+			}
+			b.WriteByte('\n')
+			for _, c := range n.Children {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 0)
+		}
+	}
+	return b.String()
+}
+
+func fmtOffset(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// WriteSpans serializes spans as a JSON array (the raw interchange format
+// qracn-inspect trace reads back with ReadSpans).
+func WriteSpans(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(spans)
+}
+
+// ReadSpans parses a JSON span array written by WriteSpans.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("trace: read spans: %w", err)
+	}
+	return out, nil
+}

@@ -31,6 +31,25 @@ const (
 	KindBusy
 	// KindRecompose is an ACN Block-sequence swap.
 	KindRecompose
+	// KindFailover is a quorum re-selection forced by member errors: the
+	// retry excluded the failed members and picked a fresh quorum.
+	KindFailover
+	// KindSuspect is a failure-detector alive→suspected transition.
+	KindSuspect
+	// KindReadmit is a suspected node readmitted after a probe answered.
+	KindReadmit
+	// KindRepair is a read-repair push applied by a stale quorum member.
+	KindRepair
+	// KindWALFsync is a server-side group-commit fsync wait on the commit
+	// path (Detail carries the wait duration).
+	KindWALFsync
+	// KindRecomposeSkip is an algorithm-module run whose output matched the
+	// executor's current Block sequence, so the swap was skipped.
+	KindRecomposeSkip
+
+	// numKinds counts the Kind values; it must stay last so the String
+	// coverage test can iterate the enum.
+	numKinds
 )
 
 func (k Kind) String() string {
@@ -47,6 +66,18 @@ func (k Kind) String() string {
 		return "busy"
 	case KindRecompose:
 		return "recompose"
+	case KindFailover:
+		return "failover"
+	case KindSuspect:
+		return "suspect"
+	case KindReadmit:
+		return "readmit"
+	case KindRepair:
+		return "repair"
+	case KindWALFsync:
+		return "wal-fsync"
+	case KindRecomposeSkip:
+		return "recompose-skip"
 	default:
 		return "unknown"
 	}
@@ -67,8 +98,9 @@ func (e Event) String() string {
 		e.At.Format("15:04:05.000000"), e.Kind, e.TxID, e.Detail)
 }
 
-// Tracer records events into a ring. The zero value is a disabled tracer:
-// Record is a no-op until Enable. All methods are safe for concurrent use.
+// Tracer records events and spans into bounded rings. The zero value is a
+// disabled tracer: Record and RecordSpan are no-ops until Enable. All
+// methods are safe for concurrent use.
 type Tracer struct {
 	enabled atomic.Bool
 
@@ -76,14 +108,23 @@ type Tracer struct {
 	ring []Event
 	next int
 	full bool
+
+	spanMu   sync.Mutex
+	spans    []Span
+	spanNext int
+	spanFull bool
 }
 
-// New returns an enabled tracer holding the last capacity events.
+// New returns an enabled tracer holding the last capacity events and the
+// last capacity spans.
 func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		panic("trace: capacity must be positive")
 	}
-	t := &Tracer{ring: make([]Event, 0, capacity)}
+	t := &Tracer{
+		ring:  make([]Event, 0, capacity),
+		spans: make([]Span, 0, capacity),
+	}
 	t.enabled.Store(true)
 	return t
 }

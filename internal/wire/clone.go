@@ -1,6 +1,9 @@
 package wire
 
-import "qracn/internal/store"
+import (
+	"qracn/internal/store"
+	"qracn/internal/trace"
+)
 
 // The channel transport moves messages between in-process "nodes" without
 // serializing them. To preserve the isolation a real network gives —
@@ -55,7 +58,7 @@ func (r *Request) Clone() *Request {
 	if r == nil {
 		return nil
 	}
-	out := &Request{Kind: r.Kind, TxID: r.TxID}
+	out := &Request{Kind: r.Kind, TxID: r.TxID, TraceID: r.TraceID, SpanID: r.SpanID}
 	if r.Read != nil {
 		out.Read = &ReadRequest{
 			Object:      r.Read.Object,
@@ -95,6 +98,10 @@ func (r *Request) Clone() *Request {
 			out.Batch.Subs[i] = sub.Clone()
 		}
 	}
+	if r.TraceFetch != nil {
+		tf := *r.TraceFetch
+		out.TraceFetch = &tf
+	}
 	return out
 }
 
@@ -131,6 +138,12 @@ func (r *Response) Clone() *Response {
 		out.Batch = &BatchResponse{Subs: make([]*Response, len(r.Batch.Subs))}
 		for i, sub := range r.Batch.Subs {
 			out.Batch.Subs[i] = sub.Clone()
+		}
+	}
+	if r.Trace != nil {
+		out.Trace = &TraceFetchResponse{
+			Spans:  append([]trace.Span(nil), r.Trace.Spans...),
+			Events: append([]trace.Event(nil), r.Trace.Events...),
 		}
 	}
 	return out

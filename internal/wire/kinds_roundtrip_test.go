@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+	"time"
 
 	"qracn/internal/store"
+	"qracn/internal/trace"
 )
 
 // kindFixtures holds one representative request per Kind. The round-trip
@@ -61,6 +63,12 @@ var kindFixtures = map[Kind]*Request{
 		Kind:   KindRepair,
 		Repair: &RepairRequest{Object: store.ID("acct", 4), Value: store.Int64(99), Version: 13},
 	},
+	KindTraceFetch: {
+		Kind:       KindTraceFetch,
+		TraceID:    "c1-t2-a0",
+		SpanID:     17,
+		TraceFetch: &TraceFetchRequest{TraceID: "c1-t2-a0", Events: true},
+	},
 }
 
 // TestEveryKindRoundTrips drives each request kind through the envelope
@@ -91,6 +99,66 @@ func TestEveryKindRoundTrips(t *testing.T) {
 					k, compress, got, env)
 			}
 		}
+	}
+}
+
+// TestEveryKindClones drives each fixture through Request.Clone and checks
+// structural equality. The in-process channel transport deep-copies every
+// message at the node boundary, so a field added to a request but not to
+// Clone is silently stripped on that transport while surviving TCP — the
+// exact asymmetry that would make a trace-context or payload bug invisible
+// in unit tests. Combined with the fixture-completeness check above, a new
+// kind (or new envelope field exercised by a fixture) is forced through
+// both codec and clone.
+func TestEveryKindClones(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		req := kindFixtures[k]
+		if got := req.Clone(); !reflect.DeepEqual(got, req) {
+			t.Fatalf("%s: Clone dropped or mutated fields:\n got %+v\nwant %+v", k, got, req)
+		}
+	}
+}
+
+// TestTraceFetchResponseRoundTrips covers the response side of the trace
+// RPC: spans carry time.Time fields, which gob serializes via GobEncoder —
+// this pins that the envelope codec preserves them to the nanosecond.
+func TestTraceFetchResponseRoundTrips(t *testing.T) {
+	start := time.Unix(1700000000, 123456789)
+	env := &Envelope{
+		Seq:        9,
+		IsResponse: true,
+		Resp: &Response{
+			Status: StatusOK,
+			Trace: &TraceFetchResponse{
+				Spans: []trace.Span{{
+					Trace: "c1-t2-a0", ID: 5, Parent: 3,
+					Name: "serve-read", Site: "node-1",
+					Start: start, End: start.Add(42 * time.Microsecond),
+					Detail: "acct/7",
+				}},
+				Events: []trace.Event{{
+					At: start, Kind: trace.KindRepair, TxID: "c1-t2-a0", Detail: "acct/7",
+				}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, env, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEnvelope(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.Resp.Trace.Spans[0]
+	if !gs.Start.Equal(start) || !gs.End.Equal(start.Add(42*time.Microsecond)) {
+		t.Fatalf("span times mutated: %+v", gs)
+	}
+	if gs.ID != 5 || gs.Parent != 3 || gs.Trace != "c1-t2-a0" {
+		t.Fatalf("span fields mutated: %+v", gs)
+	}
+	if got.Resp.Trace.Events[0].Kind != trace.KindRepair {
+		t.Fatalf("event mutated: %+v", got.Resp.Trace.Events[0])
 	}
 }
 

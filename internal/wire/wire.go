@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"qracn/internal/store"
+	"qracn/internal/trace"
 )
 
 // Status is the server-side outcome of a request.
@@ -78,6 +79,11 @@ const (
 	// it only if the pushed version is newer than its own and the object is
 	// not protected by an in-flight commit.
 	KindRepair
+	// KindTraceFetch drains the node's recorded trace spans (optionally for
+	// one trace ID) so a client or qracn-inspect can reassemble a
+	// transaction's cross-node timeline. Observability-only: never issued on
+	// the transaction hot path.
+	KindTraceFetch
 
 	// numKinds counts the Kind values. It MUST stay last: the wire
 	// round-trip test iterates [0, numKinds) and fails compilation-adjacent
@@ -103,6 +109,8 @@ func (k Kind) String() string {
 		return "batch"
 	case KindRepair:
 		return "repair"
+	case KindTraceFetch:
+		return "trace-fetch"
 	default:
 		return "ping"
 	}
@@ -111,15 +119,23 @@ func (k Kind) String() string {
 // Request is a client-to-server message. Exactly one payload pointer,
 // matching Kind, is non-nil (except KindPing, which carries none).
 type Request struct {
-	Kind     Kind
-	TxID     string
-	Read     *ReadRequest
-	Prepare  *PrepareRequest
-	Decision *DecisionRequest
-	Stats    *StatsRequest
-	Sync     *SyncRequest
-	Batch    *BatchRequest
-	Repair   *RepairRequest
+	Kind Kind
+	TxID string
+	// TraceID and SpanID are the distributed-tracing span context: the trace
+	// the issuing transaction belongs to and the client span that issued this
+	// request. Both are zero on untraced requests — gob omits zero-valued
+	// fields, so the header costs no wire bytes when tracing is off — and a
+	// server that receives them records its serve span under SpanID.
+	TraceID    string
+	SpanID     uint64
+	Read       *ReadRequest
+	Prepare    *PrepareRequest
+	Decision   *DecisionRequest
+	Stats      *StatsRequest
+	Sync       *SyncRequest
+	Batch      *BatchRequest
+	Repair     *RepairRequest
+	TraceFetch *TraceFetchRequest
 }
 
 // BatchRequest bundles independent sub-requests into one frame. Sub-requests
@@ -178,6 +194,21 @@ type RepairRequest struct {
 	Version uint64
 }
 
+// TraceFetchRequest drains a node's trace rings. TraceID limits the reply
+// to one trace's spans; empty fetches everything currently buffered.
+type TraceFetchRequest struct {
+	TraceID string
+	// Events additionally returns the node's protocol-event ring.
+	Events bool
+}
+
+// TraceFetchResponse carries the node's recorded spans (and, when asked,
+// protocol events), oldest first.
+type TraceFetchResponse struct {
+	Spans  []trace.Span
+	Events []trace.Event
+}
+
 // SyncRequest asks a peer for every object whose version exceeds the
 // caller's (anti-entropy after a partition heals). Known carries the
 // caller's current versions; objects the peer has that are absent from
@@ -200,6 +231,7 @@ type Response struct {
 	Stats   *StatsResponse
 	Sync    *SyncResponse
 	Batch   *BatchResponse
+	Trace   *TraceFetchResponse
 }
 
 // ReadResponse carries the object, the incremental-validation outcome, and

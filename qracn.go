@@ -27,6 +27,7 @@ import (
 	"qracn/internal/cluster"
 	"qracn/internal/dtm"
 	"qracn/internal/harness"
+	"qracn/internal/metrics"
 	"qracn/internal/model"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
@@ -171,6 +172,35 @@ type Tracer = trace.Tracer
 
 // NewTracer creates an enabled tracer holding the last capacity events.
 func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// Distributed tracing: spans, cross-node assembly, and export.
+type (
+	// Span is one timed operation of a traced transaction, on the client
+	// (tx, attempt, block, try, read, prefetch, commit) or on a server
+	// (serve-*, wal-fsync).
+	Span = trace.Span
+	// SpanNode is a span with its children, as assembled by AssembleTrace.
+	SpanNode = trace.SpanNode
+	// LatencySummary is a count/mean/p50/p95/p99 digest of a stage
+	// histogram.
+	LatencySummary = metrics.Summary
+)
+
+// AssembleTrace reassembles one trace's spans — typically the client's own
+// plus those fetched from the servers — into its span tree(s).
+func AssembleTrace(spans []Span, traceID string) []*SpanNode {
+	return trace.AssembleTrace(spans, traceID)
+}
+
+// TraceIDs lists the distinct trace IDs present in spans, sorted.
+func TraceIDs(spans []Span) []string { return trace.TraceIDs(spans) }
+
+// ChromeTrace renders spans as Chrome trace_event JSON (chrome://tracing,
+// Perfetto). It fails on malformed spans.
+func ChromeTrace(spans []Span) ([]byte, error) { return trace.ChromeTrace(spans) }
+
+// TraceTimeline renders spans as an indented plain-text timeline.
+func TraceTimeline(spans []Span) string { return trace.Timeline(spans) }
 
 // Workloads.
 type (
