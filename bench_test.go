@@ -265,15 +265,29 @@ func benchEnvelope() *wire.Envelope {
 	}
 }
 
-// BenchmarkWireMarshal measures gob encoding of a prepare message.
+// BenchmarkWireMarshal measures encoding of a 32-read prepare message under
+// both wire codecs: one-shot gob (the oracle) and the appending binary
+// encoder (the default).
 func BenchmarkWireMarshal(b *testing.B) {
 	env := benchEnvelope()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := wire.Marshal(env); err != nil {
-			b.Fatal(err)
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Marshal(env); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("binary", func(b *testing.B) {
+		var buf []byte
+		var err error
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if buf, err = wire.AppendEnvelope(buf[:0], env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFrame compares framing with and without flate compression (the

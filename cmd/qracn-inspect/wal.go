@@ -58,7 +58,7 @@ func inspectWALPath(path string, dump bool, out io.Writer) error {
 		return err
 	}
 	for _, s := range snaps {
-		objs, err := wal.ReadSnapshot(s)
+		objs, format, err := wal.ReadSnapshotFormat(s)
 		if err != nil {
 			fmt.Fprintf(out, "%s: UNREADABLE: %v\n", filepath.Base(s), err)
 			if firstErr == nil {
@@ -66,7 +66,7 @@ func inspectWALPath(path string, dump bool, out io.Writer) error {
 			}
 			continue
 		}
-		fmt.Fprintf(out, "%s: %d objects, crc ok\n", filepath.Base(s), len(objs))
+		fmt.Fprintf(out, "%s: %d objects (%s), crc ok\n", filepath.Base(s), len(objs), format)
 		for _, w := range objs {
 			if w.NewVersion > maxVer[w.ID] {
 				maxVer[w.ID] = w.NewVersion
@@ -90,27 +90,57 @@ func inspectWALPath(path string, dump bool, out io.Writer) error {
 }
 
 func inspectSegment(path string, dump bool, maxVer map[store.ObjectID]uint64, out io.Writer) error {
-	n, err := wal.ScanSegment(path, func(rec *wal.Record, off int64) error {
+	formats := map[wal.Format]int{}
+	n, err := wal.ScanSegmentFormats(path, func(rec *wal.Record, off int64, f wal.Format) error {
+		formats[f]++
 		if rec.Version > maxVer[rec.Key] {
 			maxVer[rec.Key] = rec.Version
 		}
 		if dump {
-			fmt.Fprintf(out, "  %08x tx=%s block=%d key=%s version=%d\n",
-				off, rec.TxID, rec.Block, rec.Key, rec.Version)
+			fmt.Fprintf(out, "  %08x [%s] tx=%s block=%d key=%s version=%d\n",
+				off, f, rec.TxID, rec.Block, rec.Key, rec.Version)
 		}
 		return nil
 	})
 	var torn *wal.TornTailError
+	var bad *wal.BadRecordError
 	switch {
 	case errors.As(err, &torn):
-		fmt.Fprintf(out, "%s: %d records, TORN TAIL at offset %d\n", filepath.Base(path), n, torn.Offset)
+		fmt.Fprintf(out, "%s: %d records%s, TORN TAIL at offset %d\n",
+			filepath.Base(path), n, formatBreakdown(formats), torn.Offset)
+		return err
+	case errors.As(err, &bad):
+		// The frame's CRC verified — this is not a torn tail but bytes that
+		// were durably written wrong (e.g. an out-of-range format or version
+		// byte), which an integrity check must fail loudly on.
+		fmt.Fprintf(out, "%s: %d records%s, BAD RECORD at offset %d: %s\n",
+			filepath.Base(path), n, formatBreakdown(formats), bad.Offset, bad.Reason)
 		return err
 	case err != nil:
-		fmt.Fprintf(out, "%s: %d records, CORRUPT: %v\n", filepath.Base(path), n, err)
+		fmt.Fprintf(out, "%s: %d records%s, CORRUPT: %v\n", filepath.Base(path), n, formatBreakdown(formats), err)
 		return err
 	}
-	fmt.Fprintf(out, "%s: %d records, crc ok\n", filepath.Base(path), n)
+	fmt.Fprintf(out, "%s: %d records%s, crc ok\n", filepath.Base(path), n, formatBreakdown(formats))
 	return nil
+}
+
+// formatBreakdown renders a per-format record count like " (3 binary, 2 gob)";
+// empty segments yield "".
+func formatBreakdown(formats map[wal.Format]int) string {
+	if len(formats) == 0 {
+		return ""
+	}
+	s := " ("
+	for i, f := range []wal.Format{wal.FormatBinary, wal.FormatGob} {
+		if formats[f] == 0 {
+			continue
+		}
+		if i > 0 && s != " (" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d %s", formats[f], f)
+	}
+	return s + ")"
 }
 
 func printMaxVersions(maxVer map[store.ObjectID]uint64, out io.Writer) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,7 +46,7 @@ func TestWalSubcommandCleanLog(t *testing.T) {
 		t.Fatalf("exit %d on a clean log\n%s", code, out.String())
 	}
 	got := out.String()
-	for _, want := range []string{"5 records, crc ok", "acct/0", "acct/1", "max committed version"} {
+	for _, want := range []string{"5 records (5 binary), crc ok", "acct/0", "acct/1", "max committed version"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("output missing %q:\n%s", want, got)
 		}
@@ -84,5 +86,80 @@ func TestWalSubcommandMissingPath(t *testing.T) {
 	var out strings.Builder
 	if code := walMain([]string{filepath.Join(t.TempDir(), "nope")}, &out); code == 0 {
 		t.Fatal("exit 0 on missing path")
+	}
+}
+
+// TestWalSubcommandReportsMixedFormats writes segments in both record
+// encodings into one directory (the mid-rollout state) and checks the
+// inspector labels each segment with its format.
+func TestWalSubcommandReportsMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []wal.Format{wal.FormatGob, wal.FormatBinary} {
+		log, _, err := wal.Open(dir, wal.Options{FsyncInterval: -1, Format: format})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(wal.Record{
+			TxID: "tx-" + format.String(), Key: store.ID("acct", 0),
+			Version: 1, Value: store.Int64(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out strings.Builder
+	if code := walMain([]string{"-records", dir}, &out); code != 0 {
+		t.Fatalf("exit %d on a clean mixed-format log\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"(1 gob)", "(1 binary)", "[gob] tx=tx-gob", "[binary] tx=tx-binary"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestWalSubcommandBadRecordExitsNonZero appends a CRC-VALID frame whose
+// payload carries an out-of-range version byte: not a torn tail, but durably
+// written garbage the integrity check must refuse.
+func TestWalSubcommandBadRecordExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir)
+	segs, err := wal.Segments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0x00, 0x7F, 'x'} // binary marker, unknown version byte
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	if _, err := f.Write(append(frame[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if code := walMain([]string{dir}, &out); code == 0 {
+		t.Fatalf("exit 0 on a log with a bad record\n%s", out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "BAD RECORD") || strings.Contains(got, "TORN TAIL") {
+		t.Fatalf("bad record not distinguished from torn tail:\n%s", got)
+	}
+	if !strings.Contains(got, "version byte 127") {
+		t.Fatalf("reason not reported:\n%s", got)
+	}
+	// The intact prefix is still counted.
+	if !strings.Contains(got, "5 records") {
+		t.Fatalf("intact prefix not counted:\n%s", got)
 	}
 }

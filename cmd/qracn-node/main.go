@@ -5,8 +5,10 @@
 // The server speaks the batched RPC pipeline: KindBatch requests fan their
 // sub-requests out to concurrent goroutines, each request runs under a
 // context that a client cancel frame (or a dropped connection) cancels,
-// and both stream directions use persistent gob codecs with coalesced
-// writes.
+// and both stream directions use persistent codecs with coalesced writes.
+// The wire codec (binary by default, gob for old clients) is negotiated per
+// connection from the client's preamble, so mixed-codec fleets work during
+// a rollout.
 //
 // With -wal-dir the node is durable: commits are appended to a write-ahead
 // log and group-commit fsynced before they are acknowledged, the store is
@@ -49,8 +51,15 @@ func main() {
 		snapEvery   = flag.Int("snapshot-every", 0, "checkpoint the store every N logged records (0: default 4096; negative: never)")
 		traceCap    = flag.Int("trace", 0, "span/event ring size for distributed tracing; >0 turns tracing on (spans fetchable via qracn-inspect trace)")
 		debugAddr   = flag.String("debug-addr", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof (empty disables)")
+		codecName   = flag.String("codec", wal.FormatDefault.String(), "WAL record encoding for new writes: binary or gob (replay auto-detects; the wire codec is negotiated per connection by each client)")
 	)
 	flag.Parse()
+
+	walFormat, err := wal.FormatByName(*codecName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	durable := *walDir != "" && !*noWAL
 	scfg := server.Config{
@@ -86,7 +95,7 @@ func main() {
 		fmt.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", dbg)
 	}
 	if durable {
-		log, rec, err := wal.Open(*walDir, wal.Options{FsyncInterval: *fsyncEvery})
+		log, rec, err := wal.Open(*walDir, wal.Options{FsyncInterval: *fsyncEvery, Format: walFormat})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			srv.Close()
@@ -94,8 +103,8 @@ func main() {
 		}
 		node.AttachWAL(log)
 		node.FinishRecovery(rec)
-		fmt.Printf("qracn-node %d serving on %s (stats window %v, wal %s: %d snapshot objects + %d log records replayed)\n",
-			*id, addr, *statsWindow, *walDir, rec.SnapshotObjects, rec.LogRecords)
+		fmt.Printf("qracn-node %d serving on %s (stats window %v, wal %s [%s records]: %d snapshot objects + %d log records replayed)\n",
+			*id, addr, *statsWindow, *walDir, walFormat, rec.SnapshotObjects, rec.LogRecords)
 	} else {
 		fmt.Printf("qracn-node %d serving on %s (stats window %v, volatile)\n", *id, addr, *statsWindow)
 	}

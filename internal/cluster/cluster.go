@@ -49,6 +49,9 @@ type Config struct {
 	// SnapshotEvery is the automatic checkpoint threshold in records
 	// (0: server default; negative: only explicit checkpoints).
 	SnapshotEvery int
+	// WALFormat selects the commit-log record encoding (default binary).
+	// The wire codec for the simulated interconnect is Network.Codec.
+	WALFormat wal.Format
 	// TraceCapacity, when positive, gives every node a tracer ring of that
 	// many events and spans, so traced transactions get server-side serve
 	// spans and Cluster.Spans can reassemble cross-node timelines.
@@ -96,7 +99,7 @@ func NewDurable(cfg Config) (*Cluster, error) {
 		var rec *wal.Recovered
 		if cfg.WALDir != "" {
 			dir := filepath.Join(cfg.WALDir, fmt.Sprintf("node-%d", i))
-			log, r, err := wal.Open(dir, wal.Options{FsyncInterval: cfg.FsyncInterval})
+			log, r, err := wal.Open(dir, wal.Options{FsyncInterval: cfg.FsyncInterval, Format: cfg.WALFormat})
 			if err != nil {
 				c.Close()
 				return nil, fmt.Errorf("cluster: node %d wal: %w", i, err)

@@ -12,6 +12,7 @@ import (
 	"qracn/internal/store"
 	"qracn/internal/transport"
 	"qracn/internal/wal"
+	"qracn/internal/wire"
 )
 
 // TCPConfig sizes a loopback TCP deployment.
@@ -40,6 +41,12 @@ type TCPConfig struct {
 	// SnapshotEvery is the automatic checkpoint threshold in records
 	// (0: server default; negative: only explicit checkpoints).
 	SnapshotEvery int
+	// Codec selects the wire codec client runtimes dial with (nil:
+	// wire.DefaultCodec). Servers negotiate per connection, so clusters can
+	// mix clients on different codecs.
+	Codec wire.Codec
+	// WALFormat selects the commit-log record encoding (default binary).
+	WALFormat wal.Format
 }
 
 // TCPCluster is a multi-listener deployment on the loopback interface: the
@@ -61,6 +68,8 @@ type TCPCluster struct {
 	walDir        string
 	fsyncInterval time.Duration
 	snapshotEvery int
+	codec         wire.Codec
+	walFormat     wal.Format
 
 	mu      sync.Mutex
 	clients []*transport.TCPClient
@@ -105,6 +114,8 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		walDir:        cfg.WALDir,
 		fsyncInterval: cfg.FsyncInterval,
 		snapshotEvery: cfg.SnapshotEvery,
+		codec:         cfg.Codec,
+		walFormat:     cfg.WALFormat,
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		id := quorum.NodeID(i)
@@ -112,7 +123,7 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		if c.Durable() {
 			var rec *wal.Recovered
 			var err error
-			log, rec, err = wal.Open(c.nodeWALDir(id), wal.Options{FsyncInterval: cfg.FsyncInterval})
+			log, rec, err = wal.Open(c.nodeWALDir(id), wal.Options{FsyncInterval: cfg.FsyncInterval, Format: cfg.WALFormat})
 			if err != nil {
 				c.Close()
 				return nil, fmt.Errorf("cluster: node %d wal: %w", i, err)
@@ -167,6 +178,9 @@ func (c *TCPCluster) Seed(objs map[store.ObjectID]store.Value) {
 // connection and closes it on Close. Safe for concurrent use.
 func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	client := transport.NewTCPClient(c.Addrs(), c.compress)
+	if c.codec != nil {
+		client.SetCodec(c.codec)
+	}
 	c.mu.Lock()
 	c.clients = append(c.clients, client)
 	c.mu.Unlock()
@@ -211,7 +225,7 @@ func (c *TCPCluster) Restart(id quorum.NodeID, cold bool) error {
 		if err != nil {
 			return fmt.Errorf("cluster: restart node %d: %w", id, err)
 		}
-		log, rec, err := wal.Open(c.nodeWALDir(id), wal.Options{FsyncInterval: c.fsyncInterval})
+		log, rec, err := wal.Open(c.nodeWALDir(id), wal.Options{FsyncInterval: c.fsyncInterval, Format: c.walFormat})
 		if err != nil {
 			srv.Close()
 			return fmt.Errorf("cluster: restart node %d wal: %w", id, err)

@@ -3,6 +3,8 @@ package harness
 import (
 	"time"
 
+	"qracn/internal/wal"
+	"qracn/internal/wire"
 	"qracn/internal/workload/bank"
 	"qracn/internal/workload/tpcc"
 	"qracn/internal/workload/vacation"
@@ -25,6 +27,16 @@ type Scale struct {
 	SnapshotEvery    int
 	TraceCapacity    int
 	TraceSample      int
+	// Codec serializes every simulated-network message through this wire
+	// codec (nil: deep copy, no marshaling); WALFormat picks the commit-log
+	// record encoding on durable runs.
+	Codec     wire.Codec
+	WALFormat wal.Format
+	// NetLatency/NetJitter override the simulated one-way interconnect
+	// delay (0: harness defaults; negative: no simulated latency at all, so
+	// stage latencies isolate protocol and marshaling cost).
+	NetLatency time.Duration
+	NetJitter  time.Duration
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -52,6 +64,10 @@ func (s Scale) apply(o Options) Options {
 	o.SnapshotEvery = s.SnapshotEvery
 	o.TraceCapacity = s.TraceCapacity
 	o.TraceSample = s.TraceSample
+	o.Codec = s.Codec
+	o.WALFormat = s.WALFormat
+	o.NetLatency = s.NetLatency
+	o.NetJitter = s.NetJitter
 	return o
 }
 

@@ -25,6 +25,8 @@ import (
 	"qracn/internal/trace"
 	"qracn/internal/transport"
 	"qracn/internal/unitgraph"
+	"qracn/internal/wal"
+	"qracn/internal/wire"
 	"qracn/internal/workload"
 )
 
@@ -86,7 +88,9 @@ type Options struct {
 	// phase 0). Shorter schedules repeat their last entry.
 	PhaseSchedule []int
 	// NetLatency/NetJitter simulate the interconnect (defaults 60µs/30µs
-	// per one-way message, a LAN-scale round trip once doubled).
+	// per one-way message, a LAN-scale round trip once doubled). Negative
+	// disables the simulation outright — stage latencies then measure pure
+	// protocol and marshaling cost, which codec A/B comparisons rely on.
 	NetLatency time.Duration
 	NetJitter  time.Duration
 	// Seed fixes all randomness (workload draws, jitter, backoff).
@@ -130,6 +134,13 @@ type Options struct {
 	// 0 or 1 records every transaction, N>1 records one in N, negative
 	// disables spans while keeping protocol events.
 	TraceSample int
+	// Codec, when set, crosses every simulated-network message through this
+	// wire codec's real encode/decode path instead of a deep copy, so runs
+	// measure true marshaling cost — the knob codec A/B comparisons flip.
+	Codec wire.Codec
+	// WALFormat selects the commit-log record encoding on durable runs
+	// (default binary).
+	WALFormat wal.Format
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -266,9 +277,10 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 	ccfg := cluster.Config{
 		Servers: opts.Servers,
 		Network: transport.ChannelConfig{
-			Latency: opts.NetLatency,
-			Jitter:  opts.NetJitter,
+			Latency: max(opts.NetLatency, 0),
+			Jitter:  max(opts.NetJitter, 0),
 			Seed:    opts.Seed,
+			Codec:   opts.Codec,
 		},
 		StatsWindow:   opts.IntervalLength,
 		ProtectTTL:    opts.ProtectTTL,
@@ -285,6 +297,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		ccfg.WALDir = dir
 		ccfg.FsyncInterval = opts.FsyncInterval
 		ccfg.SnapshotEvery = opts.SnapshotEvery
+		ccfg.WALFormat = opts.WALFormat
 	}
 	c, err := cluster.NewDurable(ccfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"sync"
@@ -21,6 +22,13 @@ type ChannelConfig struct {
 	// Seed makes the jitter sequence reproducible; 0 derives a seed from
 	// the clock.
 	Seed int64
+	// Codec, when set, crosses the node boundary through a real wire codec
+	// stream instead of the Clone deep copy: every request and response is
+	// encoded and decoded through a persistent per-destination pipe, exactly
+	// the serialization a TCP connection performs (gob amortizes its type
+	// metadata the same way). This is what makes in-process codec A/B
+	// benchmarks measure true marshaling cost. nil keeps Clone.
+	Codec wire.Codec
 }
 
 // Fault is the outcome a FaultFunc injects into one call.
@@ -59,6 +67,50 @@ type ChannelNetwork struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	pipeMu sync.Mutex
+	pipes  map[quorum.NodeID]*codecPipe
+}
+
+// codecPipe carries envelopes across the in-process node boundary through a
+// persistent codec stream: one shared buffer with a long-lived encoder and
+// decoder, encode and decode performed back-to-back under the lock. The
+// strict alternation means each Decode consumes exactly the frame its
+// Encode produced, which both stream codecs guarantee (one envelope = one
+// frame).
+type codecPipe struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	enc wire.EnvelopeEncoder
+	dec wire.EnvelopeDecoder
+}
+
+func newCodecPipe(c wire.Codec) *codecPipe {
+	p := &codecPipe{}
+	p.enc = c.NewEncoder(&p.buf, false)
+	p.dec = c.NewDecoder(&p.buf)
+	return p
+}
+
+func (p *codecPipe) transfer(env *wire.Envelope) (*wire.Envelope, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.enc.Encode(env); err != nil {
+		return nil, err
+	}
+	return p.dec.Decode()
+}
+
+// pipe returns the destination node's codec pipe, creating it on first use.
+func (n *ChannelNetwork) pipe(to quorum.NodeID) *codecPipe {
+	n.pipeMu.Lock()
+	defer n.pipeMu.Unlock()
+	p, ok := n.pipes[to]
+	if !ok {
+		p = newCodecPipe(n.cfg.Codec)
+		n.pipes[to] = p
+	}
+	return p
 }
 
 // NewChannelNetwork creates an empty simulated network.
@@ -72,6 +124,7 @@ func NewChannelNetwork(cfg ChannelConfig) *ChannelNetwork {
 		handlers: make(map[quorum.NodeID]Handler),
 		down:     make(map[quorum.NodeID]bool),
 		rng:      rand.New(rand.NewSource(seed)),
+		pipes:    make(map[quorum.NodeID]*codecPipe),
 	}
 }
 
@@ -176,10 +229,22 @@ func (n *ChannelNetwork) Call(ctx context.Context, to quorum.NodeID, req *wire.R
 	if err := n.hop(ctx); err != nil {
 		return nil, err
 	}
+	// Isolate the two sides: either serialize through the configured codec
+	// (as a real connection would) or deep-copy via Clone.
+	reqIn := req
+	if n.cfg.Codec != nil {
+		env, err := n.pipe(to).transfer(&wire.Envelope{Req: req})
+		if err != nil {
+			return nil, &Error{Kind: ErrKindDecode, Node: to, Err: err}
+		}
+		reqIn = env.Req
+	} else {
+		reqIn = req.Clone()
+	}
 	// The caller's context crosses the "network" directly: handlers observe
 	// the client's deadline and cancellation, as the TCP transport's cancel
 	// frames arrange for real deployments.
-	resp := h(ctx, req.Clone())
+	resp := h(ctx, reqIn)
 
 	// The node may have gone down while "processing"; model the lost reply.
 	n.mu.RLock()
@@ -190,6 +255,13 @@ func (n *ChannelNetwork) Call(ctx context.Context, to quorum.NodeID, req *wire.R
 	}
 	if err := n.hop(ctx); err != nil {
 		return nil, err
+	}
+	if n.cfg.Codec != nil {
+		env, err := n.pipe(to).transfer(&wire.Envelope{IsResponse: true, Resp: resp})
+		if err != nil {
+			return nil, &Error{Kind: ErrKindDecode, Node: to, Err: err}
+		}
+		return env.Resp, nil
 	}
 	return resp.Clone(), nil
 }

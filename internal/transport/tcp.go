@@ -14,11 +14,16 @@ import (
 	"qracn/internal/wire"
 )
 
-// Both directions of a TCP connection run the wire stream codec: one
-// persistent gob encoder/decoder per stream (type metadata paid once per
-// connection instead of per message) behind a single writer goroutine that
-// coalesces queued envelopes into one buffered write + flush, so pipelined
-// requests share syscalls.
+// Both directions of a TCP connection run one persistent wire codec stream
+// (for gob, type metadata is paid once per connection instead of per
+// message; for binary, the encode scratch buffers are reused across frames)
+// behind a single writer goroutine that coalesces queued envelopes into one
+// buffered write + flush, so pipelined requests share syscalls.
+//
+// The codec is chosen by the CLIENT per connection: it writes the wire
+// negotiation preamble (nothing for gob, [magic, id] otherwise) before its
+// first frame, and the server sniffs it and answers in the same codec — so
+// a mixed-codec cluster keeps working during a rollout.
 
 // outBufSize is the buffered-writer size of the coalescing writer.
 const outBufSize = 32 << 10
@@ -30,7 +35,7 @@ const outQueueLen = 128
 // already queued when one finishes encoding are encoded into the same
 // buffered write before the flush. It exits when stop closes or a write
 // fails; the caller's deferred cleanup unblocks any remaining senders.
-func writeLoop(enc *wire.StreamEncoder, bw *bufio.Writer, out <-chan *wire.Envelope, stop <-chan struct{}) {
+func writeLoop(enc wire.EnvelopeEncoder, bw *bufio.Writer, out <-chan *wire.Envelope, stop <-chan struct{}) {
 	for {
 		var env *wire.Envelope
 		select {
@@ -118,6 +123,20 @@ func (s *TCPServer) acceptLoop(ln net.Listener) {
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 
+	// Negotiate the connection's codec before anything else: the client
+	// declares it in a preamble ahead of its first frame (legacy gob sends
+	// none), and the server answers in kind. An idle connection blocked
+	// here is no different from one blocked on its first frame; Close()
+	// closing the conn unblocks both.
+	codec, cr, err := wire.SniffCodec(conn)
+	if err != nil {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		return
+	}
+
 	// Per-connection context: every request context derives from it, so a
 	// dropped connection (or server shutdown closing the conn) cancels all
 	// in-flight handlers.
@@ -128,7 +147,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 
 	out := make(chan *wire.Envelope, outQueueLen)
 	bw := bufio.NewWriterSize(conn, outBufSize)
-	enc := wire.NewStreamEncoder(bw, s.compress)
+	enc := codec.NewEncoder(bw, s.compress)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
@@ -152,7 +171,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	dec := wire.NewStreamDecoder(conn)
+	dec := codec.NewDecoder(cr)
 	for {
 		env, err := dec.Decode()
 		if err != nil {
@@ -240,6 +259,7 @@ func (p *RetryPolicy) fillDefaults() {
 type TCPClient struct {
 	addrs    map[quorum.NodeID]string
 	compress bool
+	codec    wire.Codec
 	retry    RetryPolicy
 
 	retries   atomic.Uint64
@@ -271,7 +291,8 @@ func NewTCPClient(addrs map[quorum.NodeID]string, compress bool) *TCPClient {
 	for k, v := range addrs {
 		m[k] = v
 	}
-	c := &TCPClient{addrs: m, compress: compress, conns: make(map[quorum.NodeID]*tcpConn)}
+	c := &TCPClient{addrs: m, compress: compress, codec: wire.DefaultCodec,
+		conns: make(map[quorum.NodeID]*tcpConn)}
 	c.retry.fillDefaults()
 	return c
 }
@@ -281,6 +302,15 @@ func NewTCPClient(addrs map[quorum.NodeID]string, compress bool) *TCPClient {
 func (c *TCPClient) SetRetryPolicy(p RetryPolicy) {
 	p.fillDefaults()
 	c.retry = p
+}
+
+// SetCodec picks the wire codec for connections dialed after the call
+// (existing connections keep the codec they negotiated). Not safe to call
+// concurrently with Call. The default is wire.DefaultCodec.
+func (c *TCPClient) SetCodec(codec wire.Codec) {
+	if codec != nil {
+		c.codec = codec
+	}
 }
 
 // Retries reports how many reconnect attempts the client has made.
@@ -323,12 +353,20 @@ func (c *TCPClient) getConn(to quorum.NodeID) (*tcpConn, error) {
 	}
 	c.conns[to] = tc
 	bw := bufio.NewWriterSize(conn, outBufSize)
-	enc := wire.NewStreamEncoder(bw, c.compress)
+	// The negotiation preamble goes through the buffered writer, so it
+	// coalesces into the same packet as the first frame.
+	if err := wire.WritePreamble(bw, c.codec); err != nil {
+		conn.Close()
+		delete(c.conns, to)
+		return nil, &Error{Kind: ErrKindDial, Node: to,
+			Err: fmt.Errorf("%w: preamble to %s: %v", ErrNodeDown, addr, err)}
+	}
+	enc := c.codec.NewEncoder(bw, c.compress)
 	go func() {
 		defer tc.fail()
 		writeLoop(enc, bw, tc.out, tc.stop)
 	}()
-	go tc.readLoop()
+	go tc.readLoop(c.codec.NewDecoder(conn))
 	return tc, nil
 }
 
@@ -338,8 +376,7 @@ func (tc *tcpConn) isDead() bool {
 	return tc.dead
 }
 
-func (tc *tcpConn) readLoop() {
-	dec := wire.NewStreamDecoder(tc.conn)
+func (tc *tcpConn) readLoop(dec wire.EnvelopeDecoder) {
 	for {
 		env, err := dec.Decode()
 		if err != nil {

@@ -1,0 +1,259 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"qracn/internal/store"
+	"qracn/internal/wire"
+)
+
+// Record format versioning. A record frame's payload is either:
+//
+//	gob:    a self-contained gob stream (the pre-binary format)
+//	binary: 0x00 marker | 0x01 version | str TxID | varint Block |
+//	        str Key | uvarint Version | value (wire value encoding)
+//
+// Detection is per-payload and unambiguous: a gob stream begins with its
+// first message's byte count, an unsigned varint that is never zero, so a
+// leading 0x00 can only be the binary marker. Replay therefore reads
+// old gob segments and new binary segments side by side — no migration
+// step, and a node downgraded mid-rollout only needs its own segments to
+// be the format it understands.
+//
+// Snapshot files use the same marker scheme for their body payload.
+
+// Format identifies a record/snapshot payload encoding. The zero value
+// means "default", which resolves to FormatBinary.
+type Format int
+
+const (
+	// FormatDefault resolves to FormatBinary (options left unset).
+	FormatDefault Format = iota
+	// FormatBinary is the hand-rolled, length-delimited binary layout.
+	FormatBinary
+	// FormatGob is the original reflection-driven gob encoding, kept for
+	// replay of old segments and as the differential oracle.
+	FormatGob
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatBinary, FormatDefault:
+		return "binary"
+	case FormatGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// FormatByName resolves a -codec flag value to a record format.
+func FormatByName(name string) (Format, error) {
+	switch name {
+	case "binary":
+		return FormatBinary, nil
+	case "gob":
+		return FormatGob, nil
+	default:
+		return FormatDefault, fmt.Errorf("wal: unknown record format %q (use gob or binary)", name)
+	}
+}
+
+const (
+	binMarker  byte = 0x00
+	binVersion byte = 0x01
+)
+
+// BadRecordError reports a frame whose CRC is VALID but whose payload is not
+// a well-formed record in any known format — a marker/version byte out of
+// range, or a structurally broken body. Unlike a torn tail this is not a
+// crash artifact: the bytes were written durably and are wrong, so
+// inspection tools must fail loudly on it (recovery still truncates, like a
+// torn tail, to preserve availability from the intact prefix).
+type BadRecordError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *BadRecordError) Error() string {
+	return fmt.Sprintf("wal: bad record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// AppendRecord appends rec's binary payload (no frame header) to dst. It
+// allocates only if dst lacks capacity.
+func AppendRecord(dst []byte, rec *Record) ([]byte, error) {
+	dst = append(dst, binMarker, binVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.TxID)))
+	dst = append(dst, rec.TxID...)
+	dst = binary.AppendVarint(dst, int64(rec.Block))
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Key)))
+	dst = append(dst, rec.Key...)
+	dst = binary.AppendUvarint(dst, rec.Version)
+	return wire.AppendValue(dst, rec.Value)
+}
+
+// AppendRecordFrame appends rec as a complete CRC-framed binary record
+// (header + payload) to dst — the append-path equivalent of writeFrame,
+// allocation-free once dst has capacity.
+func AppendRecordFrame(dst []byte, rec *Record) ([]byte, error) {
+	head := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header backfilled below
+	dst, err := AppendRecord(dst, rec)
+	if err != nil {
+		return dst[:head], err
+	}
+	payload := dst[head+8:]
+	binary.BigEndian.PutUint32(dst[head:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[head+4:], crc32Sum(payload))
+	return dst, nil
+}
+
+// decodeRecordPayload parses one CRC-valid frame payload in whichever
+// format it carries. A structural error is returned as a bare reason string
+// wrapped by the caller into a BadRecordError with file position.
+func decodeRecordPayload(payload []byte) (*Record, Format, error) {
+	if len(payload) == 0 {
+		return nil, FormatDefault, fmt.Errorf("empty payload")
+	}
+	if payload[0] != binMarker {
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return nil, FormatGob, fmt.Errorf("gob: %v", err)
+		}
+		return &rec, FormatGob, nil
+	}
+	if len(payload) < 2 {
+		return nil, FormatBinary, fmt.Errorf("binary record truncated before version byte")
+	}
+	if payload[1] != binVersion {
+		return nil, FormatBinary, fmt.Errorf("binary record version byte %d out of range (know %d)",
+			payload[1], binVersion)
+	}
+	rec := &Record{}
+	buf := payload[2:]
+	var s string
+	var err error
+	if s, buf, err = takeString(buf); err != nil {
+		return nil, FormatBinary, fmt.Errorf("TxID: %v", err)
+	}
+	rec.TxID = s
+	block, n := binary.Varint(buf)
+	if n <= 0 {
+		return nil, FormatBinary, fmt.Errorf("truncated Block varint")
+	}
+	rec.Block = int(block)
+	buf = buf[n:]
+	if s, buf, err = takeString(buf); err != nil {
+		return nil, FormatBinary, fmt.Errorf("Key: %v", err)
+	}
+	rec.Key = store.ObjectID(s)
+	ver, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, FormatBinary, fmt.Errorf("truncated Version uvarint")
+	}
+	rec.Version = ver
+	buf = buf[n:]
+	v, used, err := wire.DecodeValue(buf)
+	if err != nil {
+		return nil, FormatBinary, fmt.Errorf("Value: %v", err)
+	}
+	if used != len(buf) {
+		return nil, FormatBinary, fmt.Errorf("%d trailing bytes after value", len(buf)-used)
+	}
+	rec.Value = v
+	return rec, FormatBinary, nil
+}
+
+// takeString reads a uvarint-prefixed string, validating the length against
+// the remaining bytes.
+func takeString(buf []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return "", nil, fmt.Errorf("truncated length")
+	}
+	buf = buf[used:]
+	if n > uint64(len(buf)) {
+		return "", nil, fmt.Errorf("length %d exceeds remaining %d bytes", n, len(buf))
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// appendSnapshotBody appends the binary snapshot payload: marker, version,
+// object count, then each object as str ID | value | uvarint NewVersion |
+// varint Block.
+func appendSnapshotBody(dst []byte, objs []store.WriteDesc) ([]byte, error) {
+	dst = append(dst, binMarker, binVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(objs)))
+	var err error
+	for i := range objs {
+		o := &objs[i]
+		dst = binary.AppendUvarint(dst, uint64(len(o.ID)))
+		dst = append(dst, o.ID...)
+		if dst, err = wire.AppendValue(dst, o.Value); err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, o.NewVersion)
+		dst = binary.AppendVarint(dst, int64(o.Block))
+	}
+	return dst, nil
+}
+
+// decodeSnapshotBody parses a snapshot payload in either format.
+func decodeSnapshotBody(payload []byte) ([]store.WriteDesc, Format, error) {
+	if len(payload) == 0 || payload[0] != binMarker {
+		var body snapshotBody
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&body); err != nil {
+			return nil, FormatGob, fmt.Errorf("gob: %v", err)
+		}
+		return body.Objects, FormatGob, nil
+	}
+	if len(payload) < 2 || payload[1] != binVersion {
+		return nil, FormatBinary, fmt.Errorf("snapshot version byte out of range")
+	}
+	buf := payload[2:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, FormatBinary, fmt.Errorf("truncated object count")
+	}
+	buf = buf[n:]
+	if count > uint64(len(buf)) {
+		return nil, FormatBinary, fmt.Errorf("object count %d exceeds remaining %d bytes", count, len(buf))
+	}
+	objs := make([]store.WriteDesc, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var o store.WriteDesc
+		s, rest, err := takeString(buf)
+		if err != nil {
+			return nil, FormatBinary, fmt.Errorf("object %d ID: %v", i, err)
+		}
+		o.ID = store.ObjectID(s)
+		buf = rest
+		v, used, err := wire.DecodeValue(buf)
+		if err != nil {
+			return nil, FormatBinary, fmt.Errorf("object %d value: %v", i, err)
+		}
+		o.Value = v
+		buf = buf[used:]
+		ver, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, FormatBinary, fmt.Errorf("object %d truncated version", i)
+		}
+		o.NewVersion = ver
+		buf = buf[n:]
+		block, n := binary.Varint(buf)
+		if n <= 0 {
+			return nil, FormatBinary, fmt.Errorf("object %d truncated block", i)
+		}
+		o.Block = int(block)
+		buf = buf[n:]
+		objs = append(objs, o)
+	}
+	if len(buf) != 0 {
+		return nil, FormatBinary, fmt.Errorf("%d trailing bytes after objects", len(buf))
+	}
+	return objs, FormatBinary, nil
+}

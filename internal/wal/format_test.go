@@ -1,0 +1,318 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"qracn/internal/store"
+)
+
+// formatFixture exercises every value tag the binary layout knows plus the
+// nil (deleted-object) case.
+func formatFixture() []Record {
+	return []Record{
+		{TxID: "tx-1", Block: 0, Key: "acct/1", Version: 3, Value: store.Int64(-42)},
+		{TxID: "tx-1", Block: 2, Key: "acct/2", Version: 1, Value: store.String("carol")},
+		{TxID: "tx-2", Block: 1, Key: "blob/9", Version: 7, Value: store.Bytes{0x00, 0xFF, 0x10}},
+		{TxID: "tx-2", Block: -1, Key: "rate/x", Version: 2, Value: store.Float64(2.5)},
+		{TxID: "tx-3", Block: 4, Key: "row/8", Version: 11,
+			Value: store.Tuple{store.Int64(1), store.String("nested"), store.Tuple{store.Float64(9)}}},
+		{TxID: "tx-4", Block: 0, Key: "gone/3", Version: 5, Value: nil},
+	}
+}
+
+// TestRecordFormatsRoundTrip appends the fixture under each format and checks
+// recovery reconstructs identical state, and that ScanSegmentFormats reports
+// the format actually written.
+func TestRecordFormatsRoundTrip(t *testing.T) {
+	for _, format := range []Format{FormatBinary, FormatGob} {
+		t.Run(format.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := Open(dir, Options{FsyncInterval: time.Millisecond, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := formatFixture()
+			if err := l.Append(recs...); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			segs, err := Segments(dir)
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("segments: %v %v", segs, err)
+			}
+			var scanned []Record
+			n, err := ScanSegmentFormats(segs[0], func(r *Record, _ int64, f Format) error {
+				if f != format {
+					t.Errorf("record reported format %v, written as %v", f, format)
+				}
+				scanned = append(scanned, *r)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(recs) {
+				t.Fatalf("scanned %d records, want %d", n, len(recs))
+			}
+			for i := range recs {
+				if !reflect.DeepEqual(scanned[i], recs[i]) {
+					t.Errorf("record %d: got %+v want %+v", i, scanned[i], recs[i])
+				}
+			}
+
+			_, r2, err := Open(dir, Options{Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := stateOf(r2)
+			if len(st) != len(recs) {
+				t.Fatalf("recovered %d objects, want %d", len(st), len(recs))
+			}
+			for _, want := range recs {
+				got := st[want.Key]
+				if got.NewVersion != want.Version || !reflect.DeepEqual(got.Value, want.Value) {
+					t.Errorf("%s recovered as %+v, want version %d value %v",
+						want.Key, got, want.Version, want.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryReplaysOldGobDirectory is the upgrade scenario: a directory
+// written entirely by a gob-era node (records AND snapshot) must replay under
+// the binary default, and subsequent appends land in binary — segments of
+// both formats then coexist across a second recovery.
+func TestBinaryReplaysOldGobDirectory(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{FsyncInterval: time.Millisecond, Format: FormatGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec("a", 1, 10), rec("b", 1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// A gob snapshot too, so snapshot auto-detection is exercised.
+	if err := l.Checkpoint([]store.WriteDesc{{ID: "a", Value: store.Int64(10), NewVersion: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec("b", 2, 21)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := Snapshots(dir)
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: %v", snaps)
+	}
+	if _, f, err := ReadSnapshotFormat(snaps[0]); err != nil || f != FormatGob {
+		t.Fatalf("snapshot format %v err %v, want gob", f, err)
+	}
+
+	// Upgraded node: binary default, replays the gob directory.
+	l2, r2, err := Open(dir, Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateOf(r2)
+	if w := st["b"]; w.NewVersion != 2 || store.AsInt64(w.Value) != 21 {
+		t.Fatalf("b recovered as %+v", w)
+	}
+	if err := l2.Append(rec("c", 1, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Checkpoint([]store.WriteDesc{
+		{ID: "a", Value: store.Int64(10), NewVersion: 1},
+		{ID: "b", Value: store.Int64(21), NewVersion: 2},
+		{ID: "c", Value: store.Int64(30), NewVersion: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ = Snapshots(dir)
+	if _, f, err := ReadSnapshotFormat(snaps[len(snaps)-1]); err != nil || f != FormatBinary {
+		t.Fatalf("new snapshot format %v err %v, want binary", f, err)
+	}
+
+	// Third generation reads the mixed directory.
+	_, r3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = stateOf(r3)
+	if w := st["c"]; w.NewVersion != 1 || store.AsInt64(w.Value) != 30 {
+		t.Fatalf("c recovered as %+v", w)
+	}
+	if w := st["b"]; w.NewVersion != 2 {
+		t.Fatalf("b recovered as %+v", w)
+	}
+}
+
+// writeRawFrame appends one CRC-valid frame with the given payload to path.
+func writeRawFrame(t *testing.T, path string, payload []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32Sum(payload))
+	if _, err := f.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBadRecordDistinguishedFromTornTail: a CRC-valid frame with an
+// out-of-range version byte is a BadRecordError under ScanSegmentFormats
+// (inspection must fail loudly) but degrades to TornTailError under
+// ScanSegment so recovery keeps the intact prefix.
+func TestBadRecordDistinguishedFromTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := segmentPath(dir, 1)
+
+	good, err := AppendRecordFrame(nil, &Record{TxID: "t", Key: "k", Version: 1, Value: store.Int64(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{
+		{binMarker, 0x7F, 'x'}, // future/invalid version byte
+		{binMarker},            // truncated before version byte
+		{0x42, 0x99, 0x01},     // not binary, not a valid gob stream
+	} {
+		writeRawFrame(t, path, bad)
+
+		var badErr *BadRecordError
+		n, err := ScanSegmentFormats(path, nil)
+		if !errors.As(err, &badErr) {
+			t.Fatalf("payload %x: ScanSegmentFormats err = %v, want BadRecordError", bad, err)
+		}
+		if n != 1 {
+			t.Fatalf("payload %x: %d intact records before bad one, want 1", bad, n)
+		}
+		if badErr.Offset != int64(len(good)) {
+			t.Fatalf("payload %x: bad offset %d, want %d", bad, badErr.Offset, len(good))
+		}
+
+		var torn *TornTailError
+		n, err = ScanSegment(path, nil)
+		if !errors.As(err, &torn) || n != 1 {
+			t.Fatalf("payload %x: ScanSegment = (%d, %v), want torn tail after 1 record", bad, n, err)
+		}
+		if torn.Offset != int64(len(good)) {
+			t.Fatalf("payload %x: torn offset %d, want %d", bad, torn.Offset, len(good))
+		}
+
+		// Reset for the next bad payload.
+		if err := os.Truncate(path, int64(len(good))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecordEncodeAllocs pins the binary append path at zero allocations per
+// record once the scratch buffer is warm — the property that lets the WAL
+// hot path stage records without garbage.
+func TestRecordEncodeAllocs(t *testing.T) {
+	r := rec("acct/warm", 9, 1234)
+	buf, err := AppendRecordFrame(nil, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendRecordFrame(buf[:0], &r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("binary record encode: %v allocs/op, want 0", allocs)
+	}
+}
+
+func benchRecord() Record {
+	return Record{
+		TxID:    "tx-ycsb-000042-7",
+		Block:   3,
+		Key:     "usertable/row-00001234",
+		Version: 98765,
+		Value:   store.String("field0=AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"),
+	}
+}
+
+func BenchmarkRecordEncodeBinary(b *testing.B) {
+	r := benchRecord()
+	buf, err := AppendRecordFrame(nil, &r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendRecordFrame(buf[:0], &r)
+	}
+	_ = buf
+}
+
+func BenchmarkRecordEncodeGob(b *testing.B) {
+	r := benchRecord()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := encodeRecordGob(&buf, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordDecodeBinary(b *testing.B) {
+	r := benchRecord()
+	frame, err := AppendRecordFrame(nil, &r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := frame[8:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := decodeRecordPayload(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordDecodeGob(b *testing.B) {
+	r := benchRecord()
+	var buf bytes.Buffer
+	if err := encodeRecordGob(&buf, &r); err != nil {
+		b.Fatal(err)
+	}
+	payload := buf.Bytes()[8:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := decodeRecordPayload(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -34,6 +34,8 @@ type Record struct {
 // castagnoli is the CRC-32C table used for record and snapshot framing.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+func crc32Sum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
 // MaxRecordSize bounds one record's encoded payload; a length field above it
 // is treated as corruption rather than an allocation request.
 const MaxRecordSize = 64 << 20
@@ -95,10 +97,11 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// encodeRecord gob-encodes one record into a frame appended to buf.
+// encodeRecordGob gob-encodes one record into a frame appended to buf.
 // Each record is a self-contained gob stream so segments can be scanned
 // from any record boundary and a torn tail never poisons earlier records.
-func encodeRecord(buf *bytes.Buffer, rec *Record) error {
+// This is the legacy format; the default append path is AppendRecordFrame.
+func encodeRecordGob(buf *bytes.Buffer, rec *Record) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
 		return fmt.Errorf("wal: encode record: %w", err)
@@ -106,12 +109,17 @@ func encodeRecord(buf *bytes.Buffer, rec *Record) error {
 	return writeFrame(buf, payload.Bytes())
 }
 
-// ScanSegment reads every intact record of a segment file in order, calling
-// fn with the record and the file offset at which its frame starts. It
-// returns the number of intact records. A segment that ends mid-record
-// returns a *TornTailError whose Offset marks the end of the intact prefix;
-// a clean end returns a nil error.
-func ScanSegment(path string, fn func(rec *Record, off int64) error) (int, error) {
+// ScanSegmentFormats reads every intact record of a segment file in order,
+// calling fn with the record, the file offset at which its frame starts, and
+// the format the record was encoded in (formats can mix within a segment
+// after a -codec flag flip). It returns the number of intact records.
+//
+// Errors distinguish the two failure shapes: a frame that is incomplete or
+// fails its CRC returns a *TornTailError (crash artifact — the tail was never
+// durably acknowledged), while a CRC-valid frame whose payload is not a
+// well-formed record in any known format returns a *BadRecordError (the bytes
+// ARE what was written, and they are wrong). A clean end returns nil.
+func ScanSegmentFormats(path string, fn func(rec *Record, off int64, f Format) error) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -128,19 +136,39 @@ func ScanSegment(path string, fn func(rec *Record, off int64) error) (int, error
 		if err != nil {
 			return count, &TornTailError{Path: path, Offset: start}
 		}
-		var rec Record
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			// CRC-valid but undecodable: treat as torn so recovery keeps
-			// the intact prefix instead of refusing the whole segment.
-			return count, &TornTailError{Path: path, Offset: start}
+		rec, format, err := decodeRecordPayload(payload)
+		if err != nil {
+			return count, &BadRecordError{Path: path, Offset: start, Reason: err.Error()}
 		}
 		if fn != nil {
-			if err := fn(&rec, start); err != nil {
+			if err := fn(rec, start, format); err != nil {
 				return count, err
 			}
 		}
 		count++
 	}
+}
+
+// ScanSegment reads every intact record of a segment file in order, calling
+// fn with the record and the file offset at which its frame starts. It
+// returns the number of intact records. A segment that ends mid-record
+// returns a *TornTailError whose Offset marks the end of the intact prefix;
+// a clean end returns a nil error.
+//
+// Unlike ScanSegmentFormats, a CRC-valid but undecodable record is reported
+// as a torn tail too: recovery keeps the intact prefix (truncating if this is
+// the active segment) instead of refusing the whole segment.
+func ScanSegment(path string, fn func(rec *Record, off int64) error) (int, error) {
+	count, err := ScanSegmentFormats(path, func(rec *Record, off int64, _ Format) error {
+		if fn == nil {
+			return nil
+		}
+		return fn(rec, off)
+	})
+	if bad, ok := err.(*BadRecordError); ok {
+		return count, &TornTailError{Path: path, Offset: bad.Offset}
+	}
+	return count, err
 }
 
 // countingReader tracks how many bytes have been consumed so scan offsets
@@ -235,30 +263,46 @@ type snapshotBody struct {
 	Objects []store.WriteDesc
 }
 
-// ReadSnapshot loads and CRC-verifies one snapshot file.
+// ReadSnapshot loads and CRC-verifies one snapshot file, auto-detecting its
+// body format.
 func ReadSnapshot(path string) ([]store.WriteDesc, error) {
+	objs, _, err := ReadSnapshotFormat(path)
+	return objs, err
+}
+
+// ReadSnapshotFormat is ReadSnapshot plus the detected body format, for
+// inspection tools.
+func ReadSnapshotFormat(path string) ([]store.WriteDesc, Format, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, FormatDefault, err
 	}
 	defer f.Close()
 	payload, err := readFrame(f)
 	if err != nil {
-		return nil, fmt.Errorf("wal: snapshot %s: %w", path, err)
+		return nil, FormatDefault, fmt.Errorf("wal: snapshot %s: %w", path, err)
 	}
-	var body snapshotBody
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&body); err != nil {
-		return nil, fmt.Errorf("wal: snapshot %s: %w", path, err)
+	objs, format, err := decodeSnapshotBody(payload)
+	if err != nil {
+		return nil, format, fmt.Errorf("wal: snapshot %s: %w", path, err)
 	}
-	return body.Objects, nil
+	return objs, format, nil
 }
 
-// writeSnapshotFile atomically writes a CRC-framed snapshot: temp file,
-// fsync, rename, directory fsync.
-func writeSnapshotFile(dir string, idx uint64, objs []store.WriteDesc) error {
+// writeSnapshotFile atomically writes a CRC-framed snapshot in the given
+// format: temp file, fsync, rename, directory fsync.
+func writeSnapshotFile(dir string, idx uint64, objs []store.WriteDesc, format Format) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&snapshotBody{Objects: objs}); err != nil {
-		return fmt.Errorf("wal: encode snapshot: %w", err)
+	if format == FormatGob {
+		if err := gob.NewEncoder(&payload).Encode(&snapshotBody{Objects: objs}); err != nil {
+			return fmt.Errorf("wal: encode snapshot: %w", err)
+		}
+	} else {
+		body, err := appendSnapshotBody(nil, objs)
+		if err != nil {
+			return fmt.Errorf("wal: encode snapshot: %w", err)
+		}
+		payload.Write(body)
 	}
 	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {

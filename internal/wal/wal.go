@@ -45,6 +45,11 @@ type Options struct {
 	FsyncInterval time.Duration
 	// SegmentSize is the roll threshold in bytes (default 4 MiB).
 	SegmentSize int64
+	// Format selects the record and snapshot payload encoding for NEW
+	// writes (default FormatBinary). Replay auto-detects per record, so a
+	// directory can hold segments of both formats — e.g. after flipping a
+	// node's -codec flag across restarts.
+	Format Format
 }
 
 func (o *Options) fillDefaults() {
@@ -53,6 +58,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.SegmentSize == 0 {
 		o.SegmentSize = 4 << 20
+	}
+	if o.Format == FormatDefault {
+		o.Format = FormatBinary
 	}
 }
 
@@ -101,6 +109,7 @@ type Log struct {
 	mu      sync.Mutex
 	f       *os.File
 	buf     *bytes.Buffer // pending (unflushed) frames
+	scratch []byte        // reusable binary record-frame staging buffer
 	size    int64         // bytes written to the active segment
 	segIdx  uint64        // active segment index
 	pending []chan error  // Append waiters for the next fsync
@@ -271,7 +280,7 @@ func (l *Log) Append(recs ...Record) error {
 	}
 	start := l.buf.Len()
 	for i := range recs {
-		if err := encodeRecord(l.buf, &recs[i]); err != nil {
+		if err := l.stageRecordLocked(&recs[i]); err != nil {
 			l.buf.Truncate(start)
 			l.mu.Unlock()
 			return err
@@ -297,6 +306,22 @@ func (l *Log) Append(recs ...Record) error {
 	default:
 	}
 	return <-ch
+}
+
+// stageRecordLocked appends one framed record to the staging buffer in the
+// configured format. The binary path reuses a scratch buffer, so steady-state
+// staging performs no per-record allocation. Callers hold l.mu.
+func (l *Log) stageRecordLocked(rec *Record) error {
+	if l.opts.Format == FormatGob {
+		return encodeRecordGob(l.buf, rec)
+	}
+	frame, err := AppendRecordFrame(l.scratch[:0], rec)
+	if err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	l.scratch = frame
+	_, err = l.buf.Write(frame)
+	return err
 }
 
 // syncLocked flushes staged frames to the active segment, fsyncs, notifies
@@ -391,7 +416,7 @@ func (l *Log) Checkpoint(objs []store.WriteDesc) error {
 		}
 	}
 	snapIdx := l.segIdx // covers all segments < segIdx
-	if err := writeSnapshotFile(l.dir, snapIdx, objs); err != nil {
+	if err := writeSnapshotFile(l.dir, snapIdx, objs, l.opts.Format); err != nil {
 		return err
 	}
 	l.snaps.Add(1)

@@ -1,0 +1,1148 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"qracn/internal/store"
+	"qracn/internal/trace"
+)
+
+// The binary codec is a hand-rolled, fixed-layout wire format for Envelopes,
+// replacing gob on the request hot path. Design goals, in order:
+//
+//  1. Zero allocations on encode: every message is appended into the
+//     encoder's reusable buffer with append-only primitives; nothing escapes.
+//  2. Corruption detection: every frame carries a CRC-32C of its wire
+//     payload (gob frames rely on the decoder noticing garbage).
+//  3. Self-describing envelopes: payload presence is an explicit bitmask,
+//     so any envelope gob can represent round-trips identically — the
+//     property FuzzCodecEquivalence checks against the gob oracle.
+//
+// Frame layout (codec negotiation happens once per connection, see codec.go):
+//
+//	4B big-endian payload length | 1B flags | 4B big-endian CRC-32C | payload
+//
+// flags bit0 marks a flate-compressed payload; the CRC covers the payload as
+// it appears on the wire (post-compression), so integrity is checked before
+// inflation. The payload encoding per message is documented field-by-field
+// in DESIGN.md §9; primitives are:
+//
+//	u8      one byte
+//	uvarint unsigned LEB128 (encoding/binary PutUvarint)
+//	varint  zigzag signed LEB128
+//	f64     8 bytes little-endian IEEE-754 bits
+//	str     uvarint byte length + raw bytes
+//	time    u8 zero-flag, then 8 bytes little-endian UnixNano when set
+//	value   u8 type tag + body (see appendValue)
+//
+// Slices and maps encode as uvarint count + elements; a zero count decodes
+// as nil, matching gob's omit-empty semantics so the two codecs are
+// decode-equivalent.
+const (
+	binFlagCompressed byte = 1 << 0
+
+	// binHeaderSize is the frame header: length + flags + CRC.
+	binHeaderSize = 9
+)
+
+// binCRC is the CRC-32C (Castagnoli) table, the same polynomial the WAL uses.
+var binCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Envelope flag bits (payload byte 2).
+const (
+	envIsResponse byte = 1 << 0
+	envCancel     byte = 1 << 1
+	envHasReq     byte = 1 << 2
+	envHasResp    byte = 1 << 3
+)
+
+// Request payload presence bits, wire order.
+const (
+	reqHasRead byte = 1 << iota
+	reqHasPrepare
+	reqHasDecision
+	reqHasStats
+	reqHasSync
+	reqHasBatch
+	reqHasRepair
+	reqHasTraceFetch
+)
+
+// Response payload presence bits, wire order.
+const (
+	respHasRead byte = 1 << iota
+	respHasPrepare
+	respHasStats
+	respHasSync
+	respHasBatch
+	respHasTrace
+)
+
+// Value type tags.
+const (
+	valNil     byte = 0
+	valInt64   byte = 1
+	valFloat64 byte = 2
+	valString  byte = 3
+	valBytes   byte = 4
+	valTuple   byte = 5
+	// valGob is the escape hatch for workload-defined Value types registered
+	// with RegisterValue: the value is gob-encoded in place. Built-in types
+	// never take it, so the hot path stays reflection-free.
+	valGob byte = 255
+)
+
+// ErrBadFrame reports a binary frame whose CRC or structure is invalid.
+var ErrBadFrame = errors.New("wire: corrupt binary frame")
+
+// maxBinaryDepth bounds recursion (nested tuples/batches) on BOTH encode and
+// decode: the decoder so hostile input cannot overflow the stack, the encoder
+// so every envelope the codec emits is one it can read back. Gob tolerates
+// nesting two orders of magnitude deeper; refusing it symmetrically is an
+// intentional, fuzz-asserted difference (no real message nests past ~3).
+const maxBinaryDepth = 64
+
+// errTooDeep is returned by the encoder for envelopes nested past
+// maxBinaryDepth (the decoder reports the same condition via ErrBadFrame).
+var errTooDeep = fmt.Errorf("wire: envelope nested deeper than %d", maxBinaryDepth)
+
+// binaryCodec implements Codec.
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string { return "binary" }
+func (binaryCodec) ID() byte     { return 2 }
+func (binaryCodec) NewEncoder(w io.Writer, compress bool) EnvelopeEncoder {
+	return &BinaryEncoder{w: w, compress: compress}
+}
+func (binaryCodec) NewDecoder(r io.Reader) EnvelopeDecoder {
+	return &BinaryDecoder{r: r}
+}
+
+// BinaryEncoder writes binary-codec frames to one stream. Not safe for
+// concurrent use. The payload and compression buffers persist across
+// Encode calls, so steady-state encoding allocates nothing.
+type BinaryEncoder struct {
+	w        io.Writer
+	compress bool
+	buf      []byte // payload scratch, reused
+	comp     []byte // compression scratch, reused
+	// hdr lives on the struct, not the stack: a stack array passed through
+	// the io.Writer interface would escape and cost one allocation per frame.
+	hdr [binHeaderSize]byte
+}
+
+// NewBinaryEncoder creates an encoder bound to w.
+func NewBinaryEncoder(w io.Writer, compress bool) *BinaryEncoder {
+	return &BinaryEncoder{w: w, compress: compress}
+}
+
+// Encode writes one envelope as one CRC-framed binary frame.
+func (e *BinaryEncoder) Encode(env *Envelope) error {
+	var err error
+	e.buf, err = AppendEnvelope(e.buf[:0], env)
+	if err != nil {
+		return err
+	}
+	payload := e.buf
+	flags := byte(0)
+	if e.compress && len(payload) > CompressThreshold {
+		e.comp = e.comp[:0]
+		fw := flateWriterPool.Get().(*flate.Writer)
+		aw := appendWriter{b: &e.comp}
+		fw.Reset(aw)
+		_, werr := fw.Write(payload)
+		if werr == nil {
+			werr = fw.Close()
+		}
+		flateWriterPool.Put(fw)
+		if werr != nil {
+			return fmt.Errorf("wire: compress: %w", werr)
+		}
+		if len(e.comp) < len(payload) {
+			payload = e.comp
+			flags |= binFlagCompressed
+		}
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	binary.BigEndian.PutUint32(e.hdr[:4], uint32(len(payload)))
+	e.hdr[4] = flags
+	binary.BigEndian.PutUint32(e.hdr[5:], crc32.Checksum(payload, binCRC))
+	if _, err := e.w.Write(e.hdr[:]); err != nil {
+		return err
+	}
+	_, err = e.w.Write(payload)
+	return err
+}
+
+// appendWriter adapts an append-grown byte slice to io.Writer for the
+// pooled flate writer.
+type appendWriter struct{ b *[]byte }
+
+func (a appendWriter) Write(p []byte) (int, error) {
+	*a.b = append(*a.b, p...)
+	return len(p), nil
+}
+
+// BinaryDecoder reads frames written by a BinaryEncoder. Not safe for
+// concurrent use. The frame buffer persists across Decode calls.
+type BinaryDecoder struct {
+	r     io.Reader
+	frame []byte
+	hdr   [binHeaderSize]byte
+}
+
+// NewBinaryDecoder creates a decoder bound to r.
+func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
+	return &BinaryDecoder{r: r}
+}
+
+// Decode reads the next envelope.
+func (d *BinaryDecoder) Decode() (*Envelope, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(d.hdr[:4])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrBadFrame, n)
+	}
+	if cap(d.frame) < int(n) {
+		d.frame = make([]byte, n)
+	}
+	d.frame = d.frame[:n]
+	if _, err := io.ReadFull(d.r, d.frame); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(d.frame, binCRC) != binary.BigEndian.Uint32(d.hdr[5:]) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrBadFrame)
+	}
+	payload := d.frame
+	if d.hdr[4]&binFlagCompressed != 0 {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		out, err := io.ReadAll(fr)
+		fr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%w: decompress: %v", ErrBadFrame, err)
+		}
+		payload = out
+	}
+	return DecodeEnvelope(payload)
+}
+
+// AppendEnvelope appends env's binary payload (no frame header) to dst and
+// returns the extended slice. It allocates only if dst lacks capacity.
+func AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, env.Seq)
+	var flags byte
+	if env.IsResponse {
+		flags |= envIsResponse
+	}
+	if env.Cancel {
+		flags |= envCancel
+	}
+	if env.Req != nil {
+		flags |= envHasReq
+	}
+	if env.Resp != nil {
+		flags |= envHasResp
+	}
+	dst = append(dst, flags)
+	var err error
+	if env.Req != nil {
+		if dst, err = appendRequest(dst, env.Req, 0); err != nil {
+			return nil, err
+		}
+	}
+	if env.Resp != nil {
+		if dst, err = appendResponse(dst, env.Resp, 0); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeEnvelope parses one binary envelope payload (no frame header).
+func DecodeEnvelope(payload []byte) (*Envelope, error) {
+	d := &binReader{buf: payload}
+	env := &Envelope{}
+	var flags byte
+	var err error
+	if env.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if flags, err = d.u8(); err != nil {
+		return nil, err
+	}
+	env.IsResponse = flags&envIsResponse != 0
+	env.Cancel = flags&envCancel != 0
+	if flags&envHasReq != 0 {
+		if env.Req, err = d.request(); err != nil {
+			return nil, err
+		}
+	}
+	if flags&envHasResp != 0 {
+		if env.Resp, err = d.response(); err != nil {
+			return nil, err
+		}
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(d.buf)-d.pos)
+	}
+	return env, nil
+}
+
+func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
+	if depth > maxBinaryDepth {
+		return nil, errTooDeep
+	}
+	if r.Kind < 0 || r.Kind >= numKinds {
+		return nil, fmt.Errorf("wire: cannot encode out-of-range kind %d", r.Kind)
+	}
+	dst = append(dst, byte(r.Kind))
+	dst = appendString(dst, r.TxID)
+	dst = appendString(dst, r.TraceID)
+	dst = binary.AppendUvarint(dst, r.SpanID)
+	var mask byte
+	if r.Read != nil {
+		mask |= reqHasRead
+	}
+	if r.Prepare != nil {
+		mask |= reqHasPrepare
+	}
+	if r.Decision != nil {
+		mask |= reqHasDecision
+	}
+	if r.Stats != nil {
+		mask |= reqHasStats
+	}
+	if r.Sync != nil {
+		mask |= reqHasSync
+	}
+	if r.Batch != nil {
+		mask |= reqHasBatch
+	}
+	if r.Repair != nil {
+		mask |= reqHasRepair
+	}
+	if r.TraceFetch != nil {
+		mask |= reqHasTraceFetch
+	}
+	dst = append(dst, mask)
+	var err error
+	if r.Read != nil {
+		dst = appendString(dst, string(r.Read.Object))
+		dst = appendReadDescs(dst, r.Read.Validate)
+		dst = appendIDs(dst, r.Read.StatsFor)
+		dst = appendBool(dst, r.Read.VersionOnly)
+	}
+	if r.Prepare != nil {
+		dst = appendReadDescs(dst, r.Prepare.Reads)
+		if dst, err = appendWriteDescs(dst, r.Prepare.Writes, depth); err != nil {
+			return nil, err
+		}
+	}
+	if r.Decision != nil {
+		dst = appendBool(dst, r.Decision.Commit)
+		if dst, err = appendWriteDescs(dst, r.Decision.Writes, depth); err != nil {
+			return nil, err
+		}
+		dst = appendIDs(dst, r.Decision.Release)
+	}
+	if r.Stats != nil {
+		dst = appendIDs(dst, r.Stats.Objects)
+	}
+	if r.Sync != nil {
+		dst = appendReadDescs(dst, r.Sync.Known)
+	}
+	if r.Batch != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Batch.Subs)))
+		for _, sub := range r.Batch.Subs {
+			if sub == nil {
+				dst = appendBool(dst, false)
+				continue
+			}
+			dst = appendBool(dst, true)
+			if dst, err = appendRequest(dst, sub, depth+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.Repair != nil {
+		dst = appendString(dst, string(r.Repair.Object))
+		if dst, err = appendValue(dst, r.Repair.Value, depth); err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, r.Repair.Version)
+	}
+	if r.TraceFetch != nil {
+		dst = appendString(dst, r.TraceFetch.TraceID)
+		dst = appendBool(dst, r.TraceFetch.Events)
+	}
+	return dst, nil
+}
+
+func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
+	if depth > maxBinaryDepth {
+		return nil, errTooDeep
+	}
+	dst = binary.AppendVarint(dst, int64(r.Status))
+	dst = appendString(dst, r.Detail)
+	var mask byte
+	if r.Read != nil {
+		mask |= respHasRead
+	}
+	if r.Prepare != nil {
+		mask |= respHasPrepare
+	}
+	if r.Stats != nil {
+		mask |= respHasStats
+	}
+	if r.Sync != nil {
+		mask |= respHasSync
+	}
+	if r.Batch != nil {
+		mask |= respHasBatch
+	}
+	if r.Trace != nil {
+		mask |= respHasTrace
+	}
+	dst = append(dst, mask)
+	var err error
+	if r.Read != nil {
+		if dst, err = appendValue(dst, r.Read.Value, depth); err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, r.Read.Version)
+		dst = appendIDs(dst, r.Read.Invalid)
+		dst = appendLevels(dst, r.Read.Stats)
+	}
+	if r.Prepare != nil {
+		dst = appendBool(dst, r.Prepare.Vote)
+		dst = appendIDs(dst, r.Prepare.Invalid)
+		dst = appendIDs(dst, r.Prepare.Busy)
+	}
+	if r.Stats != nil {
+		dst = appendLevels(dst, r.Stats.Levels)
+	}
+	if r.Sync != nil {
+		if dst, err = appendWriteDescs(dst, r.Sync.Objects, depth); err != nil {
+			return nil, err
+		}
+	}
+	if r.Batch != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Batch.Subs)))
+		for _, sub := range r.Batch.Subs {
+			if sub == nil {
+				dst = appendBool(dst, false)
+				continue
+			}
+			dst = appendBool(dst, true)
+			if dst, err = appendResponse(dst, sub, depth+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.Trace != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Trace.Spans)))
+		for i := range r.Trace.Spans {
+			dst = appendSpan(dst, &r.Trace.Spans[i])
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(r.Trace.Events)))
+		for i := range r.Trace.Events {
+			dst = appendEvent(dst, &r.Trace.Events[i])
+		}
+	}
+	return dst, nil
+}
+
+// Primitive appenders.
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.LittleEndian.AppendUint64(dst, uint64(t.UnixNano()))
+}
+
+func appendReadDescs(dst []byte, descs []store.ReadDesc) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(descs)))
+	for _, d := range descs {
+		dst = appendString(dst, string(d.ID))
+		dst = binary.AppendUvarint(dst, d.Version)
+	}
+	return dst
+}
+
+func appendWriteDescs(dst []byte, descs []store.WriteDesc, depth int) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(descs)))
+	var err error
+	for i := range descs {
+		w := &descs[i]
+		dst = appendString(dst, string(w.ID))
+		if dst, err = appendValue(dst, w.Value, depth); err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, w.NewVersion)
+		dst = binary.AppendVarint(dst, int64(w.Block))
+	}
+	return dst, nil
+}
+
+func appendIDs(dst []byte, ids []store.ObjectID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = appendString(dst, string(id))
+	}
+	return dst
+}
+
+func appendLevels(dst []byte, levels map[store.ObjectID]float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(levels)))
+	for id, lvl := range levels {
+		dst = appendString(dst, string(id))
+		dst = appendFloat64(dst, lvl)
+	}
+	return dst
+}
+
+func appendSpan(dst []byte, s *trace.Span) []byte {
+	dst = appendString(dst, s.Trace)
+	dst = binary.AppendUvarint(dst, s.ID)
+	dst = binary.AppendUvarint(dst, s.Parent)
+	dst = appendString(dst, s.Name)
+	dst = appendString(dst, s.Site)
+	dst = appendTime(dst, s.Start)
+	dst = appendTime(dst, s.End)
+	return appendString(dst, s.Detail)
+}
+
+func appendEvent(dst []byte, e *trace.Event) []byte {
+	dst = appendTime(dst, e.At)
+	dst = binary.AppendVarint(dst, int64(e.Kind))
+	dst = appendString(dst, e.TxID)
+	return appendString(dst, e.Detail)
+}
+
+// valueBox wraps a Value so the gob escape hatch can encode the interface
+// (gob requires a concrete top-level type).
+type valueBox struct{ V store.Value }
+
+// AppendValue appends a store.Value in the binary value encoding. Built-in
+// types take the fixed tags; registered custom types fall back to an inline
+// gob blob.
+func AppendValue(dst []byte, v store.Value) ([]byte, error) { return appendValue(dst, v, 0) }
+
+func appendValue(dst []byte, v store.Value, depth int) ([]byte, error) {
+	if depth > maxBinaryDepth {
+		return nil, errTooDeep
+	}
+	switch x := v.(type) {
+	case nil:
+		return append(dst, valNil), nil
+	case store.Int64:
+		dst = append(dst, valInt64)
+		return binary.AppendVarint(dst, int64(x)), nil
+	case store.Float64:
+		dst = append(dst, valFloat64)
+		return appendFloat64(dst, float64(x)), nil
+	case store.String:
+		dst = append(dst, valString)
+		return appendString(dst, string(x)), nil
+	case store.Bytes:
+		dst = append(dst, valBytes)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...), nil
+	case store.Tuple:
+		dst = append(dst, valTuple)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if dst, err = appendValue(dst, e, depth+1); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&valueBox{V: v}); err != nil {
+			return nil, fmt.Errorf("wire: encode value %T: %w", v, err)
+		}
+		dst = append(dst, valGob)
+		dst = binary.AppendUvarint(dst, uint64(buf.Len()))
+		return append(dst, buf.Bytes()...), nil
+	}
+}
+
+// DecodeValue parses one binary-encoded value from the front of buf,
+// returning the value and the number of bytes consumed.
+func DecodeValue(buf []byte) (store.Value, int, error) {
+	d := &binReader{buf: buf}
+	v, err := d.value()
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, d.pos, nil
+}
+
+// binReader is the allocation-lean payload parser. Counts are validated
+// against the remaining bytes before any slice is sized, so a hostile
+// length cannot force a huge allocation, and recursion is depth-bounded.
+type binReader struct {
+	buf   []byte
+	pos   int
+	depth int
+}
+
+func (d *binReader) remaining() int { return len(d.buf) - d.pos }
+
+func (d *binReader) fail(what string) error {
+	return fmt.Errorf("%w: truncated %s at offset %d", ErrBadFrame, what, d.pos)
+}
+
+func (d *binReader) u8() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, d.fail("byte")
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("uvarint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *binReader) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("varint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a collection length and sanity-checks it against the bytes
+// left (every element costs at least one byte).
+func (d *binReader) count(what string) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.remaining()) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds remaining %d bytes",
+			ErrBadFrame, what, v, d.remaining())
+	}
+	return int(v), nil
+}
+
+func (d *binReader) str() (string, error) {
+	n, err := d.count("string")
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+func (d *binReader) bytesCopy() ([]byte, error) {
+	n, err := d.count("bytes")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.pos:d.pos+n])
+	d.pos += n
+	return out, nil
+}
+
+func (d *binReader) boolean() (bool, error) {
+	b, err := d.u8()
+	return b != 0, err
+}
+
+func (d *binReader) f64() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, d.fail("float64")
+	}
+	bits := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (d *binReader) timestamp() (time.Time, error) {
+	set, err := d.u8()
+	if err != nil {
+		return time.Time{}, err
+	}
+	if set == 0 {
+		return time.Time{}, nil
+	}
+	if d.remaining() < 8 {
+		return time.Time{}, d.fail("time")
+	}
+	n := int64(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return time.Unix(0, n), nil
+}
+
+func (d *binReader) enter() error {
+	d.depth++
+	if d.depth > maxBinaryDepth {
+		return fmt.Errorf("%w: nesting deeper than %d", ErrBadFrame, maxBinaryDepth)
+	}
+	return nil
+}
+
+func (d *binReader) request() (*Request, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { d.depth-- }()
+	r := &Request{}
+	kb, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if Kind(kb) >= numKinds {
+		return nil, fmt.Errorf("%w: kind byte %d out of range [0,%d)", ErrBadFrame, kb, int(numKinds))
+	}
+	r.Kind = Kind(kb)
+	if r.TxID, err = d.str(); err != nil {
+		return nil, err
+	}
+	if r.TraceID, err = d.str(); err != nil {
+		return nil, err
+	}
+	if r.SpanID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	mask, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if mask&reqHasRead != 0 {
+		rr := &ReadRequest{}
+		var obj string
+		if obj, err = d.str(); err != nil {
+			return nil, err
+		}
+		rr.Object = store.ObjectID(obj)
+		if rr.Validate, err = d.readDescs(); err != nil {
+			return nil, err
+		}
+		if rr.StatsFor, err = d.ids(); err != nil {
+			return nil, err
+		}
+		if rr.VersionOnly, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		r.Read = rr
+	}
+	if mask&reqHasPrepare != 0 {
+		pr := &PrepareRequest{}
+		if pr.Reads, err = d.readDescs(); err != nil {
+			return nil, err
+		}
+		if pr.Writes, err = d.writeDescs(); err != nil {
+			return nil, err
+		}
+		r.Prepare = pr
+	}
+	if mask&reqHasDecision != 0 {
+		dr := &DecisionRequest{}
+		if dr.Commit, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		if dr.Writes, err = d.writeDescs(); err != nil {
+			return nil, err
+		}
+		if dr.Release, err = d.ids(); err != nil {
+			return nil, err
+		}
+		r.Decision = dr
+	}
+	if mask&reqHasStats != 0 {
+		sr := &StatsRequest{}
+		if sr.Objects, err = d.ids(); err != nil {
+			return nil, err
+		}
+		r.Stats = sr
+	}
+	if mask&reqHasSync != 0 {
+		sr := &SyncRequest{}
+		if sr.Known, err = d.readDescs(); err != nil {
+			return nil, err
+		}
+		r.Sync = sr
+	}
+	if mask&reqHasBatch != 0 {
+		n, err := d.count("batch")
+		if err != nil {
+			return nil, err
+		}
+		br := &BatchRequest{Subs: make([]*Request, n)}
+		for i := 0; i < n; i++ {
+			present, err := d.boolean()
+			if err != nil {
+				return nil, err
+			}
+			if !present {
+				continue
+			}
+			if br.Subs[i], err = d.request(); err != nil {
+				return nil, err
+			}
+		}
+		r.Batch = br
+	}
+	if mask&reqHasRepair != 0 {
+		rp := &RepairRequest{}
+		var obj string
+		if obj, err = d.str(); err != nil {
+			return nil, err
+		}
+		rp.Object = store.ObjectID(obj)
+		if rp.Value, err = d.value(); err != nil {
+			return nil, err
+		}
+		if rp.Version, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		r.Repair = rp
+	}
+	if mask&reqHasTraceFetch != 0 {
+		tf := &TraceFetchRequest{}
+		if tf.TraceID, err = d.str(); err != nil {
+			return nil, err
+		}
+		if tf.Events, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		r.TraceFetch = tf
+	}
+	return r, nil
+}
+
+func (d *binReader) response() (*Response, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { d.depth-- }()
+	r := &Response{}
+	status, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	r.Status = Status(status)
+	if r.Detail, err = d.str(); err != nil {
+		return nil, err
+	}
+	mask, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if mask&respHasRead != 0 {
+		rr := &ReadResponse{}
+		if rr.Value, err = d.value(); err != nil {
+			return nil, err
+		}
+		if rr.Version, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if rr.Invalid, err = d.ids(); err != nil {
+			return nil, err
+		}
+		if rr.Stats, err = d.levels(); err != nil {
+			return nil, err
+		}
+		r.Read = rr
+	}
+	if mask&respHasPrepare != 0 {
+		pr := &PrepareResponse{}
+		if pr.Vote, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		if pr.Invalid, err = d.ids(); err != nil {
+			return nil, err
+		}
+		if pr.Busy, err = d.ids(); err != nil {
+			return nil, err
+		}
+		r.Prepare = pr
+	}
+	if mask&respHasStats != 0 {
+		sr := &StatsResponse{}
+		if sr.Levels, err = d.levels(); err != nil {
+			return nil, err
+		}
+		r.Stats = sr
+	}
+	if mask&respHasSync != 0 {
+		sr := &SyncResponse{}
+		if sr.Objects, err = d.writeDescs(); err != nil {
+			return nil, err
+		}
+		r.Sync = sr
+	}
+	if mask&respHasBatch != 0 {
+		n, err := d.count("batch")
+		if err != nil {
+			return nil, err
+		}
+		br := &BatchResponse{Subs: make([]*Response, n)}
+		for i := 0; i < n; i++ {
+			present, err := d.boolean()
+			if err != nil {
+				return nil, err
+			}
+			if !present {
+				continue
+			}
+			if br.Subs[i], err = d.response(); err != nil {
+				return nil, err
+			}
+		}
+		r.Batch = br
+	}
+	if mask&respHasTrace != 0 {
+		tr := &TraceFetchResponse{}
+		n, err := d.count("spans")
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			tr.Spans = make([]trace.Span, n)
+			for i := 0; i < n; i++ {
+				if tr.Spans[i], err = d.span(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if n, err = d.count("events"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			tr.Events = make([]trace.Event, n)
+			for i := 0; i < n; i++ {
+				if tr.Events[i], err = d.event(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		r.Trace = tr
+	}
+	return r, nil
+}
+
+func (d *binReader) readDescs() ([]store.ReadDesc, error) {
+	n, err := d.count("read descs")
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]store.ReadDesc, n)
+	for i := range out {
+		var id string
+		if id, err = d.str(); err != nil {
+			return nil, err
+		}
+		out[i].ID = store.ObjectID(id)
+		if out[i].Version, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *binReader) writeDescs() ([]store.WriteDesc, error) {
+	n, err := d.count("write descs")
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]store.WriteDesc, n)
+	for i := range out {
+		var id string
+		if id, err = d.str(); err != nil {
+			return nil, err
+		}
+		out[i].ID = store.ObjectID(id)
+		if out[i].Value, err = d.value(); err != nil {
+			return nil, err
+		}
+		if out[i].NewVersion, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		var block int64
+		if block, err = d.varint(); err != nil {
+			return nil, err
+		}
+		out[i].Block = int(block)
+	}
+	return out, nil
+}
+
+func (d *binReader) ids() ([]store.ObjectID, error) {
+	n, err := d.count("ids")
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]store.ObjectID, n)
+	for i := range out {
+		var id string
+		if id, err = d.str(); err != nil {
+			return nil, err
+		}
+		out[i] = store.ObjectID(id)
+	}
+	return out, nil
+}
+
+func (d *binReader) levels() (map[store.ObjectID]float64, error) {
+	n, err := d.count("levels")
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make(map[store.ObjectID]float64, n)
+	for i := 0; i < n; i++ {
+		id, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := d.f64()
+		if err != nil {
+			return nil, err
+		}
+		out[store.ObjectID(id)] = lvl
+	}
+	return out, nil
+}
+
+func (d *binReader) span() (trace.Span, error) {
+	var s trace.Span
+	var err error
+	if s.Trace, err = d.str(); err != nil {
+		return s, err
+	}
+	if s.ID, err = d.uvarint(); err != nil {
+		return s, err
+	}
+	if s.Parent, err = d.uvarint(); err != nil {
+		return s, err
+	}
+	if s.Name, err = d.str(); err != nil {
+		return s, err
+	}
+	if s.Site, err = d.str(); err != nil {
+		return s, err
+	}
+	if s.Start, err = d.timestamp(); err != nil {
+		return s, err
+	}
+	if s.End, err = d.timestamp(); err != nil {
+		return s, err
+	}
+	s.Detail, err = d.str()
+	return s, err
+}
+
+func (d *binReader) event() (trace.Event, error) {
+	var e trace.Event
+	var err error
+	if e.At, err = d.timestamp(); err != nil {
+		return e, err
+	}
+	var kind int64
+	if kind, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.Kind = trace.Kind(kind)
+	if e.TxID, err = d.str(); err != nil {
+		return e, err
+	}
+	e.Detail, err = d.str()
+	return e, err
+}
+
+func (d *binReader) value() (store.Value, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { d.depth-- }()
+	tag, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case valNil:
+		return nil, nil
+	case valInt64:
+		v, err := d.varint()
+		return store.Int64(v), err
+	case valFloat64:
+		v, err := d.f64()
+		return store.Float64(v), err
+	case valString:
+		v, err := d.str()
+		return store.String(v), err
+	case valBytes:
+		v, err := d.bytesCopy()
+		return store.Bytes(v), err
+	case valTuple:
+		n, err := d.count("tuple")
+		if err != nil {
+			return nil, err
+		}
+		out := make(store.Tuple, n)
+		for i := range out {
+			if out[i], err = d.value(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case valGob:
+		n, err := d.count("gob value")
+		if err != nil {
+			return nil, err
+		}
+		var box valueBox
+		if err := gob.NewDecoder(bytes.NewReader(d.buf[d.pos : d.pos+n])).Decode(&box); err != nil {
+			return nil, fmt.Errorf("%w: embedded gob value: %v", ErrBadFrame, err)
+		}
+		d.pos += n
+		return box.V, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown value tag %d", ErrBadFrame, tag)
+	}
+}

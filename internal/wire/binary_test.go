@@ -1,0 +1,359 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qracn/internal/store"
+)
+
+// binReadEnv / binBatchEnv are the hot-path shapes the allocation pins and
+// benchmarks use: a single-object read and a 16-sub prefetch batch.
+func binReadEnv() *Envelope {
+	return &Envelope{Seq: 7, Req: &Request{
+		Kind: KindRead,
+		TxID: "c1-t2-a9",
+		Read: &ReadRequest{
+			Object:   store.ID("acct", 17),
+			Validate: []store.ReadDesc{{ID: store.ID("acct", 3), Version: 12}},
+			StatsFor: []store.ObjectID{store.ID("acct", 3)},
+		},
+	}}
+}
+
+func binBatchEnv() *Envelope {
+	subs := make([]*Request, 16)
+	for i := range subs {
+		subs[i] = &Request{
+			Kind: KindRead,
+			TxID: "c1-t2-a9",
+			Read: &ReadRequest{Object: store.ID("stock", i), VersionOnly: i%2 == 0},
+		}
+	}
+	return &Envelope{Seq: 8, Req: &Request{Kind: KindBatch, Batch: &BatchRequest{Subs: subs}}}
+}
+
+// TestBinaryNegotiation pins the connection-setup handshake: a gob client
+// writes no preamble and sniffs back to Gob byte-for-byte; a binary client
+// writes [magic, id] and sniffs back to Binary — and in both cases the
+// stream decodes from the returned reader without losing the first frame.
+func TestBinaryNegotiation(t *testing.T) {
+	for _, codec := range Codecs() {
+		var buf bytes.Buffer
+		if err := WritePreamble(&buf, codec); err != nil {
+			t.Fatalf("%s: preamble: %v", codec.Name(), err)
+		}
+		env := binReadEnv()
+		if err := codec.NewEncoder(&buf, false).Encode(env); err != nil {
+			t.Fatalf("%s: encode: %v", codec.Name(), err)
+		}
+		sniffed, r, err := SniffCodec(&buf)
+		if err != nil {
+			t.Fatalf("%s: sniff: %v", codec.Name(), err)
+		}
+		if sniffed.Name() != codec.Name() {
+			t.Fatalf("sniffed %q, wrote %q", sniffed.Name(), codec.Name())
+		}
+		got, err := sniffed.NewDecoder(r).Decode()
+		if err != nil {
+			t.Fatalf("%s: decode after sniff: %v", codec.Name(), err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("%s: envelope mutated across negotiation:\n got %+v\nwant %+v",
+				codec.Name(), got, env)
+		}
+	}
+}
+
+// TestSniffRejectsUnknownCodecID keeps the negotiation failure loud: a peer
+// claiming a codec this build does not know must be refused, not guessed at.
+func TestSniffRejectsUnknownCodecID(t *testing.T) {
+	if _, _, err := SniffCodec(bytes.NewReader([]byte{0xC6, 0x7F})); err == nil {
+		t.Fatal("unknown codec id sniffed without error")
+	}
+}
+
+// TestBinaryCRCDetectsCorruption flips each payload byte of a frame in turn
+// and checks the decoder reports ErrBadFrame rather than returning a
+// silently wrong envelope.
+func TestBinaryCRCDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Binary.NewEncoder(&buf, false).Encode(binReadEnv()); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for i := binHeaderSize; i < len(frame); i++ {
+		mut := bytes.Clone(frame)
+		mut[i] ^= 0x40
+		_, err := Binary.NewDecoder(bytes.NewReader(mut)).Decode()
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("flip at %d: got %v, want ErrBadFrame", i, err)
+		}
+	}
+}
+
+// TestBinaryRejectsOutOfRangeKind covers both directions: the encoder
+// refuses to emit a kind it does not know (so a new Kind cannot ship
+// half-supported), and the decoder refuses a CRC-valid payload whose kind
+// byte is outside [0, numKinds).
+func TestBinaryRejectsOutOfRangeKind(t *testing.T) {
+	var buf bytes.Buffer
+	err := Binary.NewEncoder(&buf, false).Encode(&Envelope{Req: &Request{Kind: numKinds}})
+	if err == nil || !strings.Contains(err.Error(), "out-of-range kind") {
+		t.Fatalf("encode of Kind %d: got %v", int(numKinds), err)
+	}
+
+	// Hand-built payload: Seq=1, flags=hasReq, kind byte 0xEE.
+	if _, err := DecodeEnvelope([]byte{1, envHasReq, 0xEE}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("decode of kind byte 0xEE: got %v", err)
+	}
+}
+
+// TestBinaryTruncationAndTrailingBytes hardens the payload parser: every
+// prefix of a valid payload must error (not panic), and trailing garbage
+// after a complete envelope is an error, not silently ignored.
+func TestBinaryTruncationAndTrailingBytes(t *testing.T) {
+	payload, err := AppendEnvelope(nil, binBatchEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(payload); i++ {
+		if _, err := DecodeEnvelope(payload[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", i)
+		}
+	}
+	if _, err := DecodeEnvelope(append(bytes.Clone(payload), 0xAB)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestBinaryResponseRoundTrips exercises every response payload arm,
+// including a batch with a nil sub and a stats map.
+func TestBinaryResponseRoundTrips(t *testing.T) {
+	envs := []*Envelope{
+		{Seq: 1, IsResponse: true, Resp: &Response{
+			Status: StatusOK,
+			Read: &ReadResponse{
+				Value:   store.Tuple{store.Int64(-3), store.String("x"), nil, store.Bytes{1, 2}},
+				Version: 41,
+				Invalid: []store.ObjectID{store.ID("acct", 2)},
+				Stats:   map[store.ObjectID]float64{store.ID("acct", 2): 0.25, store.ID("acct", 9): 3.5},
+			},
+		}},
+		{Seq: 2, IsResponse: true, Resp: &Response{
+			Status:  StatusBusy,
+			Detail:  "lock held",
+			Prepare: &PrepareResponse{Vote: true, Busy: []store.ObjectID{store.ID("acct", 1)}},
+		}},
+		{Seq: 3, IsResponse: true, Resp: &Response{
+			Status: StatusOK,
+			Batch: &BatchResponse{Subs: []*Response{
+				{Status: StatusOK, Read: &ReadResponse{Value: store.Float64(math.Inf(1)), Version: 9}},
+				{Status: StatusNotFound, Detail: "gone"},
+			}},
+		}},
+		{Seq: 4, IsResponse: true, Resp: &Response{
+			Status: StatusOK,
+			Sync:   &SyncResponse{Objects: []store.WriteDesc{{ID: store.ID("a", 0), Value: store.Int64(5), NewVersion: 2, Block: -1}}},
+		}},
+		{Seq: 5, Cancel: true},
+	}
+	for _, env := range envs {
+		for _, codec := range Codecs() {
+			var buf bytes.Buffer
+			if err := codec.NewEncoder(&buf, false).Encode(env); err != nil {
+				t.Fatalf("%s seq=%d: %v", codec.Name(), env.Seq, err)
+			}
+			got, err := codec.NewDecoder(&buf).Decode()
+			if err != nil {
+				t.Fatalf("%s seq=%d: %v", codec.Name(), env.Seq, err)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Fatalf("%s seq=%d mutated:\n got %+v\nwant %+v", codec.Name(), env.Seq, got, env)
+			}
+		}
+	}
+
+	// A nil sub inside a batch is binary-only: gob cannot encode a nil
+	// pointer in a slice at all, so only the binary layout (per-sub
+	// presence byte) preserves it.
+	nilSub := &Envelope{Seq: 6, IsResponse: true, Resp: &Response{
+		Status: StatusOK,
+		Batch:  &BatchResponse{Subs: []*Response{nil, {Status: StatusOK}}},
+	}}
+	var buf bytes.Buffer
+	if err := Binary.NewEncoder(&buf, false).Encode(nilSub); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Binary.NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, nilSub) {
+		t.Fatalf("nil batch sub mutated:\n got %+v\nwant %+v", got, nilSub)
+	}
+}
+
+// binTestValue is a workload-defined Value type exercising the gob escape
+// hatch (tag 255) for types the binary codec has no fixed tag for.
+type binTestValue struct{ N int64 }
+
+func (v binTestValue) CloneValue() store.Value { return v }
+
+// TestBinaryCustomValueFallback pins that RegisterValue-registered types
+// survive the binary codec via the inline gob blob.
+func TestBinaryCustomValueFallback(t *testing.T) {
+	RegisterValue(binTestValue{})
+	env := &Envelope{Seq: 6, Req: &Request{
+		Kind:   KindRepair,
+		Repair: &RepairRequest{Object: store.ID("acct", 1), Value: binTestValue{N: 77}, Version: 3},
+	}}
+	var buf bytes.Buffer
+	if err := Binary.NewEncoder(&buf, false).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Binary.NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Fatalf("custom value mutated:\n got %+v\nwant %+v", got, env)
+	}
+}
+
+// TestBinaryEmptySlicesDecodeNil pins the gob-compatible omit-empty
+// semantics: zero-length slices and maps come back nil, so DeepEqual
+// comparisons against gob-decoded envelopes hold.
+func TestBinaryEmptySlicesDecodeNil(t *testing.T) {
+	env := &Envelope{Seq: 9, Req: &Request{
+		Kind: KindRead,
+		Read: &ReadRequest{Object: "a", Validate: []store.ReadDesc{}, StatsFor: []store.ObjectID{}},
+	}}
+	var buf bytes.Buffer
+	if err := Binary.NewEncoder(&buf, false).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Binary.NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Req.Read.Validate != nil || got.Req.Read.StatsFor != nil {
+		t.Fatalf("empty slices decoded non-nil: %+v", got.Req.Read)
+	}
+}
+
+// TestBinaryEncodeAllocs is the allocation pin from the issue's acceptance
+// criteria: steady-state binary encode of KindRead and KindBatch envelopes
+// performs ZERO heap allocations. The encoder's scratch buffer and the
+// destination buffer are warmed by one throwaway encode, mirroring a
+// long-lived per-connection encoder.
+func TestBinaryEncodeAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		env  *Envelope
+	}{
+		{"KindRead", binReadEnv()},
+		{"KindBatch", binBatchEnv()},
+	} {
+		var sink bytes.Buffer
+		enc := NewBinaryEncoder(&sink, false)
+		if err := enc.Encode(tc.env); err != nil { // warm scratch + sink
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			sink.Reset()
+			if err := enc.Encode(tc.env); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("binary encode of %s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestBinaryDecodeAllocsBounded keeps decode honest: it must allocate the
+// result graph and nothing else. The bound is the fixture's object count
+// plus small parser slack — a regression to per-field boxing (gob's
+// behavior) blows well past it.
+func TestBinaryDecodeAllocsBounded(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBinaryEncoder(&buf, false).Encode(binReadEnv()); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	dec := NewBinaryDecoder(bytes.NewReader(frame))
+	if _, err := dec.Decode(); err != nil { // warm the frame buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dec.r = bytes.NewReader(frame)
+		if _, err := dec.Decode(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Envelope, Request, ReadRequest, two slices, a few strings, plus the
+	// reset reader: ~12 objects. Gob burns hundreds here.
+	if allocs > 16 {
+		t.Errorf("binary decode of KindRead: %.1f allocs/op, want <= 16", allocs)
+	}
+}
+
+// Benchmarks: gob vs binary on the two hot-path shapes. Run with -bench to
+// compare; CI's codec A/B job measures the end-to-end effect instead.
+func benchmarkEncode(b *testing.B, codec Codec, env *Envelope) {
+	var sink bytes.Buffer
+	enc := codec.NewEncoder(&sink, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := enc.Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkDecode(b *testing.B, codec Codec, env *Envelope) {
+	// One long stream of identical frames so persistent-codec state (gob
+	// type metadata) is paid once, as on a real connection.
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(&buf, false)
+	const frames = 512
+	for i := 0; i < frames; i++ {
+		if err := enc.Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stream := buf.Bytes()
+	r := bytes.NewReader(stream)
+	dec := codec.NewDecoder(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Len() == 0 {
+			r.Reset(stream)
+			if codec.Name() == "gob" {
+				// A gob stream cannot be re-entered mid-state; rebind.
+				dec = codec.NewDecoder(r)
+			}
+		}
+		if _, err := dec.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeReadGob(b *testing.B)     { benchmarkEncode(b, Gob, binReadEnv()) }
+func BenchmarkEncodeReadBinary(b *testing.B)  { benchmarkEncode(b, Binary, binReadEnv()) }
+func BenchmarkEncodeBatchGob(b *testing.B)    { benchmarkEncode(b, Gob, binBatchEnv()) }
+func BenchmarkEncodeBatchBinary(b *testing.B) { benchmarkEncode(b, Binary, binBatchEnv()) }
+func BenchmarkDecodeReadGob(b *testing.B)     { benchmarkDecode(b, Gob, binReadEnv()) }
+func BenchmarkDecodeReadBinary(b *testing.B)  { benchmarkDecode(b, Binary, binReadEnv()) }
+func BenchmarkDecodeBatchGob(b *testing.B)    { benchmarkDecode(b, Gob, binBatchEnv()) }
+func BenchmarkDecodeBatchBinary(b *testing.B) { benchmarkDecode(b, Binary, binBatchEnv()) }

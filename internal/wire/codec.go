@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// A Codec is one wire serialization format for Envelopes. Two are built in:
+//
+//   - Gob: the original reflection-driven encoding/gob stream codec. Type
+//     metadata is paid once per connection; every frame still pays gob's
+//     reflection walk and per-field allocations.
+//   - Binary: a hand-rolled, fixed-layout binary encoding (see binary.go)
+//     with CRC-32C-checked frames, append-only encoding into pooled buffers,
+//     and an allocation-free encode path for every message kind.
+//
+// Binary is the default. Gob stays behind this interface for one release as
+// a compatibility fallback and as the differential-fuzzing oracle
+// (FuzzCodecEquivalence asserts decode-equality between the two).
+type Codec interface {
+	// Name is the flag-friendly identifier ("gob", "binary").
+	Name() string
+	// ID is the negotiation byte sent after the preamble magic. IDs must be
+	// stable across releases: they are written to the wire.
+	ID() byte
+	// NewEncoder binds a stream encoder to w. Encoders are not safe for
+	// concurrent use; callers serialize writes (the transports' write loops
+	// already do).
+	NewEncoder(w io.Writer, compress bool) EnvelopeEncoder
+	// NewDecoder binds a stream decoder to r. Not safe for concurrent use.
+	NewDecoder(r io.Reader) EnvelopeDecoder
+}
+
+// EnvelopeEncoder writes envelopes to one stream, one frame per envelope.
+type EnvelopeEncoder interface {
+	Encode(env *Envelope) error
+}
+
+// EnvelopeDecoder reads envelopes written by the matching EnvelopeEncoder.
+type EnvelopeDecoder interface {
+	Decode() (*Envelope, error)
+}
+
+// The built-in codecs. DefaultCodec is what transports use when no codec is
+// chosen explicitly.
+var (
+	Gob          Codec = gobCodec{}
+	Binary       Codec = binaryCodec{}
+	DefaultCodec       = Binary
+)
+
+// Codecs lists the built-in codecs (differential tests iterate this).
+func Codecs() []Codec { return []Codec{Gob, Binary} }
+
+// CodecByName resolves a -codec flag value.
+func CodecByName(name string) (Codec, error) {
+	for _, c := range Codecs() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("wire: unknown codec %q (use gob or binary)", name)
+}
+
+// codecByID resolves a negotiation byte.
+func codecByID(id byte) (Codec, bool) {
+	for _, c := range Codecs() {
+		if c.ID() == id {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// gobCodec adapts the persistent gob stream codec (stream.go) to the Codec
+// interface.
+type gobCodec struct{}
+
+func (gobCodec) Name() string { return "gob" }
+func (gobCodec) ID() byte     { return 1 }
+func (gobCodec) NewEncoder(w io.Writer, compress bool) EnvelopeEncoder {
+	return NewStreamEncoder(w, compress)
+}
+func (gobCodec) NewDecoder(r io.Reader) EnvelopeDecoder { return NewStreamDecoder(r) }
+
+// Codec negotiation.
+//
+// A connection's codec is declared by the CLIENT in a preamble written
+// before its first frame, and the server answers in the same codec:
+//
+//	gob:    no preamble — the byte stream is exactly what pre-codec
+//	        releases produced, so old peers interoperate both ways.
+//	binary: two bytes [preambleMagic, codec ID], then binary frames.
+//
+// Detection is unambiguous because every legacy stream starts with a frame
+// header whose first byte is the top byte of a 4-byte big-endian length
+// bounded by MaxFrameSize (64 MiB): it is always <= 0x04, while
+// preambleMagic is 0xC6. A server therefore sniffs one byte: magic means
+// "read the codec ID and speak it back", anything else means gob. Mixed
+// clusters work during a rollout — upgraded servers accept both, and
+// clients pick per connection with -codec.
+const preambleMagic byte = 0xC6
+
+// WritePreamble declares codec c on a fresh connection. Gob writes nothing
+// (legacy compatibility); other codecs write [magic, id]. Call it before the
+// first Encode on the same writer.
+func WritePreamble(w io.Writer, c Codec) error {
+	if c.Name() == Gob.Name() {
+		return nil
+	}
+	_, err := w.Write([]byte{preambleMagic, c.ID()})
+	return err
+}
+
+// SniffCodec reads a connection's preamble and returns the negotiated codec
+// together with the reader to decode the rest of the stream from (for a
+// legacy gob stream the consumed byte is stitched back in front).
+func SniffCodec(r io.Reader) (Codec, io.Reader, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, nil, err
+	}
+	if first[0] != preambleMagic {
+		return Gob, &prefixedReader{prefix: first[0], hasPrefix: true, r: r}, nil
+	}
+	var id [1]byte
+	if _, err := io.ReadFull(r, id[:]); err != nil {
+		return nil, nil, err
+	}
+	c, ok := codecByID(id[0])
+	if !ok {
+		return nil, nil, fmt.Errorf("wire: peer negotiated unknown codec id %d", id[0])
+	}
+	return c, r, nil
+}
+
+// prefixedReader replays one sniffed byte ahead of the underlying stream.
+type prefixedReader struct {
+	prefix    byte
+	hasPrefix bool
+	r         io.Reader
+}
+
+func (p *prefixedReader) Read(b []byte) (int, error) {
+	if p.hasPrefix {
+		if len(b) == 0 {
+			return 0, nil
+		}
+		b[0] = p.prefix
+		p.hasPrefix = false
+		return 1, nil
+	}
+	return p.r.Read(b)
+}

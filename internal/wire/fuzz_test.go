@@ -2,7 +2,14 @@ package wire
 
 import (
 	"bytes"
+	"math"
+	"reflect"
+	"strings"
 	"testing"
+	"time"
+
+	"qracn/internal/store"
+	"qracn/internal/trace"
 )
 
 // FuzzReadFrame hardens the frame reader against malformed input: whatever
@@ -81,3 +88,199 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCodecEquivalence is the differential oracle from the codec migration:
+// any envelope the GOB codec can produce must survive the BINARY codec
+// byte-for-byte-equivalently (and the binary parser must never panic on
+// arbitrary frames). The fuzzer feeds raw bytes; whatever gob decodes out
+// of them becomes a test vector that is pushed through the negotiated
+// binary framing (preamble + SniffCodec) and compared structurally.
+//
+// Two codec-semantic differences are normalized before comparison rather
+// than papered over in the codecs themselves:
+//
+//   - time.Time: gob keeps the zone/monotonic envelope, binary keeps the
+//     UnixNano instant. Both sides collapse to time.Unix(0, UnixNano).UTC.
+//   - NaN: reflect.DeepEqual uses ==, under which NaN != NaN, so NaNs on
+//     both sides collapse to a sentinel.
+//
+// The one intentional behavioral difference is asserted, not skipped: the
+// binary encoder REJECTS kinds outside [0, numKinds), where gob would
+// happily carry garbage.
+func FuzzCodecEquivalence(f *testing.F) {
+	for _, req := range kindFixtures {
+		var buf bytes.Buffer
+		_ = Gob.NewEncoder(&buf, false).Encode(&Envelope{Seq: 3, Req: req})
+		f.Add(buf.Bytes())
+	}
+	var resp bytes.Buffer
+	_ = Gob.NewEncoder(&resp, false).Encode(&Envelope{
+		Seq: 4, IsResponse: true,
+		Resp: &Response{Status: StatusOK, Read: &ReadResponse{
+			Value: store.Tuple{store.Int64(1), store.Bytes("b")}, Version: 2,
+			Stats: map[store.ObjectID]float64{"a": 0.5},
+		}},
+	})
+	f.Add(resp.Bytes())
+	f.Add([]byte{0xC6, 2, 0, 0, 0, 2, 0, 0, 0, 0, 0, 1, 0}) // binary preamble + tiny frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Mutated gob streams can claim enormous lengths or degenerate type
+		// graphs that take seconds to reject; cap the input so throughput
+		// stays useful. Real envelopes in the corpus are ~2 KiB.
+		if len(data) > 8<<10 {
+			return
+		}
+		// Arbitrary bytes must never panic the binary stream decoder,
+		// with or without a negotiation preamble in front.
+		if c, r, err := SniffCodec(bytes.NewReader(data)); err == nil {
+			_, _ = c.NewDecoder(r).Decode()
+		}
+
+		env, err := Gob.NewDecoder(bytes.NewReader(data)).Decode()
+		if err != nil || env == nil {
+			return
+		}
+		// gob → binary direction, through the negotiated framing.
+		var pipe bytes.Buffer
+		if err := WritePreamble(&pipe, Binary); err != nil {
+			t.Fatal(err)
+		}
+		if err := Binary.NewEncoder(&pipe, false).Encode(env); err != nil {
+			if strings.Contains(err.Error(), "out-of-range kind") ||
+				strings.Contains(err.Error(), "nested deeper than") {
+				// Asserted differences: binary refuses garbage kinds and
+				// pathological nesting that gob happens to represent.
+				return
+			}
+			t.Fatalf("binary rejects gob-representable envelope: %v", err)
+		}
+		codec, r, err := SniffCodec(&pipe)
+		if err != nil || codec.Name() != Binary.Name() {
+			t.Fatalf("negotiation broke: codec=%v err=%v", codec, err)
+		}
+		binEnv, err := codec.NewDecoder(r).Decode()
+		if err != nil {
+			t.Fatalf("binary cannot re-decode its own frame: %v", err)
+		}
+
+		// binary → gob direction: the oracle re-encodes the same envelope;
+		// its round trip is the canonical form binary must match.
+		var gobPipe bytes.Buffer
+		if err := Gob.NewEncoder(&gobPipe, false).Encode(env); err != nil {
+			return // not canonically re-encodable (e.g. nil in slice)
+		}
+		canon, err := Gob.NewDecoder(&gobPipe).Decode()
+		if err != nil {
+			t.Fatalf("gob cannot re-decode its own frame: %v", err)
+		}
+
+		normalizeEnvelope(canon)
+		normalizeEnvelope(binEnv)
+		if !reflect.DeepEqual(canon, binEnv) {
+			t.Fatalf("codecs disagree:\n gob    %+v\n binary %+v", canon, binEnv)
+		}
+	})
+}
+
+// normalizeEnvelope collapses the two representation differences documented
+// on FuzzCodecEquivalence (time zones, NaN) in place.
+func normalizeEnvelope(env *Envelope) {
+	if env.Req != nil {
+		normalizeRequest(env.Req, 0)
+	}
+	if env.Resp != nil {
+		normalizeResponse(env.Resp, 0)
+	}
+}
+
+func normalizeRequest(r *Request, depth int) {
+	if r == nil || depth > maxBinaryDepth {
+		return
+	}
+	if r.Prepare != nil {
+		normalizeWrites(r.Prepare.Writes)
+	}
+	if r.Decision != nil {
+		normalizeWrites(r.Decision.Writes)
+	}
+	if r.Repair != nil {
+		r.Repair.Value = normalizeValue(r.Repair.Value, depth)
+	}
+	if r.Batch != nil {
+		for _, sub := range r.Batch.Subs {
+			normalizeRequest(sub, depth+1)
+		}
+	}
+}
+
+func normalizeResponse(r *Response, depth int) {
+	if r == nil || depth > maxBinaryDepth {
+		return
+	}
+	if r.Read != nil {
+		r.Read.Value = normalizeValue(r.Read.Value, depth)
+		normalizeLevels(r.Read.Stats)
+	}
+	if r.Stats != nil {
+		normalizeLevels(r.Stats.Levels)
+	}
+	if r.Sync != nil {
+		normalizeWrites(r.Sync.Objects)
+	}
+	if r.Batch != nil {
+		for _, sub := range r.Batch.Subs {
+			normalizeResponse(sub, depth+1)
+		}
+	}
+	if r.Trace != nil {
+		for i := range r.Trace.Spans {
+			s := &r.Trace.Spans[i]
+			s.Start = normalizeTime(s.Start)
+			s.End = normalizeTime(s.End)
+		}
+		for i := range r.Trace.Events {
+			r.Trace.Events[i].At = normalizeTime(r.Trace.Events[i].At)
+		}
+	}
+}
+
+func normalizeWrites(writes []store.WriteDesc) {
+	for i := range writes {
+		writes[i].Value = normalizeValue(writes[i].Value, 0)
+	}
+}
+
+func normalizeLevels(levels map[store.ObjectID]float64) {
+	for k, v := range levels {
+		if math.IsNaN(v) {
+			levels[k] = math.MaxFloat64
+		}
+	}
+}
+
+func normalizeValue(v store.Value, depth int) store.Value {
+	if depth > maxBinaryDepth {
+		return v
+	}
+	switch x := v.(type) {
+	case store.Float64:
+		if math.IsNaN(float64(x)) {
+			return store.Float64(math.MaxFloat64)
+		}
+	case store.Tuple:
+		for i := range x {
+			x[i] = normalizeValue(x[i], depth+1)
+		}
+	}
+	return v
+}
+
+func normalizeTime(t time.Time) time.Time {
+	if t.IsZero() {
+		return time.Time{}
+	}
+	return time.Unix(0, t.UnixNano()).UTC()
+}
+
+var _ = trace.KindRepair // keep the trace import when fixtures change

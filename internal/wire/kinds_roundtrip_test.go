@@ -71,9 +71,12 @@ var kindFixtures = map[Kind]*Request{
 	},
 }
 
-// TestEveryKindRoundTrips drives each request kind through the envelope
-// codec (gob + frame) both compressed and not, and checks the decoded
-// message is structurally identical.
+// TestEveryKindRoundTrips drives each request kind through EVERY registered
+// codec, both compressed and not, and checks the decoded message is
+// structurally identical. Because it iterates [0, numKinds) over Codecs(),
+// adding a new wire.Kind without a fixture — or without binary marshaling
+// support (the binary encoder rejects kinds it does not know) — fails here
+// for both codecs rather than silently falling back to gob.
 func TestEveryKindRoundTrips(t *testing.T) {
 	for k := Kind(0); k < numKinds; k++ {
 		req, ok := kindFixtures[k]
@@ -84,19 +87,21 @@ func TestEveryKindRoundTrips(t *testing.T) {
 		if req.Kind != k {
 			t.Fatalf("fixture for Kind %d (%s) declares Kind %d", k, k, req.Kind)
 		}
-		for _, compress := range []bool{false, true} {
-			var buf bytes.Buffer
-			env := &Envelope{Seq: uint64(k) + 1, Req: req}
-			if err := WriteEnvelope(&buf, env, compress); err != nil {
-				t.Fatalf("%s (compress=%v): write: %v", k, compress, err)
-			}
-			got, err := ReadEnvelope(&buf)
-			if err != nil {
-				t.Fatalf("%s (compress=%v): read: %v", k, compress, err)
-			}
-			if !reflect.DeepEqual(got, env) {
-				t.Fatalf("%s (compress=%v): round trip mutated the envelope:\n got %+v\nwant %+v",
-					k, compress, got, env)
+		for _, codec := range Codecs() {
+			for _, compress := range []bool{false, true} {
+				var buf bytes.Buffer
+				env := &Envelope{Seq: uint64(k) + 1, Req: req}
+				if err := codec.NewEncoder(&buf, compress).Encode(env); err != nil {
+					t.Fatalf("%s (%s, compress=%v): write: %v", k, codec.Name(), compress, err)
+				}
+				got, err := codec.NewDecoder(&buf).Decode()
+				if err != nil {
+					t.Fatalf("%s (%s, compress=%v): read: %v", k, codec.Name(), compress, err)
+				}
+				if !reflect.DeepEqual(got, env) {
+					t.Fatalf("%s (%s, compress=%v): round trip mutated the envelope:\n got %+v\nwant %+v",
+						k, codec.Name(), compress, got, env)
+				}
 			}
 		}
 	}
@@ -142,23 +147,25 @@ func TestTraceFetchResponseRoundTrips(t *testing.T) {
 			},
 		},
 	}
-	var buf bytes.Buffer
-	if err := WriteEnvelope(&buf, env, false); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadEnvelope(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gs := got.Resp.Trace.Spans[0]
-	if !gs.Start.Equal(start) || !gs.End.Equal(start.Add(42*time.Microsecond)) {
-		t.Fatalf("span times mutated: %+v", gs)
-	}
-	if gs.ID != 5 || gs.Parent != 3 || gs.Trace != "c1-t2-a0" {
-		t.Fatalf("span fields mutated: %+v", gs)
-	}
-	if got.Resp.Trace.Events[0].Kind != trace.KindRepair {
-		t.Fatalf("event mutated: %+v", got.Resp.Trace.Events[0])
+	for _, codec := range Codecs() {
+		var buf bytes.Buffer
+		if err := codec.NewEncoder(&buf, false).Encode(env); err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		got, err := codec.NewDecoder(&buf).Decode()
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		gs := got.Resp.Trace.Spans[0]
+		if !gs.Start.Equal(start) || !gs.End.Equal(start.Add(42*time.Microsecond)) {
+			t.Fatalf("%s: span times mutated: %+v", codec.Name(), gs)
+		}
+		if gs.ID != 5 || gs.Parent != 3 || gs.Trace != "c1-t2-a0" {
+			t.Fatalf("%s: span fields mutated: %+v", codec.Name(), gs)
+		}
+		if got.Resp.Trace.Events[0].Kind != trace.KindRepair {
+			t.Fatalf("%s: event mutated: %+v", codec.Name(), got.Resp.Trace.Events[0])
+		}
 	}
 }
 
