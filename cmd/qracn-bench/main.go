@@ -39,6 +39,8 @@ func main() {
 		jsonFile   = flag.String("json-out", "", "write the JSON results to this file (implies -json)")
 		noPrefetch = flag.Bool("no-prefetch", false, "disable the batched first-access read prefetch (A/B the RPC pipeline)")
 		noRepair   = flag.Bool("no-repair", false, "disable asynchronous read-repair of stale quorum members (A/B fault recovery)")
+		decideTO   = flag.Duration("decide-timeout", 0, "per-client budget for delivering a 2PC decision after a yes-vote quorum (0: 10s default)")
+		resolveAft = flag.Duration("resolve-after", 0, "run the nodes' cooperative termination loop with this in-doubt deadline (0: off)")
 		noWAL      = flag.Bool("no-wal", false, "run the nodes volatile (no commit log) — the pre-durability configuration")
 		walDir     = flag.String("wal-dir", "", "base directory for per-run commit logs (default: system temp)")
 		fsyncEvery = flag.Duration("fsync-interval", 0, "group-commit accumulation window (0: 2ms default; negative: fsync every append)")
@@ -83,6 +85,8 @@ func main() {
 		TraceSample:      *traceRate,
 		Codec:            codec,
 		WALFormat:        walFormat,
+		DecideTimeout:    *decideTO,
+		ResolveAfter:     *resolveAft,
 	}
 
 	modes, err := parseModes(*modesArg)

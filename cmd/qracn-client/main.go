@@ -53,6 +53,7 @@ func main() {
 		suspectAfter  = flag.Int("suspect-after", 3, "rapid RPC failures before a node is suspected and excluded from quorums")
 		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "how often one trial request probes a suspected node")
 		noRepair      = flag.Bool("no-repair", false, "disable asynchronous read-repair of stale quorum members")
+		decideTimeout = flag.Duration("decide-timeout", 0, "per-transaction budget for delivering the 2PC decision after a yes-vote quorum (0: 10s; keep below the nodes' -ttl-abort-after)")
 
 		traceCap    = flag.Int("trace", 0, "span/event ring size for distributed tracing; >0 turns tracing on")
 		traceSample = flag.Int("trace-sample", 1, "with tracing on, record spans for 1-in-N transactions (0/1: all, negative: events only)")
@@ -104,8 +105,9 @@ func main() {
 			SuspectAfter:  *suspectAfter,
 			ProbeInterval: *probeInterval,
 		}),
-		NoRepair:    *noRepair,
-		TraceSample: *traceSample,
+		NoRepair:      *noRepair,
+		TraceSample:   *traceSample,
+		DecideTimeout: *decideTimeout,
 	}
 	if *traceCap > 0 {
 		dcfg.Tracer = trace.New(*traceCap)

@@ -13,49 +13,119 @@ import (
 	"qracn/internal/wal"
 )
 
-// walMain implements `qracn-inspect wal [-records] <dir-or-segment>...`:
+// walMain implements
+// `qracn-inspect wal [-records] [-in-doubt] [-strict] <dir-or-segment>...`:
 // it scans snapshot and segment files, CRC-verifying every frame, and
 // prints record counts plus the maximum committed version per object key.
 // The exit status is 0 only if every file verified cleanly — a torn tail or
 // a corrupt frame exits 1, so the command doubles as an integrity check in
-// scripts.
+// scripts. -in-doubt reports every prepare record with no matching decision
+// (the transactions a crashed node would re-enter cooperative termination
+// for); with -strict a non-empty in-doubt set also exits 1, so operators can
+// refuse to retire a node whose log still holds undecided votes.
 func walMain(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("qracn-inspect wal", flag.ExitOnError)
 	records := fs.Bool("records", false, "dump every record (txid, block, key, version)")
+	inDoubt := fs.Bool("in-doubt", false, "report prepare records with no matching decision")
+	strict := fs.Bool("strict", false, "with -in-doubt, exit non-zero when any transaction is in doubt")
 	_ = fs.Parse(args)
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: qracn-inspect wal [-records] <wal-dir-or-segment>...")
+		fmt.Fprintln(os.Stderr, "usage: qracn-inspect wal [-records] [-in-doubt] [-strict] <wal-dir-or-segment>...")
 		return 2
 	}
 
 	exit := 0
 	for _, path := range fs.Args() {
-		if err := inspectWALPath(path, *records, out); err != nil {
+		doubt, err := inspectWALPath(path, *records, *inDoubt, out)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "qracn-inspect: %s: %v\n", path, err)
+			exit = 1
+		}
+		if *inDoubt && *strict && doubt > 0 {
+			fmt.Fprintf(os.Stderr, "qracn-inspect: %s: %d transactions in doubt\n", path, doubt)
 			exit = 1
 		}
 	}
 	return exit
 }
 
-func inspectWALPath(path string, dump bool, out io.Writer) error {
+// doubtScan accumulates the 2PC state of a log scan: which transaction ids
+// voted yes (prepare record seen) and which reached a decision. Order of
+// first sight is kept so the report is stable.
+type doubtScan struct {
+	prepares map[string]*wal.Record
+	decided  map[string]bool
+	order    []string
+}
+
+func newDoubtScan() *doubtScan {
+	return &doubtScan{prepares: map[string]*wal.Record{}, decided: map[string]bool{}}
+}
+
+func (d *doubtScan) observe(rec *wal.Record) {
+	switch rec.Type {
+	case wal.RecordPrepare:
+		if _, ok := d.prepares[rec.TxID]; !ok {
+			cp := *rec
+			d.prepares[rec.TxID] = &cp
+			d.order = append(d.order, rec.TxID)
+		}
+	case wal.RecordDecision:
+		d.decided[rec.TxID] = rec.Commit
+	}
+}
+
+// inDoubt returns the prepared-but-undecided transaction ids in first-seen
+// order.
+func (d *doubtScan) inDoubt() []string {
+	var out []string
+	for _, tx := range d.order {
+		if _, ok := d.decided[tx]; !ok {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+func (d *doubtScan) report(out io.Writer) int {
+	doubt := d.inDoubt()
+	if len(doubt) == 0 {
+		fmt.Fprintf(out, "in-doubt: none (%d prepares, all decided)\n", len(d.prepares))
+		return 0
+	}
+	fmt.Fprintf(out, "in-doubt: %d of %d prepared transactions have no decision:\n",
+		len(doubt), len(d.prepares))
+	for _, tx := range doubt {
+		rec := d.prepares[tx]
+		fmt.Fprintf(out, "  %-32s writes=%d release=%d quorum=%v\n",
+			tx, len(rec.Writes), len(rec.Release), rec.Quorum)
+	}
+	return len(doubt)
+}
+
+func inspectWALPath(path string, dump, reportDoubt bool, out io.Writer) (int, error) {
 	info, err := os.Stat(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	maxVer := map[store.ObjectID]uint64{}
+	scan := newDoubtScan()
 	var firstErr error
 	if !info.IsDir() {
-		if err := inspectSegment(path, dump, maxVer, out); err != nil {
+		if err := inspectSegment(path, dump, maxVer, scan, out); err != nil {
 			firstErr = err
 		}
 		printMaxVersions(maxVer, out)
-		return firstErr
+		doubt := 0
+		if reportDoubt {
+			doubt = scan.report(out)
+		}
+		return doubt, firstErr
 	}
 
 	snaps, err := wal.Snapshots(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for _, s := range snaps {
 		objs, format, err := wal.ReadSnapshotFormat(s)
@@ -75,30 +145,47 @@ func inspectWALPath(path string, dump bool, out io.Writer) error {
 	}
 	segs, err := wal.Segments(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(snaps) == 0 && len(segs) == 0 {
-		return fmt.Errorf("no snapshot or segment files")
+		return 0, fmt.Errorf("no snapshot or segment files")
 	}
 	for _, s := range segs {
-		if err := inspectSegment(s, dump, maxVer, out); err != nil && firstErr == nil {
+		if err := inspectSegment(s, dump, maxVer, scan, out); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	printMaxVersions(maxVer, out)
-	return firstErr
+	doubt := 0
+	if reportDoubt {
+		doubt = scan.report(out)
+	}
+	return doubt, firstErr
 }
 
-func inspectSegment(path string, dump bool, maxVer map[store.ObjectID]uint64, out io.Writer) error {
+func inspectSegment(path string, dump bool, maxVer map[store.ObjectID]uint64, scan *doubtScan, out io.Writer) error {
 	formats := map[wal.Format]int{}
 	n, err := wal.ScanSegmentFormats(path, func(rec *wal.Record, off int64, f wal.Format) error {
 		formats[f]++
+		scan.observe(rec)
 		if rec.Version > maxVer[rec.Key] {
 			maxVer[rec.Key] = rec.Version
 		}
 		if dump {
-			fmt.Fprintf(out, "  %08x [%s] tx=%s block=%d key=%s version=%d\n",
-				off, f, rec.TxID, rec.Block, rec.Key, rec.Version)
+			switch rec.Type {
+			case wal.RecordPrepare:
+				fmt.Fprintf(out, "  %08x [%s] prepare tx=%s writes=%d release=%d quorum=%v\n",
+					off, f, rec.TxID, len(rec.Writes), len(rec.Release), rec.Quorum)
+			case wal.RecordDecision:
+				outcome := "abort"
+				if rec.Commit {
+					outcome = "commit"
+				}
+				fmt.Fprintf(out, "  %08x [%s] decision tx=%s %s\n", off, f, rec.TxID, outcome)
+			default:
+				fmt.Fprintf(out, "  %08x [%s] tx=%s block=%d key=%s version=%d\n",
+					off, f, rec.TxID, rec.Block, rec.Key, rec.Version)
+			}
 		}
 		return nil
 	})

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/wal"
 )
@@ -161,5 +162,85 @@ func TestWalSubcommandBadRecordExitsNonZero(t *testing.T) {
 	// The intact prefix is still counted.
 	if !strings.Contains(got, "5 records") {
 		t.Fatalf("intact prefix not counted:\n%s", got)
+	}
+}
+
+// TestWalSubcommandInDoubtReport writes a log holding one decided and one
+// undecided 2PC vote and checks -in-doubt reports exactly the undecided one,
+// with -strict turning it into a non-zero exit.
+func TestWalSubcommandInDoubtReport(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep := func(tx string) wal.Record {
+		return wal.Record{
+			Type:    wal.RecordPrepare,
+			TxID:    tx,
+			Writes:  []store.WriteDesc{{ID: store.ID("acct", 0), Value: store.Int64(9), NewVersion: 2}},
+			Release: []store.ObjectID{store.ID("acct", 0)},
+			Quorum:  []quorum.NodeID{0, 1, 2},
+		}
+	}
+	for _, rec := range []wal.Record{
+		prep("decided-tx"),
+		{Type: wal.RecordDecision, TxID: "decided-tx", Commit: true},
+		prep("stranded-tx"),
+	} {
+		if err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if code := walMain([]string{"-in-doubt", "-records", dir}, &out); code != 0 {
+		t.Fatalf("exit %d without -strict\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"in-doubt: 1 of 2 prepared transactions",
+		"stranded-tx",
+		"quorum=[0 1 2]",
+		"prepare tx=decided-tx",
+		"decision tx=decided-tx commit",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "  decided-tx ") {
+		t.Fatalf("decided transaction listed as in doubt:\n%s", got)
+	}
+
+	out.Reset()
+	if code := walMain([]string{"-in-doubt", "-strict", dir}, &out); code == 0 {
+		t.Fatalf("-strict exited 0 with a stranded vote\n%s", out.String())
+	}
+
+	// A fully decided log is clean even under -strict.
+	clean := t.TempDir()
+	log2, _, err := wal.Open(clean, wal.Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Append(prep("ok-tx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Append(wal.Record{Type: wal.RecordDecision, TxID: "ok-tx"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := walMain([]string{"-in-doubt", "-strict", clean}, &out); code != 0 {
+		t.Fatalf("exit %d on a fully decided log\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "in-doubt: none (1 prepares, all decided)") {
+		t.Fatalf("clean in-doubt summary missing:\n%s", out.String())
 	}
 }

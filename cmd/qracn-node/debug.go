@@ -54,6 +54,15 @@ func nodeExposition(node *server.Node) *metrics.Exposition {
 		recovering = 1
 	}
 	e.Gauge("qracn_node_recovering", "1 while the node is replaying its log and refusing work.", recovering)
+	rs := node.ResolutionStats()
+	e.Gauge("qracn_node_in_doubt", "Yes votes currently awaiting a 2PC decision (in-doubt table size).", float64(rs.InDoubt))
+	e.Counter("qracn_resolution_recovered_in_doubt_total", "In-doubt votes rebuilt from the WAL at restart.", rs.RecoveredInDoubt)
+	e.Counter("qracn_resolution_coordinator_decided_total", "Overdue votes the coordinator still decided before a peer did.", rs.CoordinatorDecided)
+	e.Counter("qracn_resolution_peer_commits_total", "In-doubt votes committed from a quorum peer's decision.", rs.PeerCommits)
+	e.Counter("qracn_resolution_peer_aborts_total", "In-doubt votes aborted from a quorum peer's answer.", rs.PeerAborts)
+	e.Counter("qracn_resolution_ttl_aborts_total", "In-doubt votes aborted by the last-resort TTL after a complete all-in-doubt peer round.", rs.TTLAborts)
+	e.Counter("qracn_resolution_status_queries_total", "KindTxStatus queries this node sent while resolving.", rs.StatusQueries)
+	e.Counter("qracn_resolution_forwards_total", "Decisions this node forwarded to still-in-doubt peers.", rs.ResolveForwards)
 	if w := node.WAL(); w != nil {
 		ws := w.Stats()
 		e.Counter("qracn_wal_appends_total", "Commit-log append calls (one per durable decision).", ws.Appends)

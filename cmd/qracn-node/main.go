@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +53,9 @@ func main() {
 		traceCap    = flag.Int("trace", 0, "span/event ring size for distributed tracing; >0 turns tracing on (spans fetchable via qracn-inspect trace)")
 		debugAddr   = flag.String("debug-addr", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof (empty disables)")
 		codecName   = flag.String("codec", wal.FormatDefault.String(), "WAL record encoding for new writes: binary or gob (replay auto-detects; the wire codec is negotiated per connection by each client)")
+		resolveAft  = flag.Duration("resolve-after", 0, "how long a yes vote may sit undecided before this node queries its quorum peers for the outcome (0: 5s default)")
+		ttlAbort    = flag.Duration("ttl-abort-after", 0, "last-resort abort deadline when a complete peer round finds every participant equally in doubt (0: 60s default; must exceed the clients' -decide-timeout)")
+		peersArg    = flag.String("peers", "", "comma-separated addresses of ALL nodes in tree order (node 0 first, this node included); enables the background cooperative-termination resolver")
 	)
 	flag.Parse()
 
@@ -65,6 +69,8 @@ func main() {
 	scfg := server.Config{
 		StatsWindow:   *statsWindow,
 		SnapshotEvery: *snapEvery,
+		ResolveAfter:  *resolveAft,
+		TTLAbortAfter: *ttlAbort,
 	}
 	if *traceCap > 0 {
 		scfg.Tracer = trace.New(*traceCap)
@@ -109,10 +115,28 @@ func main() {
 		fmt.Printf("qracn-node %d serving on %s (stats window %v, volatile)\n", *id, addr, *statsWindow)
 	}
 
+	var peerClient *transport.TCPClient
+	if *peersArg != "" {
+		// The resolver queries quorum peers over its own TCP client, so
+		// votes stranded by a crashed coordinator terminate without waiting
+		// for protection leases to lapse.
+		addrs := map[quorum.NodeID]string{}
+		for i, a := range strings.Split(*peersArg, ",") {
+			addrs[quorum.NodeID(i)] = strings.TrimSpace(a)
+		}
+		peerClient = transport.NewTCPClient(addrs, *compress)
+		node.StartResolver(peerClient, 0)
+		fmt.Printf("cooperative termination resolver on (%d peers)\n", len(addrs))
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	node.StopResolver()
+	if peerClient != nil {
+		peerClient.Close()
+	}
 	srv.Close()
 	if w := node.WAL(); w != nil {
 		if err := node.Checkpoint(); err != nil {

@@ -56,6 +56,14 @@ type Config struct {
 	// many events and spans, so traced transactions get server-side serve
 	// spans and Cluster.Spans can reassemble cross-node timelines.
 	TraceCapacity int
+	// ResolveAfter is how long a participant's yes vote may sit undecided
+	// before it starts querying its quorum peers for the outcome
+	// (0: server default 5s; tests use milliseconds).
+	ResolveAfter time.Duration
+	// TTLAbortAfter is the last-resort in-doubt abort deadline once a
+	// complete peer round finds everyone equally undecided (0: server
+	// default 60s). Must exceed the coordinators' decide budget.
+	TTLAbortAfter time.Duration
 }
 
 // Cluster is a running in-process deployment.
@@ -63,6 +71,10 @@ type Cluster struct {
 	Tree  *quorum.Tree
 	Net   *transport.ChannelNetwork
 	Nodes []*server.Node
+
+	cfg          Config // retained for CrashRestart node rebuilds
+	resolversOn  bool
+	resolverPoll time.Duration
 }
 
 // New builds and starts a cluster. See NewDurable for the error-returning
@@ -86,38 +98,85 @@ func NewDurable(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		Tree: quorum.NewTree(cfg.Servers, cfg.Degree),
 		Net:  transport.NewChannelNetwork(cfg.Network),
+		cfg:  cfg,
 	}
 	for i := 0; i < cfg.Servers; i++ {
-		scfg := server.Config{
-			StatsWindow:   cfg.StatsWindow,
-			Now:           cfg.Now,
-			SnapshotEvery: cfg.SnapshotEvery,
-		}
-		if cfg.TraceCapacity > 0 {
-			scfg.Tracer = trace.New(cfg.TraceCapacity)
-		}
-		var rec *wal.Recovered
-		if cfg.WALDir != "" {
-			dir := filepath.Join(cfg.WALDir, fmt.Sprintf("node-%d", i))
-			log, r, err := wal.Open(dir, wal.Options{FsyncInterval: cfg.FsyncInterval, Format: cfg.WALFormat})
-			if err != nil {
-				c.Close()
-				return nil, fmt.Errorf("cluster: node %d wal: %w", i, err)
-			}
-			scfg.WAL = log
-			rec = r
-		}
-		n := server.NewNode(quorum.NodeID(i), scfg)
-		if rec != nil {
-			n.Store().Restore(rec.Objects)
-		}
-		if cfg.ProtectTTL > 0 {
-			n.Store().SetProtectTTL(cfg.ProtectTTL, cfg.Now)
+		n, err := c.buildNode(quorum.NodeID(i))
+		if err != nil {
+			c.Close()
+			return nil, err
 		}
 		c.Nodes = append(c.Nodes, n)
 		c.Net.Register(n.ID(), n.Handle)
 	}
 	return c, nil
+}
+
+// buildNode constructs one quorum node per the cluster config, opening and
+// replaying its WAL on a durable cluster (used at startup and by
+// CrashRestart).
+func (c *Cluster) buildNode(id quorum.NodeID) (*server.Node, error) {
+	cfg := c.cfg
+	scfg := server.Config{
+		StatsWindow:   cfg.StatsWindow,
+		Now:           cfg.Now,
+		SnapshotEvery: cfg.SnapshotEvery,
+		ResolveAfter:  cfg.ResolveAfter,
+		TTLAbortAfter: cfg.TTLAbortAfter,
+	}
+	if cfg.TraceCapacity > 0 {
+		scfg.Tracer = trace.New(cfg.TraceCapacity)
+	}
+	var rec *wal.Recovered
+	if cfg.WALDir != "" {
+		dir := filepath.Join(cfg.WALDir, fmt.Sprintf("node-%d", id))
+		log, r, err := wal.Open(dir, wal.Options{FsyncInterval: cfg.FsyncInterval, Format: cfg.WALFormat})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d wal: %w", id, err)
+		}
+		scfg.WAL = log
+		rec = r
+	}
+	n := server.NewNode(id, scfg)
+	if rec != nil {
+		// FinishRecovery rather than a bare Restore: in-doubt prepares
+		// re-enter the termination protocol with their protections, and
+		// recovered decisions answer peers' status queries.
+		n.FinishRecovery(rec)
+	}
+	if cfg.ProtectTTL > 0 {
+		n.Store().SetProtectTTL(cfg.ProtectTTL, cfg.Now)
+	}
+	return n, nil
+}
+
+// CrashRestart simulates a participant process crash and cold restart on a
+// durable channel cluster: the node's WAL is crashed (the unsynced tail is
+// lost, exactly what a power cut leaves), a fresh node replays snapshot and
+// log — rebuilding its in-doubt table — and swaps into the network in place
+// of the old one. Fails on a volatile cluster, which has nothing to recover
+// from.
+func (c *Cluster) CrashRestart(id quorum.NodeID) error {
+	if c.cfg.WALDir == "" {
+		return fmt.Errorf("cluster: CrashRestart needs a durable cluster (WALDir)")
+	}
+	old := c.Nodes[id]
+	old.StopResolver()
+	c.Net.SetDown(id, true)
+	if w := old.WAL(); w != nil {
+		w.Crash()
+	}
+	n, err := c.buildNode(id)
+	if err != nil {
+		return err
+	}
+	c.Nodes[id] = n
+	c.Net.Register(id, n.Handle)
+	c.Net.SetDown(id, false)
+	if c.resolversOn {
+		n.StartResolver(c.Net, c.resolverPoll)
+	}
+	return nil
 }
 
 // Seed installs the same objects on every replica (full replication).
@@ -167,8 +226,32 @@ func (c *Cluster) Kill(id quorum.NodeID) { c.Net.SetDown(id, true) }
 // partition heal rather than a cold restart).
 func (c *Cluster) Revive(id quorum.NodeID) { c.Net.SetDown(id, false) }
 
+// StartResolvers launches every node's background termination loop over the
+// cluster network, so participants stranded in-doubt by a dead coordinator
+// resolve among themselves. Close stops them.
+func (c *Cluster) StartResolvers(pollEvery time.Duration) {
+	c.resolversOn, c.resolverPoll = true, pollEvery
+	for _, n := range c.Nodes {
+		n.StartResolver(c.Net, pollEvery)
+	}
+}
+
+// ResolveAll drives one synchronous termination pass on every node (tests;
+// deterministic alternative to StartResolvers). It returns the total number
+// of in-doubt transactions resolved.
+func (c *Cluster) ResolveAll(ctx context.Context) int {
+	resolved := 0
+	for _, n := range c.Nodes {
+		resolved += n.ResolveNow(ctx, c.Net)
+	}
+	return resolved
+}
+
 // Close shuts the network down and cleanly closes any commit logs.
 func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.StopResolver()
+	}
 	c.Net.Close()
 	for _, n := range c.Nodes {
 		if w := n.WAL(); w != nil {
@@ -185,6 +268,26 @@ func (c *Cluster) WALStats() dtm.WALStats {
 		if w := n.WAL(); w != nil {
 			out.Add(walStatsFor(w))
 		}
+	}
+	return out
+}
+
+// Resolution sums the termination-protocol counters across all nodes (the
+// InDoubt field is the cluster-wide count of currently undecided votes).
+func (c *Cluster) Resolution() dtm.ResolutionStats {
+	var out dtm.ResolutionStats
+	for _, n := range c.Nodes {
+		s := n.ResolutionStats()
+		out.Add(dtm.ResolutionStats{
+			InDoubt:            s.InDoubt,
+			RecoveredInDoubt:   s.RecoveredInDoubt,
+			CoordinatorDecided: s.CoordinatorDecided,
+			PeerCommits:        s.PeerCommits,
+			PeerAborts:         s.PeerAborts,
+			TTLAborts:          s.TTLAborts,
+			StatusQueries:      s.StatusQueries,
+			ResolveForwards:    s.ResolveForwards,
+		})
 	}
 	return out
 }

@@ -47,6 +47,13 @@ type TCPConfig struct {
 	Codec wire.Codec
 	// WALFormat selects the commit-log record encoding (default binary).
 	WALFormat wal.Format
+	// ResolveAfter is how long a participant's yes vote may sit undecided
+	// before it queries its quorum peers for the outcome (0: server
+	// default 5s).
+	ResolveAfter time.Duration
+	// TTLAbortAfter is the last-resort in-doubt abort deadline (0: server
+	// default 60s). Must exceed the coordinators' decide budget.
+	TTLAbortAfter time.Duration
 }
 
 // TCPCluster is a multi-listener deployment on the loopback interface: the
@@ -70,9 +77,13 @@ type TCPCluster struct {
 	snapshotEvery int
 	codec         wire.Codec
 	walFormat     wal.Format
+	resolveAfter  time.Duration
+	ttlAbortAfter time.Duration
 
-	mu      sync.Mutex
-	clients []*transport.TCPClient
+	mu           sync.Mutex
+	clients      []*transport.TCPClient
+	resolversOn  bool
+	resolverPoll time.Duration
 }
 
 // Durable reports whether the cluster's nodes write commit logs.
@@ -89,6 +100,8 @@ func (c *TCPCluster) newNode(id quorum.NodeID, log *wal.Log) *server.Node {
 		Now:           c.now,
 		WAL:           log,
 		SnapshotEvery: c.snapshotEvery,
+		ResolveAfter:  c.resolveAfter,
+		TTLAbortAfter: c.ttlAbortAfter,
 	})
 	if c.protectTTL > 0 {
 		n.Store().SetProtectTTL(c.protectTTL, c.now)
@@ -116,6 +129,8 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		snapshotEvery: cfg.SnapshotEvery,
 		codec:         cfg.Codec,
 		walFormat:     cfg.WALFormat,
+		resolveAfter:  cfg.ResolveAfter,
+		ttlAbortAfter: cfg.TTLAbortAfter,
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		id := quorum.NodeID(i)
@@ -129,8 +144,9 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 				return nil, fmt.Errorf("cluster: node %d wal: %w", i, err)
 			}
 			n := c.newNode(id, log)
-			// A pre-existing log (re-opened directory) seeds the replica.
-			n.Store().Restore(rec.Objects)
+			// A pre-existing log (re-opened directory) seeds the replica,
+			// including any in-doubt prepares and decided outcomes.
+			n.FinishRecovery(rec)
 			c.Nodes = append(c.Nodes, n)
 		} else {
 			c.Nodes = append(c.Nodes, c.newNode(id, nil))
@@ -198,10 +214,54 @@ func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 // flush — so only group-commit-synced (i.e. acknowledged) appends survive,
 // exactly what a real power cut leaves behind.
 func (c *TCPCluster) Kill(id quorum.NodeID) {
+	c.Nodes[id].StopResolver()
 	c.servers[id].Close()
 	if w := c.Nodes[id].WAL(); w != nil {
 		w.Crash()
 	}
+}
+
+// StartResolvers launches every node's background termination loop, each
+// over its own TCP peer client. Restarted nodes rejoin the protocol
+// automatically; Close stops the loops and their connections.
+func (c *TCPCluster) StartResolvers(pollEvery time.Duration) {
+	c.mu.Lock()
+	c.resolversOn, c.resolverPoll = true, pollEvery
+	c.mu.Unlock()
+	for _, n := range c.Nodes {
+		c.startNodeResolver(n)
+	}
+}
+
+func (c *TCPCluster) startNodeResolver(n *server.Node) {
+	client := transport.NewTCPClient(c.Addrs(), c.compress)
+	if c.codec != nil {
+		client.SetCodec(c.codec)
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, client)
+	poll := c.resolverPoll
+	c.mu.Unlock()
+	n.StartResolver(client, poll)
+}
+
+// Resolution sums the termination-protocol counters across all nodes.
+func (c *TCPCluster) Resolution() dtm.ResolutionStats {
+	var out dtm.ResolutionStats
+	for _, n := range c.Nodes {
+		s := n.ResolutionStats()
+		out.Add(dtm.ResolutionStats{
+			InDoubt:            s.InDoubt,
+			RecoveredInDoubt:   s.RecoveredInDoubt,
+			CoordinatorDecided: s.CoordinatorDecided,
+			PeerCommits:        s.PeerCommits,
+			PeerAborts:         s.PeerAborts,
+			TTLAborts:          s.TTLAborts,
+			StatusQueries:      s.StatusQueries,
+			ResolveForwards:    s.ResolveForwards,
+		})
+	}
+	return out
 }
 
 // Restart brings a killed node back on its original address.
@@ -235,6 +295,12 @@ func (c *TCPCluster) Restart(id quorum.NodeID, cold bool) error {
 		c.Nodes[id] = n
 		c.servers[id] = srv
 		c.addrs[id] = addr
+		c.mu.Lock()
+		on := c.resolversOn
+		c.mu.Unlock()
+		if on {
+			c.startNodeResolver(n)
+		}
 		return nil
 	}
 	if cold {
@@ -247,6 +313,12 @@ func (c *TCPCluster) Restart(id quorum.NodeID, cold bool) error {
 	}
 	c.servers[id] = srv
 	c.addrs[id] = addr
+	c.mu.Lock()
+	on := c.resolversOn
+	c.mu.Unlock()
+	if on {
+		c.startNodeResolver(c.Nodes[id])
+	}
 	return nil
 }
 
@@ -288,6 +360,9 @@ func (c *TCPCluster) Close() {
 	clients := c.clients
 	c.clients = nil
 	c.mu.Unlock()
+	for _, n := range c.Nodes {
+		n.StopResolver()
+	}
 	for _, cl := range clients {
 		cl.Close()
 	}

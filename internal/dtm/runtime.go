@@ -60,6 +60,12 @@ type Config struct {
 	BackoffMax  time.Duration
 	// RequestTimeout bounds one RPC (0: 5s).
 	RequestTimeout time.Duration
+	// DecideTimeout bounds delivery of a 2PC decision after a yes-vote
+	// quorum (0: 10s). Decision delivery runs on a context detached from
+	// the caller's so cancelling the transaction context cannot strand
+	// participants in-doubt; within this budget un-acked participants are
+	// retried with capped backoff.
+	DecideTimeout time.Duration
 
 	// StatsEveryNReads piggybacks a contention-stats query on every Nth
 	// remote read (0: never). StatsWanted supplies the object IDs to ask
@@ -122,6 +128,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DecideTimeout == 0 {
+		c.DecideTimeout = 10 * time.Second
 	}
 }
 

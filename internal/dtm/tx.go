@@ -553,16 +553,6 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 		release = append(release, r.ID)
 	}
 
-	prepare := &wire.Request{
-		Kind:    wire.KindPrepare,
-		TxID:    tx.id,
-		Prepare: &wire.PrepareRequest{Reads: reads, Writes: writes},
-	}
-	if tx.traceID != "" {
-		prepare.TraceID = tx.traceID
-		prepare.SpanID = tx.span
-	}
-
 	var lastErr error
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
@@ -573,6 +563,29 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 		wq, err := rt.selectWriteQuorum(tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
+		}
+		// Each prepare/decide round is its own 2PC incarnation with a
+		// unique transaction ID: participants durably promise or terminate
+		// per ID, so a round the coordinator abort-released must not share
+		// an ID with the failover round that follows it.
+		txid := tx.id
+		if attempt > 0 {
+			txid = fmt.Sprintf("%s-q%d", tx.id, attempt)
+		}
+		// A fresh request per attempt (never mutated after fanout): a
+		// timed-out call from the previous round may still be serializing
+		// the old one on an async transport. Each participant durably
+		// records the full quorum membership with its yes vote, so after a
+		// coordinator crash it knows which peers to ask for the decision
+		// (cooperative termination).
+		prepare := &wire.Request{
+			Kind:    wire.KindPrepare,
+			TxID:    txid,
+			Prepare: &wire.PrepareRequest{Reads: reads, Writes: writes, Quorum: wq},
+		}
+		if tx.traceID != "" {
+			prepare.TraceID = tx.traceID
+			prepare.SpanID = tx.span
 		}
 		rt.metrics.Prepares.Add(1)
 		prepStart := time.Now()
@@ -604,14 +617,14 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 		}
 
 		if yes == len(wq) {
-			rt.decide(ctx, wq, tx, true, writes, release)
+			rt.decide(ctx, wq, tx, txid, true, writes, release)
 			return nil
 		}
 
 		// Some participant said no or vanished: abort-release everywhere we
 		// might have left protections.
 		rt.metrics.PrepareFails.Add(1)
-		rt.decide(ctx, preparedOn, tx, false, nil, release)
+		rt.decide(ctx, preparedOn, tx, txid, false, nil, release)
 
 		if len(invalid) > 0 || len(busyIDs) > 0 {
 			return &AbortError{
@@ -683,15 +696,20 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 	return errors.Join(ErrQuorumUnreachable, lastErr)
 }
 
-// decide delivers the 2PC outcome to the participants (best effort; a
-// participant that misses the decision recovers via the protection lease).
-func (rt *Runtime) decide(ctx context.Context, nodes []quorum.NodeID, tx *Tx, commit bool, writes []store.WriteDesc, release []store.ObjectID) {
+// decide delivers the 2PC outcome to the participants. Once a yes-vote
+// quorum exists the decision is made, so delivery must not depend on the
+// caller still being interested: it runs on a context detached from ctx's
+// cancellation, bounded only by Config.DecideTimeout, and retries un-acked
+// participants with capped backoff. Participants that still miss the
+// decision (coordinator crash, partition outlasting the budget) resolve it
+// among themselves via the cooperative termination protocol.
+func (rt *Runtime) decide(ctx context.Context, nodes []quorum.NodeID, tx *Tx, txid string, commit bool, writes []store.WriteDesc, release []store.ObjectID) {
 	if len(nodes) == 0 {
 		return
 	}
 	req := &wire.Request{
 		Kind: wire.KindDecision,
-		TxID: tx.id,
+		TxID: txid,
 		Decision: &wire.DecisionRequest{
 			Commit:  commit,
 			Writes:  writes,
@@ -702,5 +720,26 @@ func (rt *Runtime) decide(ctx context.Context, nodes []quorum.NodeID, tx *Tx, co
 		req.TraceID = tx.traceID
 		req.SpanID = tx.span
 	}
-	rt.fanout(ctx, nodes, req)
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), rt.cfg.DecideTimeout)
+	defer cancel()
+	pending := nodes
+	for round := 0; ; round++ {
+		results := rt.fanout(dctx, pending, req)
+		var unacked []quorum.NodeID
+		for _, r := range results {
+			if r.err != nil || r.resp == nil || r.resp.Status != wire.StatusOK {
+				unacked = append(unacked, r.node)
+			}
+		}
+		if len(unacked) == 0 {
+			return
+		}
+		pending = unacked
+		rt.metrics.DecisionRetries.Add(1)
+		if err := rt.backoff(dctx, round); err != nil {
+			break // decision budget exhausted
+		}
+	}
+	rt.metrics.DecisionsDropped.Add(uint64(len(pending)))
+	rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "decision delivery abandoned")
 }

@@ -52,6 +52,9 @@ type exportedSeries struct {
 	FsyncWait     *exportedSummary `json:"fsync_wait,omitempty"`
 	// WAL is present only for durable runs.
 	WAL *exportedWAL `json:"wal,omitempty"`
+	// Resolution is present only when some vote entered cooperative
+	// termination during the run.
+	Resolution *exportedResolution `json:"resolution,omitempty"`
 }
 
 // exportedWAL is the stable JSON schema for the commit-log counters of a
@@ -66,6 +69,20 @@ type exportedWAL struct {
 	// FsyncsPerCommit is the group-commit amortization: physical syncs per
 	// logged decision (lower is better; 1.0 means no batching happened).
 	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+}
+
+// exportedResolution is the stable JSON schema for the termination-protocol
+// counters, summed across nodes: how many yes votes were stranded in doubt
+// and which path decided each of them.
+type exportedResolution struct {
+	InDoubt            uint64 `json:"in_doubt"`
+	RecoveredInDoubt   uint64 `json:"recovered_in_doubt"`
+	CoordinatorDecided uint64 `json:"coordinator_decided"`
+	PeerCommits        uint64 `json:"peer_commits"`
+	PeerAborts         uint64 `json:"peer_aborts"`
+	TTLAborts          uint64 `json:"ttl_aborts"`
+	StatusQueries      uint64 `json:"status_queries"`
+	ResolveForwards    uint64 `json:"resolve_forwards"`
 }
 
 // exportedResult is the stable JSON schema for one experiment.
@@ -127,6 +144,19 @@ func (r *Result) ExportJSON() ([]byte, error) {
 				Snapshots:       s.WAL.Snapshots,
 				SegmentsRemoved: s.WAL.SegmentsRemoved,
 				FsyncsPerCommit: float64(s.WAL.Fsyncs) / float64(s.WAL.Appends),
+			}
+		}
+		r := s.Resolution
+		if r.InDoubt+r.RecoveredInDoubt+r.CoordinatorDecided+r.PeerCommits+r.PeerAborts+r.TTLAborts+r.StatusQueries > 0 {
+			es.Resolution = &exportedResolution{
+				InDoubt:            r.InDoubt,
+				RecoveredInDoubt:   r.RecoveredInDoubt,
+				CoordinatorDecided: r.CoordinatorDecided,
+				PeerCommits:        r.PeerCommits,
+				PeerAborts:         r.PeerAborts,
+				TTLAborts:          r.TTLAborts,
+				StatusQueries:      r.StatusQueries,
+				ResolveForwards:    r.ResolveForwards,
 			}
 		}
 		out.Series = append(out.Series, es)

@@ -37,6 +37,11 @@ type Scale struct {
 	// stage latencies isolate protocol and marshaling cost).
 	NetLatency time.Duration
 	NetJitter  time.Duration
+	// DecideTimeout bounds each client's 2PC decision delivery;
+	// ResolveAfter (>0) runs the nodes' cooperative termination loop with
+	// that in-doubt deadline. Both zero by default.
+	DecideTimeout time.Duration
+	ResolveAfter  time.Duration
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -68,6 +73,8 @@ func (s Scale) apply(o Options) Options {
 	o.WALFormat = s.WALFormat
 	o.NetLatency = s.NetLatency
 	o.NetJitter = s.NetJitter
+	o.DecideTimeout = s.DecideTimeout
+	o.ResolveAfter = s.ResolveAfter
 	return o
 }
 

@@ -141,6 +141,13 @@ type Options struct {
 	// WALFormat selects the commit-log record encoding on durable runs
 	// (default binary).
 	WALFormat wal.Format
+	// DecideTimeout bounds each client's delivery of a 2PC decision after a
+	// yes-vote quorum (0: dtm default 10s).
+	DecideTimeout time.Duration
+	// ResolveAfter, when positive, starts every node's cooperative
+	// termination loop with this in-doubt deadline, so votes stranded by a
+	// fault-schedule kill resolve among the participants during the run.
+	ResolveAfter time.Duration
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -208,6 +215,10 @@ type Series struct {
 	// WAL aggregates the nodes' commit-log counters (zero unless the run
 	// was durable).
 	WAL dtm.WALStats
+	// Resolution aggregates the nodes' termination-protocol counters
+	// (in-doubt votes and how each was decided; all zero on a run where no
+	// coordinator died in-doubt).
+	Resolution dtm.ResolutionStats
 	// Stages summarizes the always-on client stage histograms (quorum read,
 	// prefetch batch, 2PC prepare, whole commit) merged across all clients.
 	Stages StageSummaries
@@ -285,6 +296,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		StatsWindow:   opts.IntervalLength,
 		ProtectTTL:    opts.ProtectTTL,
 		TraceCapacity: opts.TraceCapacity,
+		ResolveAfter:  opts.ResolveAfter,
 	}
 	if opts.Durable {
 		// A fresh directory per run: replaying a previous run's log would
@@ -305,6 +317,12 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 	}
 	defer c.Close()
 	c.Seed(w.SeedObjects())
+	if opts.ResolveAfter > 0 {
+		// Poll at the in-doubt deadline itself: harness runs are scaled to
+		// milliseconds, so the resolver default (seconds) would never fire
+		// inside the measurement window.
+		c.StartResolvers(opts.ResolveAfter)
+	}
 
 	applyFaults := func(interval int) {
 		for _, f := range opts.Faults {
@@ -329,11 +347,12 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 	for ci := range clients {
 		cs := &clientState{}
 		dcfg := dtm.Config{
-			Seed:        opts.Seed + int64(ci) + 1,
-			BackoffBase: 50 * time.Microsecond,
-			BackoffMax:  time.Millisecond,
-			NoRepair:    opts.NoRepair,
-			TraceSample: opts.TraceSample,
+			Seed:          opts.Seed + int64(ci) + 1,
+			BackoffBase:   50 * time.Microsecond,
+			BackoffMax:    time.Millisecond,
+			NoRepair:      opts.NoRepair,
+			TraceSample:   opts.TraceSample,
+			DecideTimeout: opts.DecideTimeout,
 		}
 		if opts.TraceCapacity > 0 {
 			dcfg.Tracer = trace.New(opts.TraceCapacity)
@@ -458,6 +477,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		MeanLatency:    latency.Mean(),
 		P99Latency:     latency.Quantile(0.99),
 		WAL:            c.WALStats(),
+		Resolution:     c.Resolution(),
 		FsyncWait:      c.FsyncWait().Summarize(),
 		DroppedCommits: meter.Dropped(),
 	}

@@ -1,0 +1,536 @@
+// In-doubt transaction tracking and the cooperative termination protocol.
+//
+// A participant that votes yes in 2PC hands control of the transaction's
+// outcome to the coordinator. Because the coordinator here is a client
+// process with no durable state, it can die between collecting the votes
+// and delivering the decision — leaving the participant holding protections
+// it must not release (the decision may be commit) and must not keep
+// forever (the decision may never arrive). This file makes that window
+// safe:
+//
+//   - the vote is durable: a prepare record (write set, release set, quorum
+//     membership) is WAL-logged before the yes vote is sent, and a decision
+//     record before the outcome is applied, so crash recovery rebuilds the
+//     in-doubt table instead of silently forgetting a promise;
+//   - the decision is discoverable: a participant in-doubt past the resolve
+//     deadline asks the other quorum members recorded in its prepare
+//     (KindTxStatus). Any peer that saw the decision answers
+//     authoritatively; a peer that never voted yes promises abort (it
+//     tombstones the transaction so a late prepare can no longer make the
+//     vote unanimous) and answers aborted; only a complete round in which
+//     every peer is equally in-doubt falls back to a TTL abort after
+//     TTLAbortAfter — a deadline that must exceed the coordinator's decide
+//     budget, because it is the coordinator's silence that makes the
+//     unanimous-in-doubt round proof that no commit was ever delivered.
+package server
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/trace"
+	"qracn/internal/transport"
+	"qracn/internal/wal"
+	"qracn/internal/wire"
+)
+
+// decidedCap bounds the decided-outcome memory: the node retains at least
+// the most recent decidedCap outcomes (two rotating generations, so at most
+// 2×decidedCap). Evicted outcomes degrade gracefully — a peer asking about
+// an evicted transaction gets an abort promise, which only matters if that
+// peer somehow stayed in-doubt for the whole retention of 64k decisions.
+const decidedCap = 1 << 16
+
+// inDoubtTx is one yes vote whose outcome this node has not yet learned.
+type inDoubtTx struct {
+	rec      wal.Record // the prepare record (Type == wal.RecordPrepare)
+	prepared time.Time
+	// overdue is set the first time the resolver examines the entry past
+	// the resolve deadline; a coordinator decision arriving after that
+	// counts as CoordinatorDecided in the resolution-outcome counters.
+	overdue bool
+}
+
+// resolutionCounters are the termination-protocol outcome counters
+// (atomics; see ResolutionStats for meanings).
+type resolutionCounters struct {
+	recoveredInDoubt   atomic.Uint64
+	coordinatorDecided atomic.Uint64
+	peerCommits        atomic.Uint64
+	peerAborts         atomic.Uint64
+	ttlAborts          atomic.Uint64
+	statusQueries      atomic.Uint64
+	resolveForwards    atomic.Uint64
+}
+
+// ResolutionStats is a point-in-time copy of the node's termination-protocol
+// counters. InDoubt is a gauge (current table size); the rest are
+// monotonic counters.
+type ResolutionStats struct {
+	InDoubt            uint64
+	RecoveredInDoubt   uint64
+	CoordinatorDecided uint64
+	PeerCommits        uint64
+	PeerAborts         uint64
+	TTLAborts          uint64
+	StatusQueries      uint64
+	ResolveForwards    uint64
+}
+
+// ResolutionStats copies the current termination-protocol counters.
+func (n *Node) ResolutionStats() ResolutionStats {
+	n.idMu.Lock()
+	gauge := uint64(len(n.inDoubt))
+	n.idMu.Unlock()
+	return ResolutionStats{
+		InDoubt:            gauge,
+		RecoveredInDoubt:   n.resCtr.recoveredInDoubt.Load(),
+		CoordinatorDecided: n.resCtr.coordinatorDecided.Load(),
+		PeerCommits:        n.resCtr.peerCommits.Load(),
+		PeerAborts:         n.resCtr.peerAborts.Load(),
+		TTLAborts:          n.resCtr.ttlAborts.Load(),
+		StatusQueries:      n.resCtr.statusQueries.Load(),
+		ResolveForwards:    n.resCtr.resolveForwards.Load(),
+	}
+}
+
+// InDoubt lists the transaction IDs currently in-doubt (sorted; for tests
+// and the debug endpoint).
+func (n *Node) InDoubt() []string {
+	n.idMu.Lock()
+	ids := make([]string, 0, len(n.inDoubt))
+	for tx := range n.inDoubt {
+		ids = append(ids, tx)
+	}
+	n.idMu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// sortRecordsByTxID orders re-appended prepare records deterministically.
+func sortRecordsByTxID(recs []wal.Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].TxID < recs[j].TxID })
+}
+
+// decidedLocked looks up a transaction's known outcome. Caller holds idMu.
+func (n *Node) decidedLocked(txID string) (commit, known bool) {
+	if c, ok := n.decidedCur[txID]; ok {
+		return c, true
+	}
+	if c, ok := n.decidedPrev[txID]; ok {
+		return c, true
+	}
+	return false, false
+}
+
+// setDecidedLocked records a transaction's outcome, rotating the bounded
+// generations when the current one fills. Caller holds idMu.
+func (n *Node) setDecidedLocked(txID string, commit bool) {
+	if len(n.decidedCur) >= decidedCap {
+		n.decidedPrev = n.decidedCur
+		n.decidedCur = make(map[string]bool, decidedCap/4)
+	}
+	n.decidedCur[txID] = commit
+}
+
+// registerPrepare durably records a yes vote before it is sent: the entry
+// goes into the in-doubt table, then the prepare record is appended and
+// fsynced. It fails when the transaction already has a known outcome (a
+// termination tombstone or a decision raced ahead of this prepare) or when
+// the WAL refuses the record — in both cases the caller must roll its
+// protections back and withhold the vote.
+func (n *Node) registerPrepare(rec wal.Record) error {
+	n.idMu.Lock()
+	if _, known := n.decidedLocked(rec.TxID); known {
+		n.idMu.Unlock()
+		return errTxTerminated
+	}
+	n.inDoubt[rec.TxID] = &inDoubtTx{rec: rec, prepared: n.now()}
+	n.idMu.Unlock()
+	if n.wal != nil {
+		if err := n.wal.Append(rec); err != nil {
+			n.idMu.Lock()
+			delete(n.inDoubt, rec.TxID)
+			n.idMu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// errTxTerminated marks a prepare refused because the transaction already
+// has a known outcome on this node.
+var errTxTerminated = &terminatedError{}
+
+type terminatedError struct{}
+
+func (*terminatedError) Error() string { return "transaction already terminated" }
+
+// decisionOutcome classifies how an in-doubt entry got resolved, for the
+// outcome counters.
+type decisionSource int
+
+const (
+	fromCoordinator decisionSource = iota
+	fromPeer
+	fromTTL
+)
+
+// applyDecision is the single path every 2PC outcome goes through —
+// coordinator decisions (KindDecision), peer-forwarded resolutions
+// (KindResolve), and local TTL aborts. It makes the decision durable
+// (writes + decision record in one group-commit batch), applies the writes,
+// releases the protections, retires the in-doubt entry, and records the
+// outcome for peers that may ask later. Duplicate deliveries are answered
+// OK without re-applying; a delivery that conflicts with a recorded outcome
+// is refused.
+func (n *Node) applyDecision(txID string, commit bool, writes []store.WriteDesc, release []store.ObjectID, src decisionSource, traceID string, serveID uint64) *wire.Response {
+	n.idMu.Lock()
+	if prev, known := n.decidedLocked(txID); known {
+		n.idMu.Unlock()
+		if prev != commit {
+			return &wire.Response{Status: wire.StatusError, Detail: "conflicting decision for terminated transaction"}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	}
+	entry := n.inDoubt[txID]
+	n.idMu.Unlock()
+	if entry != nil {
+		// The sender's release set is its own view; this node's prepare
+		// record knows exactly which protections it installed (replicas can
+		// differ on ErrNotFound reads). Unprotect is idempotent, so release
+		// the union.
+		release = append(append([]store.ObjectID(nil), release...), entry.rec.Release...)
+	}
+
+	if commit {
+		// Durability point: the whole write-set plus the decision record is
+		// appended and group-commit fsynced before any of it is applied or
+		// the decision acked. The shared commitMu keeps the append→apply
+		// window out of snapshots.
+		n.commitMu.RLock()
+		fsyncStart := time.Now()
+		err := n.logDecision(txID, true, writes)
+		if n.wal != nil {
+			wait := time.Since(fsyncStart)
+			n.stages.FsyncWait.Record(wait)
+			if traceID != "" && n.tracer.Enabled() {
+				n.tracer.Record(trace.KindWALFsync, txID, wait.String())
+				n.tracer.RecordSpan(trace.Span{
+					Trace: traceID, ID: trace.NextSpanID(), Parent: serveID,
+					Name: "wal-fsync", Site: n.site,
+					Start: fsyncStart, End: fsyncStart.Add(wait),
+				})
+			}
+		}
+		if err != nil {
+			n.commitMu.RUnlock()
+			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
+		}
+		for _, w := range writes {
+			if err := n.store.Apply(w, txID); err != nil {
+				n.commitMu.RUnlock()
+				return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
+			}
+			n.meter.RecordWrite(w.ID)
+		}
+		n.commitMu.RUnlock()
+	} else {
+		// An abort needs no writes, but the decision record still must be
+		// durable before the ack: replay would otherwise resurface the
+		// prepare as in-doubt and re-protect released objects.
+		n.commitMu.RLock()
+		err := n.logDecision(txID, false, nil)
+		n.commitMu.RUnlock()
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
+		}
+	}
+	for _, id := range release {
+		// Apply already released write objects; releasing an unprotected
+		// object is a no-op, and ErrNotOwner/ErrNotFound mean another
+		// transaction raced in after our release — nothing to do.
+		_ = n.store.Unprotect(id, txID)
+	}
+
+	n.idMu.Lock()
+	delete(n.inDoubt, txID)
+	n.setDecidedLocked(txID, commit)
+	n.idMu.Unlock()
+
+	switch {
+	case src == fromCoordinator && entry != nil && entry.overdue:
+		n.resCtr.coordinatorDecided.Add(1)
+	case src == fromPeer && commit:
+		n.resCtr.peerCommits.Add(1)
+	case src == fromPeer && !commit:
+		n.resCtr.peerAborts.Add(1)
+	case src == fromTTL:
+		n.resCtr.ttlAborts.Add(1)
+	}
+	return &wire.Response{Status: wire.StatusOK}
+}
+
+// logDecision batches a decision's writes and its decision record into one
+// Append (one group-commit wait for the whole transaction, and the torn-tail
+// ordering the recovery logic depends on: writes first, decision last, so a
+// tear can lose the decision but never produce a decision without its
+// writes).
+func (n *Node) logDecision(txID string, commit bool, writes []store.WriteDesc) error {
+	if n.wal == nil {
+		return nil
+	}
+	recs := make([]wal.Record, 0, len(writes)+1)
+	for _, w := range writes {
+		recs = append(recs, wal.Record{
+			TxID:    txID,
+			Block:   w.Block,
+			Key:     w.ID,
+			Version: w.NewVersion,
+			Value:   w.Value,
+		})
+	}
+	recs = append(recs, wal.Record{Type: wal.RecordDecision, TxID: txID, Commit: commit})
+	return n.wal.Append(recs...)
+}
+
+// handleTxStatus answers a peer's termination query. The answer is
+// authoritative by construction: a known outcome is returned as is, an
+// in-doubt entry is reported as such, and a transaction this node has no
+// record of is promised to abort — the tombstone (durable when the node has
+// a WAL) refuses any late prepare, so the unanimous yes vote the
+// coordinator would need can no longer form.
+func (n *Node) handleTxStatus(req *wire.Request) *wire.Response {
+	if req.TxStatus == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "tx-status request missing payload"}
+	}
+	n.idMu.Lock()
+	if commit, known := n.decidedLocked(req.TxID); known {
+		n.idMu.Unlock()
+		return txStateResponse(commit)
+	}
+	if _, ok := n.inDoubt[req.TxID]; ok {
+		n.idMu.Unlock()
+		return &wire.Response{Status: wire.StatusOK, TxStatus: &wire.TxStatusResponse{State: wire.TxStateInDoubt}}
+	}
+	n.setDecidedLocked(req.TxID, false)
+	n.idMu.Unlock()
+	if n.wal != nil {
+		// The abort promise must survive a crash: without it a restarted
+		// node could vote yes on a late prepare the asker already aborted
+		// against.
+		if err := n.wal.Append(wal.Record{Type: wal.RecordDecision, TxID: req.TxID}); err != nil {
+			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
+		}
+	}
+	return txStateResponse(false)
+}
+
+func txStateResponse(commit bool) *wire.Response {
+	st := wire.TxStateAborted
+	if commit {
+		st = wire.TxStateCommitted
+	}
+	return &wire.Response{Status: wire.StatusOK, TxStatus: &wire.TxStatusResponse{State: st}}
+}
+
+// handleResolve applies a decision forwarded by a quorum peer that resolved
+// the transaction (or learned the outcome directly). Idempotent with the
+// coordinator's own delivery.
+func (n *Node) handleResolve(req *wire.Request) *wire.Response {
+	r := req.Resolve
+	if r == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "resolve request missing payload"}
+	}
+	return n.applyDecision(req.TxID, r.Commit, r.Writes, r.Release, fromPeer, "", 0)
+}
+
+// StartResolver launches the background termination loop: every pollEvery
+// (default ResolveAfter/2) it runs one ResolveNow pass over the in-doubt
+// table using client to reach quorum peers. Stop it with StopResolver.
+func (n *Node) StartResolver(client transport.Client, pollEvery time.Duration) {
+	if pollEvery <= 0 {
+		pollEvery = n.resolveAfter / 2
+	}
+	if pollEvery <= 0 {
+		pollEvery = time.Second
+	}
+	n.resolverMu.Lock()
+	defer n.resolverMu.Unlock()
+	if n.resolverStop != nil {
+		return // already running
+	}
+	stop := make(chan struct{})
+	n.resolverStop = stop
+	go func() {
+		t := time.NewTicker(pollEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), pollEvery*4)
+				n.ResolveNow(ctx, client)
+				cancel()
+			}
+		}
+	}()
+}
+
+// StopResolver stops the background termination loop (no-op if not running).
+func (n *Node) StopResolver() {
+	n.resolverMu.Lock()
+	defer n.resolverMu.Unlock()
+	if n.resolverStop != nil {
+		close(n.resolverStop)
+		n.resolverStop = nil
+	}
+}
+
+// ResolveNow runs one cooperative-termination pass: every in-doubt entry
+// older than ResolveAfter refreshes its protections (so the store's lease
+// expiry cannot release objects out from under an undecided transaction)
+// and queries the quorum peers recorded in its prepare. It returns the
+// number of entries resolved this pass. Exported so tests can drive the
+// protocol deterministically without the background loop.
+func (n *Node) ResolveNow(ctx context.Context, client transport.Client) int {
+	now := n.now()
+	n.idMu.Lock()
+	due := make([]*inDoubtTx, 0, len(n.inDoubt))
+	for _, e := range n.inDoubt {
+		if now.Sub(e.prepared) >= n.resolveAfter {
+			e.overdue = true
+			due = append(due, e)
+		}
+	}
+	n.idMu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].rec.TxID < due[j].rec.TxID })
+
+	resolved := 0
+	for _, e := range due {
+		if ctx.Err() != nil {
+			break
+		}
+		if n.resolveOne(ctx, client, e, now) {
+			resolved++
+		}
+	}
+	return resolved
+}
+
+// resolveOne runs the termination protocol for a single in-doubt entry.
+func (n *Node) resolveOne(ctx context.Context, client transport.Client, e *inDoubtTx, now time.Time) bool {
+	txID := e.rec.TxID
+	// Keep the lease alive while undecided: re-protecting refreshes the
+	// protection timestamp, pausing the store's TTL release.
+	created := make(map[store.ObjectID]bool, len(e.rec.Writes))
+	for _, w := range e.rec.Writes {
+		created[w.ID] = true
+	}
+	for _, id := range e.rec.Release {
+		_ = n.store.Protect(id, txID, created[id])
+	}
+
+	peers := make([]quorum.NodeID, 0, len(e.rec.Quorum))
+	for _, p := range e.rec.Quorum {
+		if p != n.id {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return false // degenerate single-node quorum: only the coordinator can decide
+	}
+
+	// Query every peer in parallel; any single authoritative answer decides.
+	type answer struct {
+		peer  quorum.NodeID
+		state wire.TxState
+		ok    bool
+	}
+	answers := make([]answer, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p quorum.NodeID) {
+			defer wg.Done()
+			n.resCtr.statusQueries.Add(1)
+			resp, err := client.Call(ctx, p, &wire.Request{
+				Kind:     wire.KindTxStatus,
+				TxID:     txID,
+				TxStatus: &wire.TxStatusRequest{From: n.id},
+			})
+			if err != nil || resp == nil || resp.Status != wire.StatusOK || resp.TxStatus == nil {
+				answers[i] = answer{peer: p}
+				return
+			}
+			answers[i] = answer{peer: p, state: resp.TxStatus.State, ok: true}
+		}(i, p)
+	}
+	wg.Wait()
+
+	sawCommit, sawAbort := false, false
+	complete := true
+	var stillInDoubt []quorum.NodeID
+	for _, a := range answers {
+		if !a.ok {
+			complete = false
+			continue
+		}
+		switch a.state {
+		case wire.TxStateCommitted:
+			sawCommit = true
+		case wire.TxStateAborted:
+			sawAbort = true
+		case wire.TxStateInDoubt:
+			stillInDoubt = append(stillInDoubt, a.peer)
+		default: // TxStateUnknown should not occur (peers promise abort instead)
+			complete = false
+		}
+	}
+
+	// A commit answer wins over an abort answer: commit is only ever
+	// recorded after a unanimous yes vote and a delivered decision, whereas
+	// an abort can be a promise from a peer that merely evicted its memory
+	// of the transaction.
+	commit, decided := sawCommit, sawCommit || sawAbort
+
+	switch {
+	case decided:
+		if resp := n.applyDecision(txID, commit, e.rec.Writes, e.rec.Release, fromPeer, "", 0); resp.Status != wire.StatusOK {
+			return false
+		}
+	case complete && len(stillInDoubt) == len(peers) && now.Sub(e.prepared) >= n.ttlAbortAfter:
+		// Every quorum peer answered and all are equally in-doubt: no
+		// participant ever received a decision. Past the TTL deadline —
+		// which outlives the coordinator's decide budget — that silence
+		// proves no commit was delivered or ever will be, so abort.
+		if resp := n.applyDecision(txID, false, nil, e.rec.Release, fromTTL, "", 0); resp.Status != wire.StatusOK {
+			return false
+		}
+	default:
+		return false // unreachable peers or undecided round: retry next pass
+	}
+
+	// Forward the outcome to peers still in-doubt so they release without
+	// having to run their own round (idempotent if they already learned it).
+	fwd := &wire.Request{
+		Kind: wire.KindResolve,
+		TxID: txID,
+		Resolve: &wire.ResolveRequest{
+			Commit:  commit,
+			Writes:  e.rec.Writes,
+			Release: e.rec.Release,
+		},
+	}
+	for _, p := range stillInDoubt {
+		n.resCtr.resolveForwards.Add(1)
+		_, _ = client.Call(ctx, p, fwd)
+	}
+	return true
+}

@@ -60,6 +60,16 @@ type Config struct {
 	// request that carries a trace ID (plus protocol events like WAL-fsync
 	// waits). Untraced requests skip all span work.
 	Tracer *trace.Tracer
+	// ResolveAfter is how long a yes vote may sit undecided before the
+	// node starts the cooperative termination protocol — querying the
+	// quorum peers recorded in its prepare for the outcome (0: 5s).
+	ResolveAfter time.Duration
+	// TTLAbortAfter is the last-resort abort deadline for an in-doubt
+	// transaction when a complete status round finds every quorum peer
+	// equally in-doubt (0: 60s). It must exceed the coordinators' decide
+	// budget (dtm Config.DecideTimeout): the all-in-doubt round only proves
+	// no commit was delivered; the TTL is what proves none will be.
+	TTLAbortAfter time.Duration
 }
 
 // Node is one quorum server.
@@ -85,6 +95,21 @@ type Node struct {
 	// instead of reading pre-replay (stale or empty) state. Cleared by
 	// FinishRecovery once the WAL replay has been installed.
 	recovering atomic.Bool
+
+	// In-doubt 2PC state (indoubt.go): votes whose outcome this node has
+	// not yet learned, and the bounded memory of outcomes it has, for
+	// answering peers' termination queries.
+	idMu        sync.Mutex
+	inDoubt     map[string]*inDoubtTx
+	decidedCur  map[string]bool
+	decidedPrev map[string]bool
+	resCtr      resolutionCounters
+
+	now           func() time.Time
+	resolveAfter  time.Duration
+	ttlAbortAfter time.Duration
+	resolverMu    sync.Mutex
+	resolverStop  chan struct{}
 }
 
 // NewNode creates a node with an empty replica.
@@ -99,14 +124,30 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 	case cfg.SnapshotEvery < 0:
 		snapEvery = 0
 	}
+	if cfg.ResolveAfter <= 0 {
+		cfg.ResolveAfter = 5 * time.Second
+	}
+	if cfg.TTLAbortAfter <= 0 {
+		cfg.TTLAbortAfter = 60 * time.Second
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Node{
-		id:       id,
-		site:     fmt.Sprintf("node-%d", id),
-		store:    store.New(),
-		meter:    contention.NewMeter(cfg.StatsWindow, cfg.Now),
-		wal:      cfg.WAL,
-		snapEvry: snapEvery,
-		tracer:   cfg.Tracer,
+		id:            id,
+		site:          fmt.Sprintf("node-%d", id),
+		store:         store.New(),
+		meter:         contention.NewMeter(cfg.StatsWindow, cfg.Now),
+		wal:           cfg.WAL,
+		snapEvry:      snapEvery,
+		tracer:        cfg.Tracer,
+		inDoubt:       make(map[string]*inDoubtTx),
+		decidedCur:    make(map[string]bool),
+		decidedPrev:   make(map[string]bool),
+		now:           now,
+		resolveAfter:  cfg.ResolveAfter,
+		ttlAbortAfter: cfg.TTLAbortAfter,
 	}
 }
 
@@ -143,10 +184,34 @@ func (n *Node) AttachWAL(l *wal.Log) { n.wal = l }
 func (n *Node) BeginRecovery() { n.recovering.Store(true) }
 
 // FinishRecovery installs the WAL-recovered object state into the replica
-// and opens the node for service.
+// and opens the node for service. In-doubt prepares rebuilt from the log
+// re-enter the in-doubt table with their protections re-installed (the
+// in-memory locks died with the process, but the durable yes vote still
+// binds this node), and known outcomes seed the decided memory so peers'
+// termination queries get authoritative answers across the restart.
 func (n *Node) FinishRecovery(rec *wal.Recovered) {
 	if rec != nil {
 		n.store.Restore(rec.Objects)
+		n.idMu.Lock()
+		for tx, commit := range rec.Decided {
+			n.setDecidedLocked(tx, commit)
+		}
+		for _, p := range rec.InDoubt {
+			// The resolve clock restarts at recovery time: the coordinator
+			// gets a fresh window to deliver before peers are queried.
+			n.inDoubt[p.TxID] = &inDoubtTx{rec: p, prepared: n.now()}
+			n.resCtr.recoveredInDoubt.Add(1)
+		}
+		n.idMu.Unlock()
+		for _, p := range rec.InDoubt {
+			created := make(map[store.ObjectID]bool, len(p.Writes))
+			for _, w := range p.Writes {
+				created[w.ID] = true
+			}
+			for _, id := range p.Release {
+				_ = n.store.Protect(id, p.TxID, created[id])
+			}
+		}
 	}
 	n.recovering.Store(false)
 }
@@ -202,7 +267,26 @@ func (n *Node) Checkpoint() error {
 	for id, o := range snap {
 		objs = append(objs, store.WriteDesc{ID: id, Value: o.Value, NewVersion: o.Version})
 	}
-	return n.wal.Checkpoint(objs)
+	if err := n.wal.Checkpoint(objs); err != nil {
+		return err
+	}
+	// Compaction just dropped the segments holding any in-doubt prepare
+	// records; re-append them so a crash after this checkpoint still
+	// recovers the node's undecided yes votes. (Decided outcomes are
+	// compacted away — a peer asking about one after a post-checkpoint
+	// crash gets the abort promise, the residual window DESIGN.md §11
+	// documents.)
+	n.idMu.Lock()
+	preps := make([]wal.Record, 0, len(n.inDoubt))
+	for _, e := range n.inDoubt {
+		preps = append(preps, e.rec)
+	}
+	n.idMu.Unlock()
+	if len(preps) == 0 {
+		return nil
+	}
+	sortRecordsByTxID(preps)
+	return n.wal.Append(preps...)
 }
 
 // maybeCheckpoint runs an automatic checkpoint when enough records have
@@ -280,6 +364,10 @@ func (n *Node) dispatch(ctx context.Context, req *wire.Request, serveID uint64) 
 		resp := n.handleRepair(req)
 		n.stages.RepairApply.Record(time.Since(t0))
 		return resp
+	case wire.KindTxStatus:
+		return n.handleTxStatus(req)
+	case wire.KindResolve:
+		return n.handleResolve(req)
 	case wire.KindTraceFetch:
 		return n.handleTraceFetch(req)
 	case wire.KindBatch:
@@ -368,6 +456,25 @@ func (n *Node) handlePrepare(req *wire.Request) *wire.Response {
 			rollback()
 			return &wire.Response{Status: wire.StatusOK, Prepare: resp}
 		}
+		// Durability point of the vote: once "yes" leaves this node, the
+		// coordinator may commit on it — so the promise (write set, release
+		// set, quorum membership) must survive a crash first. A transaction
+		// the node already knows to be terminated (an abort promise made to
+		// a resolving peer, or a decision that outran this prepare) cannot
+		// be re-prepared.
+		if err := n.registerPrepare(wal.Record{
+			Type:    wal.RecordPrepare,
+			TxID:    req.TxID,
+			Writes:  p.Writes,
+			Release: protected,
+			Quorum:  p.Quorum,
+		}); err != nil {
+			rollback()
+			if errors.Is(err, errTxTerminated) {
+				return &wire.Response{Status: wire.StatusOK, Prepare: resp} // vote no
+			}
+			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error(), Prepare: resp}
+		}
 		resp.Vote = true
 		return &wire.Response{Status: wire.StatusOK, Prepare: resp}
 	}
@@ -381,57 +488,24 @@ func (n *Node) handlePrepare(req *wire.Request) *wire.Response {
 	return &wire.Response{Status: wire.StatusOK, Prepare: resp}
 }
 
-// handleDecision is 2PC phase two: apply the writes (counting each toward
-// the object's contention level) and release every protection the prepare
-// installed. serveID is the enclosing serve span (0 when untraced) so the
-// WAL-fsync wait can appear as a nested span.
+// handleDecision is 2PC phase two: make the outcome durable (a decision
+// record batched with the writes in one group-commit fsync), apply the
+// writes (counting each toward the object's contention level), release
+// every protection the prepare installed, and retire the in-doubt entry.
+// serveID is the enclosing serve span (0 when untraced) so the WAL-fsync
+// wait can appear as a nested span. Duplicate deliveries (a coordinator
+// retry racing a peer resolution) are idempotent; a delivery conflicting
+// with an already-recorded outcome is refused.
 func (n *Node) handleDecision(req *wire.Request, serveID uint64) *wire.Response {
 	d := req.Decision
 	if d == nil {
 		return &wire.Response{Status: wire.StatusError, Detail: "decision request missing payload"}
 	}
-	if d.Commit {
-		// Durability point: the whole write-set is appended and group-commit
-		// fsynced before any of it is applied or the decision acked. The
-		// shared commitMu keeps the append→apply window out of snapshots.
-		n.commitMu.RLock()
-		fsyncStart := time.Now()
-		err := n.logWrites(req.TxID, d.Writes)
-		if n.wal != nil && len(d.Writes) > 0 {
-			wait := time.Since(fsyncStart)
-			n.stages.FsyncWait.Record(wait)
-			if req.TraceID != "" && n.tracer.Enabled() {
-				n.tracer.Record(trace.KindWALFsync, req.TxID, wait.String())
-				n.tracer.RecordSpan(trace.Span{
-					Trace: req.TraceID, ID: trace.NextSpanID(), Parent: serveID,
-					Name: "wal-fsync", Site: n.site,
-					Start: fsyncStart, End: fsyncStart.Add(wait),
-				})
-			}
-		}
-		if err != nil {
-			n.commitMu.RUnlock()
-			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
-		}
-		for _, w := range d.Writes {
-			if err := n.store.Apply(w, req.TxID); err != nil {
-				n.commitMu.RUnlock()
-				return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
-			}
-			n.meter.RecordWrite(w.ID)
-		}
-		n.commitMu.RUnlock()
-	}
-	for _, id := range d.Release {
-		// Apply already released write objects; releasing an unprotected
-		// object is a no-op, and ErrNotOwner/ErrNotFound mean another
-		// transaction raced in after our release — nothing to do.
-		_ = n.store.Unprotect(id, req.TxID)
-	}
-	if d.Commit {
+	resp := n.applyDecision(req.TxID, d.Commit, d.Writes, d.Release, fromCoordinator, req.TraceID, serveID)
+	if d.Commit && resp.Status == wire.StatusOK {
 		n.maybeCheckpoint()
 	}
-	return &wire.Response{Status: wire.StatusOK}
+	return resp
 }
 
 // handleTraceFetch drains the node's trace rings for a client or

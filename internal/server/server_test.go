@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -215,8 +216,9 @@ func TestCommitCreatesNewObject(t *testing.T) {
 
 func TestDecisionRecordsContention(t *testing.T) {
 	n := newTestNode()
+	// Transaction IDs are single-use: a decided ID can never prepare again.
 	for i := 0; i < 3; i++ {
-		commit(t, n, "t", []store.ReadDesc{{ID: "a", Version: uint64(i + 1)}},
+		commit(t, n, fmt.Sprintf("t%d", i), []store.ReadDesc{{ID: "a", Version: uint64(i + 1)}},
 			[]store.WriteDesc{{ID: "a", Value: store.Int64(int64(i)), NewVersion: uint64(i + 2)}})
 	}
 	resp := n.Handle(context.Background(), &wire.Request{

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/wire"
 )
@@ -65,6 +66,19 @@ func FormatByName(name string) (Format, error) {
 const (
 	binMarker  byte = 0x00
 	binVersion byte = 0x01
+	// binVersion2 extends the record payload with a record-type byte and the
+	// 2PC fields (write set, release set, quorum membership, commit flag):
+	//
+	//	0x00 marker | 0x02 version | u8 type | str TxID | varint Block |
+	//	str Key | uvarint Version | value | u8 Commit |
+	//	writes (uvarint count, each: str ID | value | uvarint NewVersion |
+	//	varint Block) | release (uvarint count of str) |
+	//	quorum (uvarint count of varint)
+	//
+	// Plain object writes keep the v1 layout so pre-existing segments and
+	// the zero-alloc hot append path are untouched; only prepare/decision
+	// records (and a hypothetical write carrying 2PC fields) take v2.
+	binVersion2 byte = 0x02
 )
 
 // BadRecordError reports a frame whose CRC is VALID but whose payload is not
@@ -84,16 +98,52 @@ func (e *BadRecordError) Error() string {
 }
 
 // AppendRecord appends rec's binary payload (no frame header) to dst. It
-// allocates only if dst lacks capacity.
+// allocates only if dst lacks capacity. Plain writes emit the v1 layout;
+// records carrying 2PC state emit v2.
 func AppendRecord(dst []byte, rec *Record) ([]byte, error) {
-	dst = append(dst, binMarker, binVersion)
+	v2 := rec.Type != RecordWrite || rec.Commit ||
+		len(rec.Writes) > 0 || len(rec.Release) > 0 || len(rec.Quorum) > 0
+	if !v2 {
+		dst = append(dst, binMarker, binVersion)
+	} else {
+		dst = append(dst, binMarker, binVersion2, byte(rec.Type))
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(rec.TxID)))
 	dst = append(dst, rec.TxID...)
 	dst = binary.AppendVarint(dst, int64(rec.Block))
 	dst = binary.AppendUvarint(dst, uint64(len(rec.Key)))
 	dst = append(dst, rec.Key...)
 	dst = binary.AppendUvarint(dst, rec.Version)
-	return wire.AppendValue(dst, rec.Value)
+	dst, err := wire.AppendValue(dst, rec.Value)
+	if err != nil || !v2 {
+		return dst, err
+	}
+	if rec.Commit {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Writes)))
+	for i := range rec.Writes {
+		w := &rec.Writes[i]
+		dst = binary.AppendUvarint(dst, uint64(len(w.ID)))
+		dst = append(dst, w.ID...)
+		if dst, err = wire.AppendValue(dst, w.Value); err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, w.NewVersion)
+		dst = binary.AppendVarint(dst, int64(w.Block))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Release)))
+	for _, id := range rec.Release {
+		dst = binary.AppendUvarint(dst, uint64(len(id)))
+		dst = append(dst, id...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Quorum)))
+	for _, n := range rec.Quorum {
+		dst = binary.AppendVarint(dst, int64(n))
+	}
+	return dst, nil
 }
 
 // AppendRecordFrame appends rec as a complete CRC-framed binary record
@@ -129,12 +179,23 @@ func decodeRecordPayload(payload []byte) (*Record, Format, error) {
 	if len(payload) < 2 {
 		return nil, FormatBinary, fmt.Errorf("binary record truncated before version byte")
 	}
-	if payload[1] != binVersion {
-		return nil, FormatBinary, fmt.Errorf("binary record version byte %d out of range (know %d)",
-			payload[1], binVersion)
+	version := payload[1]
+	if version != binVersion && version != binVersion2 {
+		return nil, FormatBinary, fmt.Errorf("binary record version byte %d out of range (know %d and %d)",
+			version, binVersion, binVersion2)
 	}
 	rec := &Record{}
 	buf := payload[2:]
+	if version == binVersion2 {
+		if len(buf) < 1 {
+			return nil, FormatBinary, fmt.Errorf("v2 record truncated before type byte")
+		}
+		if buf[0] > byte(RecordDecision) {
+			return nil, FormatBinary, fmt.Errorf("record type byte %d out of range", buf[0])
+		}
+		rec.Type = RecordType(buf[0])
+		buf = buf[1:]
+	}
 	var s string
 	var err error
 	if s, buf, err = takeString(buf); err != nil {
@@ -161,10 +222,88 @@ func decodeRecordPayload(payload []byte) (*Record, Format, error) {
 	if err != nil {
 		return nil, FormatBinary, fmt.Errorf("Value: %v", err)
 	}
-	if used != len(buf) {
-		return nil, FormatBinary, fmt.Errorf("%d trailing bytes after value", len(buf)-used)
-	}
 	rec.Value = v
+	buf = buf[used:]
+	if version == binVersion {
+		if len(buf) != 0 {
+			return nil, FormatBinary, fmt.Errorf("%d trailing bytes after value", len(buf))
+		}
+		return rec, FormatBinary, nil
+	}
+	if len(buf) < 1 {
+		return nil, FormatBinary, fmt.Errorf("truncated Commit byte")
+	}
+	rec.Commit = buf[0] != 0
+	buf = buf[1:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, FormatBinary, fmt.Errorf("truncated Writes count")
+	}
+	buf = buf[n:]
+	if count > uint64(len(buf)) {
+		return nil, FormatBinary, fmt.Errorf("Writes count %d exceeds remaining %d bytes", count, len(buf))
+	}
+	if count > 0 {
+		rec.Writes = make([]store.WriteDesc, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var w store.WriteDesc
+			if s, buf, err = takeString(buf); err != nil {
+				return nil, FormatBinary, fmt.Errorf("write %d ID: %v", i, err)
+			}
+			w.ID = store.ObjectID(s)
+			if w.Value, used, err = wire.DecodeValue(buf); err != nil {
+				return nil, FormatBinary, fmt.Errorf("write %d value: %v", i, err)
+			}
+			buf = buf[used:]
+			if w.NewVersion, n = binary.Uvarint(buf); n <= 0 {
+				return nil, FormatBinary, fmt.Errorf("write %d truncated version", i)
+			}
+			buf = buf[n:]
+			if block, n = binary.Varint(buf); n <= 0 {
+				return nil, FormatBinary, fmt.Errorf("write %d truncated block", i)
+			}
+			w.Block = int(block)
+			buf = buf[n:]
+			rec.Writes = append(rec.Writes, w)
+		}
+	}
+	if count, n = binary.Uvarint(buf); n <= 0 {
+		return nil, FormatBinary, fmt.Errorf("truncated Release count")
+	}
+	buf = buf[n:]
+	if count > uint64(len(buf)) {
+		return nil, FormatBinary, fmt.Errorf("Release count %d exceeds remaining %d bytes", count, len(buf))
+	}
+	if count > 0 {
+		rec.Release = make([]store.ObjectID, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if s, buf, err = takeString(buf); err != nil {
+				return nil, FormatBinary, fmt.Errorf("release %d: %v", i, err)
+			}
+			rec.Release = append(rec.Release, store.ObjectID(s))
+		}
+	}
+	if count, n = binary.Uvarint(buf); n <= 0 {
+		return nil, FormatBinary, fmt.Errorf("truncated Quorum count")
+	}
+	buf = buf[n:]
+	if count > uint64(len(buf)) {
+		return nil, FormatBinary, fmt.Errorf("Quorum count %d exceeds remaining %d bytes", count, len(buf))
+	}
+	if count > 0 {
+		rec.Quorum = make([]quorum.NodeID, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var id int64
+			if id, n = binary.Varint(buf); n <= 0 {
+				return nil, FormatBinary, fmt.Errorf("quorum %d truncated", i)
+			}
+			buf = buf[n:]
+			rec.Quorum = append(rec.Quorum, quorum.NodeID(id))
+		}
+	}
+	if len(buf) != 0 {
+		return nil, FormatBinary, fmt.Errorf("%d trailing bytes after quorum", len(buf))
+	}
 	return rec, FormatBinary, nil
 }
 

@@ -14,21 +14,66 @@ import (
 	"strconv"
 	"strings"
 
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 )
 
-// Record is one durable commit entry: a single object write together with
-// the dependency metadata the paper's recovery argument needs — the
-// transaction that produced it and the ACN Block (sub-transaction) index
-// inside that transaction. Replay only needs (Key, Value, Version), but the
-// (TxID, Block) pair lets a future parallel-replay pass partition the log by
-// dependency the way dependency logging does.
+// RecordType discriminates the durable record flavors. The zero value is a
+// plain object write, so every pre-existing record — gob or binary v1 —
+// decodes as RecordWrite without migration.
+type RecordType int
+
+const (
+	// RecordWrite is one committed object write (the original record shape).
+	RecordWrite RecordType = iota
+	// RecordPrepare is a participant's durable yes-vote for a two-phase
+	// commit: the transaction id, its full write set, the protections to
+	// release, and the write-quorum membership. It is fsynced BEFORE the
+	// participant votes yes, so a crash-restarted replica knows exactly
+	// which transactions it promised to honor and which peers can resolve
+	// them.
+	RecordPrepare
+	// RecordDecision is the transaction outcome (commit or abort), logged
+	// before the writes are applied and the protections released. A prepare
+	// with no matching decision in the log IS the in-doubt set at recovery.
+	RecordDecision
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecordPrepare:
+		return "prepare"
+	case RecordDecision:
+		return "decision"
+	default:
+		return "write"
+	}
+}
+
+// Record is one durable commit entry. For RecordWrite it is a single object
+// write together with the dependency metadata the paper's recovery argument
+// needs — the transaction that produced it and the ACN Block
+// (sub-transaction) index inside that transaction. Replay only needs
+// (Key, Value, Version), but the (TxID, Block) pair lets a future
+// parallel-replay pass partition the log by dependency the way dependency
+// logging does. RecordPrepare and RecordDecision reuse the struct with the
+// 2PC fields below populated instead of the single-write fields.
 type Record struct {
+	Type    RecordType
 	TxID    string
 	Block   int
 	Key     store.ObjectID
 	Version uint64
 	Value   store.Value
+
+	// Prepare-record payload: the promised write set, the protections the
+	// decision must release, and the write quorum the coordinator selected
+	// (the peers cooperative termination interrogates).
+	Writes  []store.WriteDesc
+	Release []store.ObjectID
+	Quorum  []quorum.NodeID
+	// Decision-record payload.
+	Commit bool
 }
 
 // castagnoli is the CRC-32C table used for record and snapshot framing.

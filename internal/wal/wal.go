@@ -92,6 +92,16 @@ type Recovered struct {
 	// Objects holds the recovered value+version per object (NewVersion is
 	// the object's version), ready for Store.Restore.
 	Objects []store.WriteDesc
+	// InDoubt lists prepare records with no matching decision record, in
+	// replay order: transactions this node voted yes for whose outcome it
+	// never durably learned. The server re-arms their protections and hands
+	// them to the cooperative-termination resolver instead of trusting a
+	// protection TTL.
+	InDoubt []Record
+	// Decided maps transaction ids from replayed decision records to their
+	// outcome (true = commit), so a restarted node answers peer status
+	// queries about recently decided transactions authoritatively.
+	Decided map[string]bool
 	// SnapshotObjects and LogRecords break down where the state came from.
 	SnapshotObjects int
 	LogRecords      int
@@ -164,6 +174,11 @@ func (l *Log) recover() (*Recovered, error) {
 			state[w.ID] = w
 		}
 	}
+	// 2PC state: a prepare with no later decision is in-doubt; decisions are
+	// kept so peer status queries after restart can be answered.
+	prepares := make(map[string]int) // TxID -> index into inDoubt
+	var inDoubt []Record
+	decided := make(map[string]bool)
 
 	// Newest CRC-valid snapshot wins; corrupt ones (e.g. a crash between
 	// temp-file write and rename never happens thanks to the rename, but a
@@ -197,7 +212,21 @@ func (l *Log) recover() (*Recovered, error) {
 		}
 		path := segmentPath(l.dir, idx)
 		n, err := ScanSegment(path, func(r *Record, _ int64) error {
-			apply(store.WriteDesc{ID: r.Key, Value: r.Value, NewVersion: r.Version, Block: r.Block})
+			switch r.Type {
+			case RecordPrepare:
+				if _, dup := prepares[r.TxID]; !dup {
+					prepares[r.TxID] = len(inDoubt)
+					inDoubt = append(inDoubt, *r)
+				}
+			case RecordDecision:
+				decided[r.TxID] = r.Commit
+				if i, ok := prepares[r.TxID]; ok {
+					inDoubt[i].TxID = "" // tombstone; filtered below
+					delete(prepares, r.TxID)
+				}
+			default:
+				apply(store.WriteDesc{ID: r.Key, Value: r.Value, NewVersion: r.Version, Block: r.Block})
+			}
 			return nil
 		})
 		rec.LogRecords += n
@@ -222,6 +251,14 @@ func (l *Log) recover() (*Recovered, error) {
 	rec.Objects = make([]store.WriteDesc, 0, len(state))
 	for _, w := range state {
 		rec.Objects = append(rec.Objects, w)
+	}
+	for _, p := range inDoubt {
+		if p.TxID != "" {
+			rec.InDoubt = append(rec.InDoubt, p)
+		}
+	}
+	if len(decided) > 0 {
+		rec.Decided = decided
 	}
 	l.replayedRecords = uint64(rec.LogRecords)
 	l.replayedSnap = uint64(rec.SnapshotObjects)

@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 )
@@ -65,9 +66,12 @@ const (
 	envHasResp    byte = 1 << 3
 )
 
-// Request payload presence bits, wire order.
+// Request payload presence bits, wire order. The mask is encoded as a
+// uvarint (not a fixed byte) so the bit space is open-ended; values below
+// 128 — every mask that existed before the ninth bit was added — encode
+// byte-identically to the old single-byte layout.
 const (
-	reqHasRead byte = 1 << iota
+	reqHasRead uint64 = 1 << iota
 	reqHasPrepare
 	reqHasDecision
 	reqHasStats
@@ -75,16 +79,20 @@ const (
 	reqHasBatch
 	reqHasRepair
 	reqHasTraceFetch
+	reqHasTxStatus
+	reqHasResolve
 )
 
-// Response payload presence bits, wire order.
+// Response payload presence bits, wire order; uvarint-encoded like the
+// request mask.
 const (
-	respHasRead byte = 1 << iota
+	respHasRead uint64 = 1 << iota
 	respHasPrepare
 	respHasStats
 	respHasSync
 	respHasBatch
 	respHasTrace
+	respHasTxStatus
 )
 
 // Value type tags.
@@ -312,7 +320,7 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 	dst = appendString(dst, r.TxID)
 	dst = appendString(dst, r.TraceID)
 	dst = binary.AppendUvarint(dst, r.SpanID)
-	var mask byte
+	var mask uint64
 	if r.Read != nil {
 		mask |= reqHasRead
 	}
@@ -337,7 +345,13 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 	if r.TraceFetch != nil {
 		mask |= reqHasTraceFetch
 	}
-	dst = append(dst, mask)
+	if r.TxStatus != nil {
+		mask |= reqHasTxStatus
+	}
+	if r.Resolve != nil {
+		mask |= reqHasResolve
+	}
+	dst = binary.AppendUvarint(dst, mask)
 	var err error
 	if r.Read != nil {
 		dst = appendString(dst, string(r.Read.Object))
@@ -350,6 +364,7 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 		if dst, err = appendWriteDescs(dst, r.Prepare.Writes, depth); err != nil {
 			return nil, err
 		}
+		dst = appendNodeIDs(dst, r.Prepare.Quorum)
 	}
 	if r.Decision != nil {
 		dst = appendBool(dst, r.Decision.Commit)
@@ -388,6 +403,16 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 		dst = appendString(dst, r.TraceFetch.TraceID)
 		dst = appendBool(dst, r.TraceFetch.Events)
 	}
+	if r.TxStatus != nil {
+		dst = binary.AppendVarint(dst, int64(r.TxStatus.From))
+	}
+	if r.Resolve != nil {
+		dst = appendBool(dst, r.Resolve.Commit)
+		if dst, err = appendWriteDescs(dst, r.Resolve.Writes, depth); err != nil {
+			return nil, err
+		}
+		dst = appendIDs(dst, r.Resolve.Release)
+	}
 	return dst, nil
 }
 
@@ -397,7 +422,7 @@ func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
 	}
 	dst = binary.AppendVarint(dst, int64(r.Status))
 	dst = appendString(dst, r.Detail)
-	var mask byte
+	var mask uint64
 	if r.Read != nil {
 		mask |= respHasRead
 	}
@@ -416,7 +441,10 @@ func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
 	if r.Trace != nil {
 		mask |= respHasTrace
 	}
-	dst = append(dst, mask)
+	if r.TxStatus != nil {
+		mask |= respHasTxStatus
+	}
+	dst = binary.AppendUvarint(dst, mask)
 	var err error
 	if r.Read != nil {
 		if dst, err = appendValue(dst, r.Read.Value, depth); err != nil {
@@ -461,6 +489,9 @@ func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
 		for i := range r.Trace.Events {
 			dst = appendEvent(dst, &r.Trace.Events[i])
 		}
+	}
+	if r.TxStatus != nil {
+		dst = binary.AppendVarint(dst, int64(r.TxStatus.State))
 	}
 	return dst, nil
 }
@@ -519,6 +550,14 @@ func appendIDs(dst []byte, ids []store.ObjectID) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(ids)))
 	for _, id := range ids {
 		dst = appendString(dst, string(id))
+	}
+	return dst
+}
+
+func appendNodeIDs(dst []byte, ids []quorum.NodeID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = binary.AppendVarint(dst, int64(id))
 	}
 	return dst
 }
@@ -749,7 +788,7 @@ func (d *binReader) request() (*Request, error) {
 	if r.SpanID, err = d.uvarint(); err != nil {
 		return nil, err
 	}
-	mask, err := d.u8()
+	mask, err := d.uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -777,6 +816,9 @@ func (d *binReader) request() (*Request, error) {
 			return nil, err
 		}
 		if pr.Writes, err = d.writeDescs(); err != nil {
+			return nil, err
+		}
+		if pr.Quorum, err = d.nodeIDs(); err != nil {
 			return nil, err
 		}
 		r.Prepare = pr
@@ -853,6 +895,28 @@ func (d *binReader) request() (*Request, error) {
 		}
 		r.TraceFetch = tf
 	}
+	if mask&reqHasTxStatus != 0 {
+		ts := &TxStatusRequest{}
+		var from int64
+		if from, err = d.varint(); err != nil {
+			return nil, err
+		}
+		ts.From = quorum.NodeID(from)
+		r.TxStatus = ts
+	}
+	if mask&reqHasResolve != 0 {
+		rs := &ResolveRequest{}
+		if rs.Commit, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		if rs.Writes, err = d.writeDescs(); err != nil {
+			return nil, err
+		}
+		if rs.Release, err = d.ids(); err != nil {
+			return nil, err
+		}
+		r.Resolve = rs
+	}
 	return r, nil
 }
 
@@ -870,7 +934,7 @@ func (d *binReader) response() (*Response, error) {
 	if r.Detail, err = d.str(); err != nil {
 		return nil, err
 	}
-	mask, err := d.u8()
+	mask, err := d.uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -964,6 +1028,15 @@ func (d *binReader) response() (*Response, error) {
 		}
 		r.Trace = tr
 	}
+	if mask&respHasTxStatus != 0 {
+		ts := &TxStatusResponse{}
+		var state int64
+		if state, err = d.varint(); err != nil {
+			return nil, err
+		}
+		ts.State = TxState(state)
+		r.TxStatus = ts
+	}
 	return r, nil
 }
 
@@ -1009,6 +1082,22 @@ func (d *binReader) writeDescs() ([]store.WriteDesc, error) {
 			return nil, err
 		}
 		out[i].Block = int(block)
+	}
+	return out, nil
+}
+
+func (d *binReader) nodeIDs() ([]quorum.NodeID, error) {
+	n, err := d.count("node ids")
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]quorum.NodeID, n)
+	for i := range out {
+		var id int64
+		if id, err = d.varint(); err != nil {
+			return nil, err
+		}
+		out[i] = quorum.NodeID(id)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 )
@@ -30,6 +31,15 @@ func cloneWriteDescs(in []store.WriteDesc) []store.WriteDesc {
 			out[i].Value = w.Value.CloneValue()
 		}
 	}
+	return out
+}
+
+func cloneNodeIDs(in []quorum.NodeID) []quorum.NodeID {
+	if in == nil {
+		return nil
+	}
+	out := make([]quorum.NodeID, len(in))
+	copy(out, in)
 	return out
 }
 
@@ -71,6 +81,7 @@ func (r *Request) Clone() *Request {
 		out.Prepare = &PrepareRequest{
 			Reads:  cloneReadDescs(r.Prepare.Reads),
 			Writes: cloneWriteDescs(r.Prepare.Writes),
+			Quorum: cloneNodeIDs(r.Prepare.Quorum),
 		}
 	}
 	if r.Decision != nil {
@@ -101,6 +112,17 @@ func (r *Request) Clone() *Request {
 	if r.TraceFetch != nil {
 		tf := *r.TraceFetch
 		out.TraceFetch = &tf
+	}
+	if r.TxStatus != nil {
+		ts := *r.TxStatus
+		out.TxStatus = &ts
+	}
+	if r.Resolve != nil {
+		out.Resolve = &ResolveRequest{
+			Commit:  r.Resolve.Commit,
+			Writes:  cloneWriteDescs(r.Resolve.Writes),
+			Release: cloneIDs(r.Resolve.Release),
+		}
 	}
 	return out
 }
@@ -145,6 +167,10 @@ func (r *Response) Clone() *Response {
 			Spans:  append([]trace.Span(nil), r.Trace.Spans...),
 			Events: append([]trace.Event(nil), r.Trace.Events...),
 		}
+	}
+	if r.TxStatus != nil {
+		ts := *r.TxStatus
+		out.TxStatus = &ts
 	}
 	return out
 }

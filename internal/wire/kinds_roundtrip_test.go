@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 )
@@ -32,6 +33,7 @@ var kindFixtures = map[Kind]*Request{
 		Prepare: &PrepareRequest{
 			Reads:  []store.ReadDesc{{ID: store.ID("acct", 1), Version: 3}},
 			Writes: []store.WriteDesc{{ID: store.ID("acct", 1), Value: store.Int64(42), NewVersion: 4, Block: 2}},
+			Quorum: []quorum.NodeID{0, 2, 5},
 		},
 	},
 	KindDecision: {
@@ -68,6 +70,20 @@ var kindFixtures = map[Kind]*Request{
 		TraceID:    "c1-t2-a0",
 		SpanID:     17,
 		TraceFetch: &TraceFetchRequest{TraceID: "c1-t2-a0", Events: true},
+	},
+	KindTxStatus: {
+		Kind:     KindTxStatus,
+		TxID:     "c1-t9-a0",
+		TxStatus: &TxStatusRequest{From: 4},
+	},
+	KindResolve: {
+		Kind: KindResolve,
+		TxID: "c1-t9-a0",
+		Resolve: &ResolveRequest{
+			Commit:  true,
+			Writes:  []store.WriteDesc{{ID: store.ID("acct", 3), Value: store.Int64(7), NewVersion: 2, Block: 0}},
+			Release: []store.ObjectID{store.ID("acct", 3), store.ID("acct", 4)},
+		},
 	},
 }
 

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sync"
 
+	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 )
@@ -84,6 +85,19 @@ const (
 	// transaction's cross-node timeline. Observability-only: never issued on
 	// the transaction hot path.
 	KindTraceFetch
+	// KindTxStatus asks a quorum peer what it knows about a transaction: a
+	// participant holding an in-doubt prepare past its resolve deadline
+	// queries the other members recorded in its prepare record (cooperative
+	// termination). A peer that saw the decision answers authoritatively; a
+	// peer that never voted yes implies the unanimous-yes quorum was never
+	// reached, so abort is safe.
+	KindTxStatus
+	// KindResolve forwards a transaction decision peer-to-peer: a participant
+	// that resolved an in-doubt transaction (from a peer's status, or by
+	// deadline abort) pushes the outcome to the other quorum members so they
+	// converge without waiting out their own deadlines. Idempotent — a
+	// receiver that already decided simply acknowledges.
+	KindResolve
 
 	// numKinds counts the Kind values. It MUST stay last: the wire
 	// round-trip test iterates [0, numKinds) and fails compilation-adjacent
@@ -111,6 +125,10 @@ func (k Kind) String() string {
 		return "repair"
 	case KindTraceFetch:
 		return "trace-fetch"
+	case KindTxStatus:
+		return "tx-status"
+	case KindResolve:
+		return "resolve"
 	default:
 		return "ping"
 	}
@@ -136,6 +154,8 @@ type Request struct {
 	Batch      *BatchRequest
 	Repair     *RepairRequest
 	TraceFetch *TraceFetchRequest
+	TxStatus   *TxStatusRequest
+	Resolve    *ResolveRequest
 }
 
 // BatchRequest bundles independent sub-requests into one frame. Sub-requests
@@ -166,6 +186,11 @@ type ReadRequest struct {
 type PrepareRequest struct {
 	Reads  []store.ReadDesc
 	Writes []store.WriteDesc
+	// Quorum lists every member of the write quorum the coordinator selected
+	// for this attempt, in tree order. Participants persist it in their WAL
+	// prepare record so that, if the coordinator dies in-doubt, they know
+	// exactly which peers to interrogate during cooperative termination.
+	Quorum []quorum.NodeID
 }
 
 // DecisionRequest is phase two of two-phase commit.
@@ -176,6 +201,66 @@ type DecisionRequest struct {
 	// Release lists every object the prepare protected (the transaction's
 	// read-set); the decision clears those protections whether it commits
 	// or aborts.
+	Release []store.ObjectID
+}
+
+// TxState is a replica's knowledge of a transaction, reported through
+// KindTxStatus during cooperative termination.
+type TxState int
+
+// TxState values.
+const (
+	// TxStateUnknown: the replica never voted yes for the transaction (it
+	// never saw the prepare, or had already discarded an aborted one). A
+	// single unknown answer from a write-quorum member proves the unanimous
+	// yes-vote was never assembled, so abort is safe.
+	TxStateUnknown TxState = iota
+	// TxStateInDoubt: the replica voted yes and is itself still waiting for
+	// the decision. Carries no information about the outcome.
+	TxStateInDoubt
+	// TxStateCommitted / TxStateAborted: the replica saw the decision (from
+	// the coordinator, a peer, or its own WAL replay) and answers
+	// authoritatively.
+	TxStateCommitted
+	TxStateAborted
+)
+
+func (s TxState) String() string {
+	switch s {
+	case TxStateInDoubt:
+		return "in-doubt"
+	case TxStateCommitted:
+		return "committed"
+	case TxStateAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// TxStatusRequest asks the receiver what it knows about the transaction named
+// by the envelope's TxID (cooperative termination protocol).
+type TxStatusRequest struct {
+	// From is the in-doubt participant asking; used for tracing and to let
+	// the responder skip forwarding the decision back to the asker.
+	From quorum.NodeID
+}
+
+// TxStatusResponse reports the replica's knowledge of the transaction.
+type TxStatusResponse struct {
+	State TxState
+}
+
+// ResolveRequest pushes a resolved decision to a quorum peer. It mirrors
+// DecisionRequest but arrives from a fellow participant instead of the
+// coordinator; receivers treat it idempotently.
+type ResolveRequest struct {
+	Commit bool
+	// Writes are applied when Commit is true (the sender's durable prepare
+	// record supplies them, so a peer that lost its own state still
+	// converges).
+	Writes []store.WriteDesc
+	// Release lists the protections to clear.
 	Release []store.ObjectID
 }
 
@@ -224,14 +309,15 @@ type SyncResponse struct {
 
 // Response is a server-to-client message.
 type Response struct {
-	Status  Status
-	Detail  string
-	Read    *ReadResponse
-	Prepare *PrepareResponse
-	Stats   *StatsResponse
-	Sync    *SyncResponse
-	Batch   *BatchResponse
-	Trace   *TraceFetchResponse
+	Status   Status
+	Detail   string
+	Read     *ReadResponse
+	Prepare  *PrepareResponse
+	Stats    *StatsResponse
+	Sync     *SyncResponse
+	Batch    *BatchResponse
+	Trace    *TraceFetchResponse
+	TxStatus *TxStatusResponse
 }
 
 // ReadResponse carries the object, the incremental-validation outcome, and
