@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"qracn/internal/dtm"
 	"qracn/internal/quorum"
 	"qracn/internal/server"
 	"qracn/internal/trace"
@@ -55,6 +56,7 @@ func main() {
 		codecName   = flag.String("codec", wal.FormatDefault.String(), "WAL record encoding for new writes: binary or gob (replay auto-detects; the wire codec is negotiated per connection by each client)")
 		resolveAft  = flag.Duration("resolve-after", 0, "how long a yes vote may sit undecided before this node queries its quorum peers for the outcome (0: 5s default)")
 		ttlAbort    = flag.Duration("ttl-abort-after", 0, "last-resort abort deadline when a complete peer round finds every participant equally in doubt (0: 60s default; must exceed the clients' -decide-timeout)")
+		unsafeTTL   = flag.Bool("unsafe-ttl-abort", false, "allow -ttl-abort-after at or below the default client -decide-timeout (only safe when every client runs with a smaller -decide-timeout)")
 		peersArg    = flag.String("peers", "", "comma-separated addresses of ALL nodes in tree order (node 0 first, this node included); enables the background cooperative-termination resolver")
 	)
 	flag.Parse()
@@ -63,6 +65,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	// Termination-protocol deadline sanity. The TTL abort is only safe if
+	// its deadline outlives both the resolver's first peer round and every
+	// coordinator's decision-retry budget; this node cannot see the clients'
+	// -decide-timeout flags, so the default budget is the best available
+	// check — a misconfiguration against it is rejected rather than left to
+	// silently permit a TTL abort racing a still-retrying commit delivery.
+	resolve, ttl := *resolveAft, *ttlAbort
+	if resolve <= 0 {
+		resolve = server.DefaultResolveAfter
+	}
+	if ttl <= 0 {
+		ttl = server.DefaultTTLAbortAfter
+	}
+	if ttl <= resolve {
+		fmt.Fprintf(os.Stderr, "-ttl-abort-after (%v) must exceed -resolve-after (%v)\n", ttl, resolve)
+		os.Exit(2)
+	}
+	if ttl <= dtm.DefaultDecideTimeout {
+		fmt.Fprintf(os.Stderr, "-ttl-abort-after (%v) must exceed the clients' decide budget (default -decide-timeout %v); raise it, or lower every client's -decide-timeout below it and pass -unsafe-ttl-abort\n", ttl, dtm.DefaultDecideTimeout)
+		if !*unsafeTTL {
+			os.Exit(2)
+		}
 	}
 
 	durable := *walDir != "" && !*noWAL

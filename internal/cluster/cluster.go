@@ -194,16 +194,30 @@ func (c *Cluster) Seed(objs map[store.ObjectID]store.Value) {
 	}
 }
 
+// clampDecide bounds a runtime config's decision-delivery budget below this
+// cluster's TTL-abort deadline — the termination-protocol safety invariant,
+// enforced at the one layer that knows both values (see
+// dtm.ClampDecideTimeout).
+func (c *Cluster) clampDecide(cfg *dtm.Config) {
+	ttl := c.cfg.TTLAbortAfter
+	if ttl <= 0 {
+		ttl = server.DefaultTTLAbortAfter
+	}
+	cfg.DecideTimeout = dtm.ClampDecideTimeout(cfg.DecideTimeout, ttl)
+}
+
 // Runtime creates a client runtime attached to this cluster. Fields of cfg
 // that identify the cluster (Tree, Client, Alive) are filled in; the rest
-// are taken as given. The network's liveness oracle drives quorum selection
-// (composed with the runtime's own failure detector), keeping fault tests
-// deterministic.
+// are taken as given, except that DecideTimeout is clamped below the
+// cluster's TTL-abort deadline. The network's liveness oracle drives quorum
+// selection (composed with the runtime's own failure detector), keeping
+// fault tests deterministic.
 func (c *Cluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Tree = c.Tree
 	cfg.Client = c.Net
 	cfg.Alive = c.Net.Alive
 	cfg.ClientSeed = clientSeed
+	c.clampDecide(&cfg)
 	return dtm.New(cfg)
 }
 
@@ -216,6 +230,7 @@ func (c *Cluster) DetectorRuntime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Client = c.Net
 	cfg.Alive = nil
 	cfg.ClientSeed = clientSeed
+	c.clampDecide(&cfg)
 	return dtm.New(cfg)
 }
 

@@ -191,7 +191,9 @@ func (c *TCPCluster) Seed(objs map[store.ObjectID]store.Value) {
 }
 
 // Runtime creates a client runtime connected over TCP. The cluster owns the
-// connection and closes it on Close. Safe for concurrent use.
+// connection and closes it on Close. DecideTimeout is clamped below the
+// cluster's TTL-abort deadline (the termination-protocol safety invariant;
+// see dtm.ClampDecideTimeout). Safe for concurrent use.
 func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	client := transport.NewTCPClient(c.Addrs(), c.compress)
 	if c.codec != nil {
@@ -203,6 +205,11 @@ func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Tree = c.Tree
 	cfg.Client = client
 	cfg.ClientSeed = clientSeed
+	ttl := c.ttlAbortAfter
+	if ttl <= 0 {
+		ttl = server.DefaultTTLAbortAfter
+	}
+	cfg.DecideTimeout = dtm.ClampDecideTimeout(cfg.DecideTimeout, ttl)
 	rt := dtm.New(cfg)
 	client.SetRetryCounter(&rt.Metrics().TransportRetries)
 	return rt

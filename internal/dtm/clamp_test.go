@@ -1,0 +1,42 @@
+package dtm_test
+
+import (
+	"testing"
+	"time"
+
+	"qracn/internal/dtm"
+)
+
+// TestClampDecideTimeout pins the safety relationship the deployment layers
+// enforce: the coordinator's decide budget must stay strictly below the
+// participants' TTL-abort deadline, or a TTL abort could race a commit
+// delivery that is still inside its retry budget.
+func TestClampDecideTimeout(t *testing.T) {
+	cases := []struct {
+		name        string
+		decide, ttl time.Duration
+		want        time.Duration
+	}{
+		{"zero decide gets the default", 0, 60 * time.Second, dtm.DefaultDecideTimeout},
+		{"negative decide gets the default", -time.Second, 60 * time.Second, dtm.DefaultDecideTimeout},
+		{"valid pair is untouched", 3 * time.Second, 60 * time.Second, 3 * time.Second},
+		{"decide equal to ttl is clamped to half", 60 * time.Second, 60 * time.Second, 30 * time.Second},
+		{"decide above ttl is clamped to half", 2 * time.Minute, 60 * time.Second, 30 * time.Second},
+		{"default decide vs small ttl is clamped", 0, 8 * time.Second, 4 * time.Second},
+		{"tiny ttl still yields a positive budget", time.Hour, time.Nanosecond, time.Nanosecond},
+		{"no ttl means nothing to clamp against", time.Hour, 0, time.Hour},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := dtm.ClampDecideTimeout(c.decide, c.ttl)
+			if got != c.want {
+				t.Fatalf("ClampDecideTimeout(%v, %v) = %v, want %v", c.decide, c.ttl, got, c.want)
+			}
+			// The clamp keeps decide strictly below ttl whenever a smaller
+			// positive budget exists (a 1ns ttl has no room underneath it).
+			if c.ttl > time.Nanosecond && got >= c.ttl {
+				t.Fatalf("clamped decide %v does not stay below ttl %v", got, c.ttl)
+			}
+		})
+	}
+}

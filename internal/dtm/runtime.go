@@ -130,8 +130,36 @@ func (c *Config) fillDefaults() {
 		c.RequestTimeout = 5 * time.Second
 	}
 	if c.DecideTimeout == 0 {
-		c.DecideTimeout = 10 * time.Second
+		c.DecideTimeout = DefaultDecideTimeout
 	}
+}
+
+// DefaultDecideTimeout is the zero-value decision-delivery budget
+// (Config.DecideTimeout).
+const DefaultDecideTimeout = 10 * time.Second
+
+// ClampDecideTimeout returns a decision-delivery budget that respects the
+// cooperative-termination safety invariant DecideTimeout < ttlAbortAfter
+// (the participants' last-resort in-doubt abort deadline): the TTL abort's
+// proof — a complete all-in-doubt peer round past the deadline — only shows
+// no commit WILL be delivered if every coordinator that could still be
+// retrying has given up by then. Deployment layers that know both values
+// (cluster constructors, the harness) call this instead of trusting the
+// operator to keep the flags consistent. A zero decide resolves to
+// DefaultDecideTimeout; a violating value is clamped to half the TTL
+// deadline. ttlAbortAfter <= 0 means "server default" and is resolved by
+// the caller (server.DefaultTTLAbortAfter).
+func ClampDecideTimeout(decide, ttlAbortAfter time.Duration) time.Duration {
+	if decide <= 0 {
+		decide = DefaultDecideTimeout
+	}
+	if ttlAbortAfter > 0 && decide >= ttlAbortAfter {
+		if half := ttlAbortAfter / 2; half > 0 {
+			return half
+		}
+		return time.Nanosecond
+	}
+	return decide
 }
 
 // Runtime is one client node's DTM engine. It is safe for concurrent use;

@@ -41,9 +41,12 @@ import (
 
 // decidedCap bounds the decided-outcome memory: the node retains at least
 // the most recent decidedCap outcomes (two rotating generations, so at most
-// 2×decidedCap). Evicted outcomes degrade gracefully — a peer asking about
-// an evicted transaction gets an abort promise, which only matters if that
-// peer somehow stayed in-doubt for the whole retention of 64k decisions.
+// 2×decidedCap). Once rotation has ever dropped outcomes, absence from the
+// maps stops being proof of "never decided here" — from then on a status
+// query about an unrecorded transaction is answered Unknown (no abort
+// promise), so a peer that stayed in-doubt through the whole retention
+// window keeps waiting instead of being promised an abort that could
+// contradict an evicted commit.
 const decidedCap = 1 << 16
 
 // inDoubtTx is one yes vote whose outcome this node has not yet learned.
@@ -132,6 +135,12 @@ func (n *Node) decidedLocked(txID string) (commit, known bool) {
 // generations when the current one fills. Caller holds idMu.
 func (n *Node) setDecidedLocked(txID string, commit bool) {
 	if len(n.decidedCur) >= decidedCap {
+		if len(n.decidedPrev) > 0 {
+			// Outcomes are being dropped: unknown-tx status answers degrade
+			// from an abort promise to Unknown for the rest of this process's
+			// life (see decidedCap).
+			n.evictedDecided = true
+		}
 		n.decidedPrev = n.decidedCur
 		n.decidedCur = make(map[string]bool, decidedCap/4)
 	}
@@ -153,7 +162,15 @@ func (n *Node) registerPrepare(rec wal.Record) error {
 	n.inDoubt[rec.TxID] = &inDoubtTx{rec: rec, prepared: n.now()}
 	n.idMu.Unlock()
 	if n.wal != nil {
-		if err := n.wal.Append(rec); err != nil {
+		// The shared commitMu orders this append against checkpoints: the
+		// record lands either before the checkpoint gathers its in-doubt
+		// view (the entry above is already in the table, so the carry-over
+		// preserves it across compaction) or in the fresh post-compaction
+		// segment — never in a segment about to be deleted behind its back.
+		n.commitMu.RLock()
+		err := n.wal.Append(rec)
+		n.commitMu.RUnlock()
+		if err != nil {
 			n.idMu.Lock()
 			delete(n.inDoubt, rec.TxID)
 			n.idMu.Unlock()
@@ -190,16 +207,39 @@ const (
 // OK without re-applying; a delivery that conflicts with a recorded outcome
 // is refused.
 func (n *Node) applyDecision(txID string, commit bool, writes []store.WriteDesc, release []store.ObjectID, src decisionSource, traceID string, serveID uint64) *wire.Response {
-	n.idMu.Lock()
-	if prev, known := n.decidedLocked(txID); known {
-		n.idMu.Unlock()
-		if prev != commit {
-			return &wire.Response{Status: wire.StatusError, Detail: "conflicting decision for terminated transaction"}
+	var entry *inDoubtTx
+	for {
+		n.idMu.Lock()
+		if ch, inflight := n.tombstoning[txID]; inflight {
+			// A status query is making an abort tombstone for this id
+			// durable; wait for its fsync before answering from the map.
+			n.idMu.Unlock()
+			<-ch
+			continue
 		}
-		return &wire.Response{Status: wire.StatusOK}
+		if prev, known := n.decidedLocked(txID); known {
+			// Duplicate or conflicting delivery. A lingering in-doubt entry
+			// alongside a known outcome is stale by definition — retire it
+			// and release its protections, or they would be held forever
+			// (the normal decision path already removed its own entry under
+			// the lock below).
+			stale := n.inDoubt[txID]
+			delete(n.inDoubt, txID)
+			n.idMu.Unlock()
+			if stale != nil {
+				for _, id := range stale.rec.Release {
+					_ = n.store.Unprotect(id, txID)
+				}
+			}
+			if prev != commit {
+				return &wire.Response{Status: wire.StatusError, Detail: "conflicting decision for terminated transaction"}
+			}
+			return &wire.Response{Status: wire.StatusOK}
+		}
+		entry = n.inDoubt[txID]
+		n.idMu.Unlock()
+		break
 	}
-	entry := n.inDoubt[txID]
-	n.idMu.Unlock()
 	if entry != nil {
 		// The sender's release set is its own view; this node's prepare
 		// record knows exactly which protections it installed (replicas can
@@ -208,12 +248,15 @@ func (n *Node) applyDecision(txID string, commit bool, writes []store.WriteDesc,
 		release = append(append([]store.ObjectID(nil), release...), entry.rec.Release...)
 	}
 
+	// Durability point: the whole write-set plus the decision record is
+	// appended and group-commit fsynced before any of it is applied or the
+	// decision acked. The shared commitMu keeps the append→apply→publish
+	// window out of snapshots: a checkpoint either serializes before this
+	// decision's records (and may compact only segments that don't hold
+	// them) or after the outcome is published (and carries it across the
+	// compaction).
+	n.commitMu.RLock()
 	if commit {
-		// Durability point: the whole write-set plus the decision record is
-		// appended and group-commit fsynced before any of it is applied or
-		// the decision acked. The shared commitMu keeps the append→apply
-		// window out of snapshots.
-		n.commitMu.RLock()
 		fsyncStart := time.Now()
 		err := n.logDecision(txID, true, writes)
 		if n.wal != nil {
@@ -239,29 +282,30 @@ func (n *Node) applyDecision(txID string, commit bool, writes []store.WriteDesc,
 			}
 			n.meter.RecordWrite(w.ID)
 		}
-		n.commitMu.RUnlock()
 	} else {
 		// An abort needs no writes, but the decision record still must be
 		// durable before the ack: replay would otherwise resurface the
 		// prepare as in-doubt and re-protect released objects.
-		n.commitMu.RLock()
-		err := n.logDecision(txID, false, nil)
-		n.commitMu.RUnlock()
-		if err != nil {
+		if err := n.logDecision(txID, false, nil); err != nil {
+			n.commitMu.RUnlock()
 			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
 		}
 	}
+	// Publish while still holding the commit lock, so no checkpoint can
+	// slip between the decision record landing in the log and the outcome
+	// entering the in-doubt/decided view the checkpoint carries over.
+	n.idMu.Lock()
+	delete(n.inDoubt, txID)
+	n.setDecidedLocked(txID, commit)
+	n.idMu.Unlock()
+	n.commitMu.RUnlock()
+
 	for _, id := range release {
 		// Apply already released write objects; releasing an unprotected
 		// object is a no-op, and ErrNotOwner/ErrNotFound mean another
 		// transaction raced in after our release — nothing to do.
 		_ = n.store.Unprotect(id, txID)
 	}
-
-	n.idMu.Lock()
-	delete(n.inDoubt, txID)
-	n.setDecidedLocked(txID, commit)
-	n.idMu.Unlock()
 
 	switch {
 	case src == fromCoordinator && entry != nil && entry.overdue:
@@ -304,31 +348,68 @@ func (n *Node) logDecision(txID string, commit bool, writes []store.WriteDesc) e
 // in-doubt entry is reported as such, and a transaction this node has no
 // record of is promised to abort — the tombstone (durable when the node has
 // a WAL) refuses any late prepare, so the unanimous yes vote the
-// coordinator would need can no longer form.
+// coordinator would need can no longer form. The promise only becomes
+// visible once it is durable: the tombstone is claimed in memory first (so
+// no prepare can slip in underneath), but every authoritative answer —
+// including a concurrent duplicate query's — waits for the decision
+// record's fsync, and a failed append rolls the claim back instead of
+// leaving a promise backed by nothing. Once the bounded decided memory has
+// ever evicted outcomes, an unrecorded transaction is answered Unknown
+// instead: absence no longer proves this node didn't commit it, so no
+// promise that could contradict an evicted commit is made.
 func (n *Node) handleTxStatus(req *wire.Request) *wire.Response {
 	if req.TxStatus == nil {
 		return &wire.Response{Status: wire.StatusError, Detail: "tx-status request missing payload"}
 	}
-	n.idMu.Lock()
-	if commit, known := n.decidedLocked(req.TxID); known {
+	for {
+		n.idMu.Lock()
+		if ch, inflight := n.tombstoning[req.TxID]; inflight {
+			n.idMu.Unlock()
+			<-ch
+			continue
+		}
+		if commit, known := n.decidedLocked(req.TxID); known {
+			n.idMu.Unlock()
+			return txStateResponse(commit)
+		}
+		if _, ok := n.inDoubt[req.TxID]; ok {
+			n.idMu.Unlock()
+			return &wire.Response{Status: wire.StatusOK, TxStatus: &wire.TxStatusResponse{State: wire.TxStateInDoubt}}
+		}
+		if n.evictedDecided {
+			n.idMu.Unlock()
+			return &wire.Response{Status: wire.StatusOK, TxStatus: &wire.TxStatusResponse{State: wire.TxStateUnknown}}
+		}
+		n.setDecidedLocked(req.TxID, false)
+		if n.wal == nil {
+			n.idMu.Unlock()
+			return txStateResponse(false)
+		}
+		ch := make(chan struct{})
+		n.tombstoning[req.TxID] = ch
 		n.idMu.Unlock()
-		return txStateResponse(commit)
-	}
-	if _, ok := n.inDoubt[req.TxID]; ok {
-		n.idMu.Unlock()
-		return &wire.Response{Status: wire.StatusOK, TxStatus: &wire.TxStatusResponse{State: wire.TxStateInDoubt}}
-	}
-	n.setDecidedLocked(req.TxID, false)
-	n.idMu.Unlock()
-	if n.wal != nil {
+
 		// The abort promise must survive a crash: without it a restarted
 		// node could vote yes on a late prepare the asker already aborted
-		// against.
-		if err := n.wal.Append(wal.Record{Type: wal.RecordDecision, TxID: req.TxID}); err != nil {
+		// against. commitMu orders the record against checkpoints exactly
+		// like a prepare's (see registerPrepare).
+		n.commitMu.RLock()
+		err := n.wal.Append(wal.Record{Type: wal.RecordDecision, TxID: req.TxID})
+		n.commitMu.RUnlock()
+
+		n.idMu.Lock()
+		delete(n.tombstoning, req.TxID)
+		if err != nil {
+			delete(n.decidedCur, req.TxID)
+			delete(n.decidedPrev, req.TxID)
+		}
+		n.idMu.Unlock()
+		close(ch)
+		if err != nil {
 			return &wire.Response{Status: wire.StatusError, Detail: "wal: " + err.Error()}
 		}
+		return txStateResponse(false)
 	}
-	return txStateResponse(false)
 }
 
 func txStateResponse(commit bool) *wire.Response {
@@ -489,7 +570,12 @@ func (n *Node) resolveOne(ctx context.Context, client transport.Client, e *inDou
 			sawAbort = true
 		case wire.TxStateInDoubt:
 			stillInDoubt = append(stillInDoubt, a.peer)
-		default: // TxStateUnknown should not occur (peers promise abort instead)
+		default:
+			// TxStateUnknown: the peer's bounded decided memory has evicted
+			// outcomes, so it will not promise abort for a transaction it
+			// has no record of. Treat the round as incomplete — the TTL
+			// abort needs a complete all-in-doubt round as its proof, and
+			// this peer can no longer supply it.
 			complete = false
 		}
 	}

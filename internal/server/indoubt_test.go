@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"qracn/internal/quorum"
+	"qracn/internal/store"
+	"qracn/internal/wal"
+	"qracn/internal/wire"
+)
+
+// newDurableTestNode builds a node over a fresh WAL in its own directory.
+// Sync-per-append, no automatic snapshots: every acked record is durable and
+// only explicit Checkpoint calls compact.
+func newDurableTestNode(t *testing.T) (*Node, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(0, Config{StatsWindow: time.Hour, WAL: l, SnapshotEvery: -1})
+	n.Store().SeedBatch(map[store.ObjectID]store.Value{
+		"a": store.Int64(1),
+		"b": store.Int64(2),
+	})
+	return n, dir
+}
+
+// TestCheckpointCarriesLive2PCState pins the crash-window fix: a checkpoint
+// compacts the segments holding the node's prepare and decision records, so
+// the live 2PC state (undecided yes votes AND the decided-outcome window)
+// must be durable in the fresh segment before the old ones go — a crash at
+// the very first instant after Checkpoint returns recovers both.
+func TestCheckpointCarriesLive2PCState(t *testing.T) {
+	n, dir := newDurableTestNode(t)
+	ctx := context.Background()
+
+	// One fully decided transaction...
+	commit(t, n, "tx-done", []store.ReadDesc{{ID: "a", Version: 1}},
+		[]store.WriteDesc{{ID: "a", Value: store.Int64(7), NewVersion: 2}})
+	// ...and one yes vote still waiting for its coordinator.
+	resp := n.Handle(ctx, &wire.Request{
+		Kind: wire.KindPrepare,
+		TxID: "tx-live",
+		Prepare: &wire.PrepareRequest{
+			Reads:  []store.ReadDesc{{ID: "b", Version: 1}},
+			Writes: []store.WriteDesc{{ID: "b", Value: store.Int64(9), NewVersion: 2}},
+			Quorum: []quorum.NodeID{0, 1, 2},
+		},
+	})
+	if resp.Status != wire.StatusOK || !resp.Prepare.Vote {
+		t.Fatalf("prepare: %+v", resp)
+	}
+
+	if err := n.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.WAL().Stats().SegmentsRemoved; got == 0 {
+		t.Fatal("checkpoint compacted no segments; the crash window under test never opened")
+	}
+	// Crash immediately: nothing was appended after the checkpoint, so
+	// whatever it made durable is all a restart gets.
+	n.WAL().Crash()
+
+	l2, rec, err := wal.Open(dir, wal.Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(rec.InDoubt) != 1 || rec.InDoubt[0].TxID != "tx-live" {
+		t.Fatalf("InDoubt = %+v, want exactly tx-live (compaction dropped the yes vote)", rec.InDoubt)
+	}
+	if len(rec.InDoubt[0].Quorum) != 3 {
+		t.Fatalf("recovered prepare lost its quorum membership: %+v", rec.InDoubt[0])
+	}
+	if rec.Decided["tx-done"] != true {
+		t.Fatalf("Decided = %v, want tx-done: true (compaction dropped the outcome)", rec.Decided)
+	}
+
+	// The restarted node answers a peer's termination query authoritatively
+	// and still holds the recovered vote in-doubt.
+	n2 := NewNode(0, Config{StatsWindow: time.Hour, WAL: l2, SnapshotEvery: -1})
+	n2.FinishRecovery(rec)
+	st := n2.Handle(ctx, &wire.Request{Kind: wire.KindTxStatus, TxID: "tx-done", TxStatus: &wire.TxStatusRequest{From: 1}})
+	if st.Status != wire.StatusOK || st.TxStatus.State != wire.TxStateCommitted {
+		t.Fatalf("status for carried decision: %+v", st)
+	}
+	if ids := n2.InDoubt(); len(ids) != 1 || ids[0] != "tx-live" {
+		t.Fatalf("restarted in-doubt table = %v, want [tx-live]", ids)
+	}
+}
+
+// TestTxStatusTombstoneRollsBackOnWALFailure pins the durability ordering of
+// the abort promise: a promise whose decision record cannot be made durable
+// must not be answered — and must leave no in-memory tombstone behind that a
+// later query could quote as authoritative without durable backing.
+func TestTxStatusTombstoneRollsBackOnWALFailure(t *testing.T) {
+	n, _ := newDurableTestNode(t)
+	ctx := context.Background()
+	if err := n.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := n.Handle(ctx, &wire.Request{Kind: wire.KindTxStatus, TxID: "ghost-tx", TxStatus: &wire.TxStatusRequest{From: 1}})
+	if resp.Status != wire.StatusError {
+		t.Fatalf("status with a dead WAL answered %+v, want error: the promise was never durable", resp)
+	}
+	n.idMu.Lock()
+	_, known := n.decidedLocked("ghost-tx")
+	_, inflight := n.tombstoning["ghost-tx"]
+	n.idMu.Unlock()
+	if known || inflight {
+		t.Fatalf("failed append left tombstone state behind (known=%v inflight=%v)", known, inflight)
+	}
+
+	// With a working log the promise is re-made from scratch — and durably:
+	// it survives a crash of the new log.
+	dir2 := t.TempDir()
+	l2, _, err := wal.Open(dir2, wal.Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.wal = l2
+	resp = n.Handle(ctx, &wire.Request{Kind: wire.KindTxStatus, TxID: "ghost-tx", TxStatus: &wire.TxStatusRequest{From: 1}})
+	if resp.Status != wire.StatusOK || resp.TxStatus.State != wire.TxStateAborted {
+		t.Fatalf("retry after WAL recovery: %+v", resp)
+	}
+	l2.Crash()
+	l3, rec, err := wal.Open(dir2, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if commit, ok := rec.Decided["ghost-tx"]; !ok || commit {
+		t.Fatalf("abort promise not durable across crash: Decided = %v", rec.Decided)
+	}
+}
+
+// TestTxStatusUnknownAfterEviction: once the bounded decided memory has
+// dropped outcomes, absence stops proving "never decided here" — an
+// unrecorded transaction is answered Unknown (no abort promise, no
+// tombstone), while recorded outcomes stay authoritative and prepares are
+// still accepted.
+func TestTxStatusUnknownAfterEviction(t *testing.T) {
+	n := newTestNode()
+	ctx := context.Background()
+
+	// Fill two full generations plus one: the rotation that drops the first
+	// generation marks the memory as lossy.
+	n.idMu.Lock()
+	for i := 0; i <= 2*decidedCap; i++ {
+		n.setDecidedLocked(fmt.Sprintf("old-%d", i), i%2 == 0)
+	}
+	evicted := n.evictedDecided
+	n.idMu.Unlock()
+	if !evicted {
+		t.Fatal("two full generation rotations did not mark the decided memory as lossy")
+	}
+
+	resp := n.Handle(ctx, &wire.Request{Kind: wire.KindTxStatus, TxID: "never-seen", TxStatus: &wire.TxStatusRequest{From: 1}})
+	if resp.Status != wire.StatusOK || resp.TxStatus.State != wire.TxStateUnknown {
+		t.Fatalf("unknown tx after eviction answered %+v, want Unknown (an abort promise could contradict an evicted commit)", resp)
+	}
+	// No tombstone was claimed: the same transaction can still prepare.
+	prep := n.Handle(ctx, &wire.Request{
+		Kind: wire.KindPrepare,
+		TxID: "never-seen",
+		Prepare: &wire.PrepareRequest{
+			Reads:  []store.ReadDesc{{ID: "a", Version: 1}},
+			Writes: []store.WriteDesc{{ID: "a", Value: store.Int64(5), NewVersion: 2}},
+			Quorum: []quorum.NodeID{0, 1},
+		},
+	})
+	if prep.Status != wire.StatusOK || !prep.Prepare.Vote {
+		t.Fatalf("Unknown answer must not tombstone, but the prepare was refused: %+v", prep)
+	}
+	// Outcomes still in the retained window keep their authoritative answer.
+	last := fmt.Sprintf("old-%d", 2*decidedCap)
+	resp = n.Handle(ctx, &wire.Request{Kind: wire.KindTxStatus, TxID: last, TxStatus: &wire.TxStatusRequest{From: 1}})
+	if resp.Status != wire.StatusOK || resp.TxStatus.State != wire.TxStateCommitted {
+		t.Fatalf("retained outcome answered %+v, want Committed", resp)
+	}
+}

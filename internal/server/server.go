@@ -72,6 +72,15 @@ type Config struct {
 	TTLAbortAfter time.Duration
 }
 
+// Default termination-protocol deadlines (the zero values of
+// Config.ResolveAfter and Config.TTLAbortAfter). Exported so deployment
+// layers that also know the coordinators' decide budget can validate the
+// safety relationship TTLAbortAfter > DecideTimeout against the defaults.
+const (
+	DefaultResolveAfter  = 5 * time.Second
+	DefaultTTLAbortAfter = 60 * time.Second
+)
+
 // Node is one quorum server.
 type Node struct {
 	id     quorum.NodeID
@@ -98,12 +107,20 @@ type Node struct {
 
 	// In-doubt 2PC state (indoubt.go): votes whose outcome this node has
 	// not yet learned, and the bounded memory of outcomes it has, for
-	// answering peers' termination queries.
-	idMu        sync.Mutex
-	inDoubt     map[string]*inDoubtTx
-	decidedCur  map[string]bool
-	decidedPrev map[string]bool
-	resCtr      resolutionCounters
+	// answering peers' termination queries. tombstoning latches abort
+	// promises whose decision record is still being fsynced: the in-memory
+	// tombstone already refuses prepares, but no authoritative answer may
+	// quote it until it is durable. evictedDecided flips (permanently) once
+	// generation rotation has dropped outcomes — from then on "no record"
+	// stops proving "never decided here" and unknown-tx status queries
+	// answer Unknown instead of promising abort.
+	idMu           sync.Mutex
+	inDoubt        map[string]*inDoubtTx
+	decidedCur     map[string]bool
+	decidedPrev    map[string]bool
+	tombstoning    map[string]chan struct{}
+	evictedDecided bool
+	resCtr         resolutionCounters
 
 	now           func() time.Time
 	resolveAfter  time.Duration
@@ -125,10 +142,10 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 		snapEvery = 0
 	}
 	if cfg.ResolveAfter <= 0 {
-		cfg.ResolveAfter = 5 * time.Second
+		cfg.ResolveAfter = DefaultResolveAfter
 	}
 	if cfg.TTLAbortAfter <= 0 {
-		cfg.TTLAbortAfter = 60 * time.Second
+		cfg.TTLAbortAfter = DefaultTTLAbortAfter
 	}
 	now := cfg.Now
 	if now == nil {
@@ -145,6 +162,7 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 		inDoubt:       make(map[string]*inDoubtTx),
 		decidedCur:    make(map[string]bool),
 		decidedPrev:   make(map[string]bool),
+		tombstoning:   make(map[string]chan struct{}),
 		now:           now,
 		resolveAfter:  cfg.ResolveAfter,
 		ttlAbortAfter: cfg.TTLAbortAfter,
@@ -256,6 +274,16 @@ func (n *Node) logWrites(txID string, writes []store.WriteDesc) error {
 
 // Checkpoint snapshots the replica into the WAL and compacts old segments.
 // No-op on volatile nodes.
+//
+// The snapshot captures object state only, so the node's live 2PC memory —
+// in-doubt prepares (undecided yes votes whose protections must survive) and
+// the decided-outcome window (promises already made to resolving peers) —
+// rides along as carry-over records that wal.Checkpoint makes durable in the
+// fresh segment BEFORE compaction removes the old ones. Compaction therefore
+// never drops a promise, with no crash window in between. The exclusive
+// commitMu (every protocol-record append holds it shared) guarantees the
+// in-doubt/decided view gathered here covers every record a compacted
+// segment could hold.
 func (n *Node) Checkpoint() error {
 	if n.wal == nil {
 		return nil
@@ -267,26 +295,22 @@ func (n *Node) Checkpoint() error {
 	for id, o := range snap {
 		objs = append(objs, store.WriteDesc{ID: id, Value: o.Value, NewVersion: o.Version})
 	}
-	if err := n.wal.Checkpoint(objs); err != nil {
-		return err
-	}
-	// Compaction just dropped the segments holding any in-doubt prepare
-	// records; re-append them so a crash after this checkpoint still
-	// recovers the node's undecided yes votes. (Decided outcomes are
-	// compacted away — a peer asking about one after a post-checkpoint
-	// crash gets the abort promise, the residual window DESIGN.md §11
-	// documents.)
 	n.idMu.Lock()
-	preps := make([]wal.Record, 0, len(n.inDoubt))
+	keep := make([]wal.Record, 0, len(n.inDoubt)+len(n.decidedCur)+len(n.decidedPrev))
 	for _, e := range n.inDoubt {
-		preps = append(preps, e.rec)
+		keep = append(keep, e.rec)
+	}
+	for tx, commit := range n.decidedPrev {
+		if _, ok := n.decidedCur[tx]; !ok {
+			keep = append(keep, wal.Record{Type: wal.RecordDecision, TxID: tx, Commit: commit})
+		}
+	}
+	for tx, commit := range n.decidedCur {
+		keep = append(keep, wal.Record{Type: wal.RecordDecision, TxID: tx, Commit: commit})
 	}
 	n.idMu.Unlock()
-	if len(preps) == 0 {
-		return nil
-	}
-	sortRecordsByTxID(preps)
-	return n.wal.Append(preps...)
+	sortRecordsByTxID(keep)
+	return n.wal.Checkpoint(objs, keep...)
 }
 
 // maybeCheckpoint runs an automatic checkpoint when enough records have

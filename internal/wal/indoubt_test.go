@@ -110,6 +110,83 @@ func TestRecoveryRebuildsInDoubtTable(t *testing.T) {
 	}
 }
 
+// TestCheckpointCarriesPromisesAcrossCompactionCrash pins the atomicity of
+// checkpoint carry-over: records passed as keep must be durable in the fresh
+// segment before compaction removes the old ones, so a crash at the very
+// first instant after Checkpoint returns (or anywhere inside it) still
+// recovers every live promise — the in-doubt prepare AND the decided
+// outcome, neither of which the snapshot's object state captures.
+func TestCheckpointCarriesPromisesAcrossCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(
+		prepareRec("tx-live"),
+		prepareRec("tx-done"),
+		decisionRec("tx-done", true),
+		rec("k1", 1, 11),
+	); err != nil {
+		t.Fatal(err)
+	}
+	objs := []store.WriteDesc{{ID: "k1", Value: store.Int64(11), NewVersion: 1}}
+	if err := l.Checkpoint(objs, prepareRec("tx-live"), decisionRec("tx-done", true)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().SegmentsRemoved; got == 0 {
+		t.Fatal("checkpoint compacted no segments; the crash window under test never opened")
+	}
+	// Crash with nothing appended since: whatever Checkpoint made durable is
+	// all that survives.
+	l.Crash()
+
+	l2, r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(r.InDoubt) != 1 || r.InDoubt[0].TxID != "tx-live" {
+		t.Fatalf("InDoubt = %+v, want exactly tx-live (compaction dropped the promise)", r.InDoubt)
+	}
+	if r.Decided["tx-done"] != true {
+		t.Fatalf("Decided = %v, want tx-done: true (compaction dropped the outcome)", r.Decided)
+	}
+	if st := stateOf(r); store.AsInt64(st["k1"].Value) != 11 {
+		t.Fatalf("snapshot state lost: %+v", st["k1"])
+	}
+}
+
+// TestRecoveryIgnoresPrepareAfterDecision: a prepare record that lands in the
+// log after its own decision (an append that raced the decision) must not be
+// resurrected as in-doubt — its outcome is known, and re-arming it would
+// install protections nothing will ever release.
+func TestRecoveryIgnoresPrepareAfterDecision(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(decisionRec("tx-reordered", true), prepareRec("tx-reordered")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(r.InDoubt) != 0 {
+		t.Fatalf("InDoubt = %+v, want empty: the decision preceding the prepare is authoritative", r.InDoubt)
+	}
+	if r.Decided["tx-reordered"] != true {
+		t.Fatalf("Decided = %v, want tx-reordered: true", r.Decided)
+	}
+}
+
 // TestTornTailAcrossPrepareDecisionBoundary truncates the log at EVERY byte
 // offset spanning a prepare/decision record pair and checks the in-doubt
 // table recovery derives is exactly what the durable prefix implies: a torn

@@ -214,6 +214,13 @@ func (l *Log) recover() (*Recovered, error) {
 		n, err := ScanSegment(path, func(r *Record, _ int64) error {
 			switch r.Type {
 			case RecordPrepare:
+				// A prepare landing after its decision in the log (an append
+				// that raced the decision) has a known outcome: it must not be
+				// resurrected as in-doubt, or its protections would be
+				// re-installed with nothing left to release them.
+				if _, done := decided[r.TxID]; done {
+					break
+				}
 				if _, dup := prepares[r.TxID]; !dup {
 					prepares[r.TxID] = len(inDoubt)
 					inDoubt = append(inDoubt, *r)
@@ -436,7 +443,13 @@ func (l *Log) syncLoop() {
 // snapshot are deleted. The caller must guarantee objs reflects at least
 // every record appended and synced before the call (the server guards the
 // append→apply window with a commit lock).
-func (l *Log) Checkpoint(objs []store.WriteDesc) error {
+//
+// keep records (live in-doubt prepares and decided outcomes, which the
+// snapshot's object state does not capture) are carried across the
+// compaction atomically: they are appended to the fresh active segment and
+// fsynced BEFORE any old segment is removed, so there is no crash window in
+// which a durable promise exists only in segments that are already gone.
+func (l *Log) Checkpoint(objs []store.WriteDesc, keep ...Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -453,6 +466,24 @@ func (l *Log) Checkpoint(objs []store.WriteDesc) error {
 		}
 	}
 	snapIdx := l.segIdx // covers all segments < segIdx
+	if len(keep) > 0 {
+		start := l.buf.Len()
+		for i := range keep {
+			if err := l.stageRecordLocked(&keep[i]); err != nil {
+				l.buf.Truncate(start)
+				return err
+			}
+		}
+		l.records.Add(uint64(len(keep)))
+		// Durability point of the carry-over: fsynced into segment snapIdx
+		// (which replay visits — only segments below the snapshot index are
+		// skipped) while every old segment still exists. A crash at any
+		// point from here on recovers the kept records from one side or the
+		// other; duplicates replay idempotently.
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
 	if err := writeSnapshotFile(l.dir, snapIdx, objs, l.opts.Format); err != nil {
 		return err
 	}
