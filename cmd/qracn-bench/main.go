@@ -52,6 +52,8 @@ func main() {
 		traceCap   = flag.Int("trace-capacity", 0, "span/event ring size per node and client; >0 turns tracing on")
 		traceRate  = flag.Int("trace-sample", 1, "with tracing on, record spans for 1-in-N transactions (0/1: all, negative: events only)")
 		traceAB    = flag.Bool("trace-ab", false, "run each figure twice — tracing on and off — and emit a combined JSON A/B document with the overhead ratio")
+		shards     = flag.Int("shards", 0, "partition the keyspace across this many independent quorum groups (0/1: one cluster-wide tree)")
+		shardsAB   = flag.Bool("shards-ab", false, "run each figure twice — sharded (-shards groups, default 4) vs the single cluster-wide tree — and emit a combined JSON A/B document with the committed-throughput ratio")
 	)
 	flag.Parse()
 	if *jsonFile != "" {
@@ -87,6 +89,7 @@ func main() {
 		WALFormat:        walFormat,
 		DecideTimeout:    *decideTO,
 		ResolveAfter:     *resolveAft,
+		Shards:           *shards,
 	}
 
 	modes, err := parseModes(*modesArg)
@@ -163,6 +166,22 @@ func main() {
 			doc, err := runTraceAB(ctx, f, scale, modes, *repeat)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s trace A/B: %v\n", f.ID, err)
+				os.Exit(1)
+			}
+			jsonDocs = append(jsonDocs, doc)
+			if *jsonFile == "" {
+				fmt.Println(string(doc))
+			}
+			continue
+		}
+		if *shardsAB {
+			n := *shards
+			if n <= 1 {
+				n = 4
+			}
+			doc, err := runShardsAB(ctx, f, scale, modes, *repeat, n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s shards A/B: %v\n", f.ID, err)
 				os.Exit(1)
 			}
 			jsonDocs = append(jsonDocs, doc)
@@ -407,6 +426,82 @@ func runTraceAB(ctx context.Context, f harness.Figure, scale harness.Scale, mode
 	return json.MarshalIndent(doc, "", "  ")
 }
 
+// runShardsAB measures the sharding win: the same figure, same seeds, once
+// with the keyspace partitioned across independent quorum groups and once
+// over the single cluster-wide tree, combined into one JSON document with
+// the committed-throughput ratio and the sharded side's routing profile.
+// Both sides run volatile and without the simulated interconnect delay, so
+// the ratio isolates quorum size, validation spread, and cross-group 2PC
+// cost rather than fsync scheduling or the fixed per-hop latency (the same
+// isolation the codec A/B uses).
+func runShardsAB(ctx context.Context, f harness.Figure, scale harness.Scale, modes []harness.Mode, repeat, shards int) (json.RawMessage, error) {
+	sharded := scale
+	sharded.Shards = shards
+	sharded.Durable = false
+	sharded.NetLatency = -1
+	sharded.NetJitter = -1
+	single := sharded
+	single.Shards = 0
+
+	resSharded, err := runAveraged(ctx, f, sharded, modes, repeat)
+	if err != nil {
+		return nil, fmt.Errorf("%d shards: %w", shards, err)
+	}
+	resSingle, err := runAveraged(ctx, f, single, modes, repeat)
+	if err != nil {
+		return nil, fmt.Errorf("1 shard: %w", err)
+	}
+	jsSharded, err := resSharded.ExportJSON()
+	if err != nil {
+		return nil, err
+	}
+	jsSingle, err := resSingle.ExportJSON()
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		ShardedTxPerSec    float64 `json:"sharded_tx_per_s"`
+		UnshardedTxPerSec  float64 `json:"unsharded_tx_per_s"`
+		Ratio              float64 `json:"sharded_over_unsharded"`
+		ShardedCommits     uint64  `json:"sharded_commits"`
+		UnshardedCommits   uint64  `json:"unsharded_commits"`
+		SingleShardCommits uint64  `json:"single_shard_commits"`
+		CrossShardCommits  uint64  `json:"cross_shard_commits"`
+		CrossShardRatio    float64 `json:"cross_shard_ratio"`
+	}
+	doc := struct {
+		Figure     string           `json:"figure"`
+		Title      string           `json:"title"`
+		Shards     int              `json:"shards"`
+		Sharded    json.RawMessage  `json:"sharded"`
+		Unsharded  json.RawMessage  `json:"unsharded"`
+		Throughput map[string]entry `json:"mean_throughput"`
+	}{
+		Figure: f.ID, Title: f.Title, Shards: shards,
+		Sharded: jsSharded, Unsharded: jsSingle, Throughput: map[string]entry{},
+	}
+	for _, m := range modes {
+		sSharded, sSingle := resSharded.Series[m], resSingle.Series[m]
+		if sSharded == nil || sSingle == nil {
+			continue
+		}
+		e := entry{
+			ShardedTxPerSec:    meanOf(sSharded.Throughput),
+			UnshardedTxPerSec:  meanOf(sSingle.Throughput),
+			ShardedCommits:     sSharded.Commits,
+			UnshardedCommits:   sSingle.Commits,
+			SingleShardCommits: sSharded.Metrics.SingleShardCommits,
+			CrossShardCommits:  sSharded.Metrics.CrossShardCommits,
+			CrossShardRatio:    sSharded.CrossShardRatio,
+		}
+		if e.UnshardedTxPerSec > 0 {
+			e.Ratio = e.ShardedTxPerSec / e.UnshardedTxPerSec
+		}
+		doc.Throughput[m.String()] = e
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
 func meanOf(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -538,6 +633,14 @@ func runAveraged(ctx context.Context, f harness.Figure, scale harness.Scale, mod
 			a.Metrics.Add(series.Metrics)
 			a.DroppedCommits += series.DroppedCommits
 			a.WAL.Add(series.WAL)
+			for i := range a.Shards {
+				if i < len(series.Shards) {
+					a.Shards[i].Add(series.Shards[i])
+				}
+			}
+			if a.Metrics.Commits > 0 {
+				a.CrossShardRatio = float64(a.Metrics.CrossShardCommits) / float64(a.Metrics.Commits)
+			}
 			// Stage percentiles are digests and cannot be averaged across
 			// runs; the first repetition's digest stands for the figure.
 		}

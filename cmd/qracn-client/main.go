@@ -95,9 +95,28 @@ func main() {
 	client := transport.NewTCPClient(addrs, *compress)
 	client.SetCodec(codec)
 	defer client.Close()
+
+	// Sharded clusters advertise their shard map; fetch it from the first
+	// answering node so every access routes to its owning quorum group. An
+	// unsharded cluster answers not-found and the client runs over the
+	// single tree — the fetch failing is not an error.
+	var allNodes []quorum.NodeID
+	for i := range parts {
+		allNodes = append(allNodes, quorum.NodeID(i))
+	}
+	mapCtx, cancelMap := context.WithTimeout(context.Background(), 5*time.Second)
+	shards, shardErr := dtm.FetchShardMap(mapCtx, client, allNodes, nil)
+	cancelMap()
+	if shardErr == nil {
+		fmt.Printf("shard map %q (version %d, %d groups)\n", shards.String(), shards.Version(), shards.NumShards())
+	} else {
+		shards = nil
+	}
+
 	tree := quorum.NewTree(len(addrs), 3)
 	dcfg := dtm.Config{
 		Tree:       tree,
+		Shards:     shards,
 		Client:     client,
 		ClientSeed: *clientID,
 		Seed:       *seed,
@@ -167,6 +186,14 @@ func main() {
 	m := rt.Metrics().Snapshot()
 	fmt.Printf("total commits=%d full-aborts=%d partial-aborts=%d\n",
 		m.Commits, m.ParentAborts, m.SubAborts)
+	if shards != nil {
+		fmt.Printf("sharding: single-shard-commits=%d cross-shard-commits=%d cross-shard-aborts=%d\n",
+			m.SingleShardCommits, m.CrossShardCommits, m.CrossShardAborts)
+		for s, c := range rt.ShardSnapshot() {
+			fmt.Printf("  shard %d: commits=%d full-aborts=%d partial-aborts=%d\n",
+				s, c.Commits, c.ParentAborts, c.SubAborts)
+		}
+	}
 	fmt.Printf("reads: rounds=%d batched=%d prefetched-objects=%d transport-retries=%d\n",
 		m.RemoteReads, m.BatchReads, m.PrefetchedObjects, m.TransportRetries)
 	fmt.Printf("faults: failovers=%d suspicions=%d probes=%d readmissions=%d repairs=%d\n",

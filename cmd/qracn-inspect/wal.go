@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"qracn/internal/store"
 	"qracn/internal/wal"
@@ -23,6 +25,12 @@ import (
 // (the transactions a crashed node would re-enter cooperative termination
 // for); with -strict a non-empty in-doubt set also exits 1, so operators can
 // refuse to retire a node whose log still holds undecided votes.
+//
+// A sharded cluster's WAL parent (shard-<s>/node-<id> subdirectories, the
+// layout the cluster runtimes write) is accepted directly: every node's log
+// is scanned and each shard gets a rollup line with its record count, wire
+// format breakdown, and in-doubt total — in-doubt is always reported in
+// this mode, and -strict applies to the cross-shard total.
 func walMain(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("qracn-inspect wal", flag.ExitOnError)
 	records := fs.Bool("records", false, "dump every record (txid, block, key, version)")
@@ -36,7 +44,7 @@ func walMain(args []string, out io.Writer) int {
 
 	exit := 0
 	for _, path := range fs.Args() {
-		doubt, err := inspectWALPath(path, *records, *inDoubt, out)
+		doubt, err := inspectWALPath(path, *records, *inDoubt, nil, out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qracn-inspect: %s: %v\n", path, err)
 			exit = 1
@@ -103,16 +111,21 @@ func (d *doubtScan) report(out io.Writer) int {
 	return len(doubt)
 }
 
-func inspectWALPath(path string, dump, reportDoubt bool, out io.Writer) (int, error) {
+func inspectWALPath(path string, dump, reportDoubt bool, agg map[wal.Format]int, out io.Writer) (int, error) {
 	info, err := os.Stat(path)
 	if err != nil {
 		return 0, err
+	}
+	if info.IsDir() && agg == nil {
+		if doubt, ok, err := inspectShardRoot(path, dump, out); ok {
+			return doubt, err
+		}
 	}
 	maxVer := map[store.ObjectID]uint64{}
 	scan := newDoubtScan()
 	var firstErr error
 	if !info.IsDir() {
-		if err := inspectSegment(path, dump, maxVer, scan, out); err != nil {
+		if err := inspectSegment(path, dump, maxVer, scan, agg, out); err != nil {
 			firstErr = err
 		}
 		printMaxVersions(maxVer, out)
@@ -151,7 +164,7 @@ func inspectWALPath(path string, dump, reportDoubt bool, out io.Writer) (int, er
 		return 0, fmt.Errorf("no snapshot or segment files")
 	}
 	for _, s := range segs {
-		if err := inspectSegment(s, dump, maxVer, scan, out); err != nil && firstErr == nil {
+		if err := inspectSegment(s, dump, maxVer, scan, agg, out); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -163,10 +176,13 @@ func inspectWALPath(path string, dump, reportDoubt bool, out io.Writer) (int, er
 	return doubt, firstErr
 }
 
-func inspectSegment(path string, dump bool, maxVer map[store.ObjectID]uint64, scan *doubtScan, out io.Writer) error {
+func inspectSegment(path string, dump bool, maxVer map[store.ObjectID]uint64, scan *doubtScan, agg map[wal.Format]int, out io.Writer) error {
 	formats := map[wal.Format]int{}
 	n, err := wal.ScanSegmentFormats(path, func(rec *wal.Record, off int64, f wal.Format) error {
 		formats[f]++
+		if agg != nil {
+			agg[f]++
+		}
 		scan.observe(rec)
 		if rec.Version > maxVer[rec.Key] {
 			maxVer[rec.Key] = rec.Version
@@ -209,6 +225,73 @@ func inspectSegment(path string, dump bool, maxVer map[store.ObjectID]uint64, sc
 	}
 	fmt.Fprintf(out, "%s: %d records%s, crc ok\n", filepath.Base(path), n, formatBreakdown(formats))
 	return nil
+}
+
+// inspectShardRoot handles a sharded cluster's WAL parent: a directory of
+// shard-<s> subdirectories each holding node-<id> WAL directories (the
+// layout the cluster runtimes write). It reports every node's log and one
+// rollup line per shard, and returns ok=false when the directory is not a
+// shard root.
+func inspectShardRoot(path string, dump bool, out io.Writer) (int, bool, error) {
+	shardDirs, err := filepath.Glob(filepath.Join(path, "shard-*"))
+	if err != nil || len(shardDirs) == 0 {
+		return 0, false, nil
+	}
+	sortByNumericSuffix(shardDirs)
+	totalDoubt := 0
+	var firstErr error
+	for _, sd := range shardDirs {
+		nodeDirs, err := filepath.Glob(filepath.Join(sd, "node-*"))
+		if err != nil || len(nodeDirs) == 0 {
+			// A shard with no node logs yet is reported, not an error.
+			fmt.Fprintf(out, "%s: no node WAL directories\n", filepath.Base(sd))
+			continue
+		}
+		sortByNumericSuffix(nodeDirs)
+		agg := map[wal.Format]int{}
+		shardDoubt := 0
+		for _, nd := range nodeDirs {
+			fmt.Fprintf(out, "%s/%s:\n", filepath.Base(sd), filepath.Base(nd))
+			doubt, err := inspectWALPath(nd, dump, true, agg, out)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			shardDoubt += doubt
+		}
+		records := 0
+		for _, n := range agg {
+			records += n
+		}
+		fmt.Fprintf(out, "%s: %d nodes, %d records%s, %d in doubt\n",
+			filepath.Base(sd), len(nodeDirs), records, formatBreakdown(agg), shardDoubt)
+		totalDoubt += shardDoubt
+	}
+	return totalDoubt, true, firstErr
+}
+
+// sortByNumericSuffix orders paths like shard-2 before shard-10 (falling
+// back to lexical order for non-numeric suffixes).
+func sortByNumericSuffix(paths []string) {
+	key := func(p string) (int, bool) {
+		base := filepath.Base(p)
+		i := strings.LastIndexByte(base, '-')
+		if i < 0 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(base[i+1:])
+		return n, err == nil
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		ni, iok := key(paths[i])
+		nj, jok := key(paths[j])
+		if iok && jok {
+			return ni != nj && ni < nj || ni == nj && paths[i] < paths[j]
+		}
+		if iok != jok {
+			return iok
+		}
+		return paths[i] < paths[j]
+	})
 }
 
 // formatBreakdown renders a per-format record count like " (3 binary, 2 gob)";

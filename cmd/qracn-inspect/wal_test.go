@@ -165,6 +165,55 @@ func TestWalSubcommandBadRecordExitsNonZero(t *testing.T) {
 	}
 }
 
+// TestWalSubcommandShardedParent points the inspector at a sharded
+// cluster's WAL parent (shard-<s>/node-<id> subdirectories) and checks it
+// reports every node's log plus a per-shard rollup with record counts and
+// the in-doubt total, with -strict applying to the cross-shard sum.
+func TestWalSubcommandShardedParent(t *testing.T) {
+	root := t.TempDir()
+	// Shard 0: two clean node logs. Shard 1: one node with a stranded vote.
+	buildLog(t, filepath.Join(root, "shard-0", "node-0"))
+	buildLog(t, filepath.Join(root, "shard-0", "node-1"))
+	log, _, err := wal.Open(filepath.Join(root, "shard-1", "node-2"), wal.Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(wal.Record{
+		Type:   wal.RecordPrepare,
+		TxID:   "stranded-tx",
+		Writes: []store.WriteDesc{{ID: store.ID("acct", 0), Value: store.Int64(9), NewVersion: 2}},
+		Quorum: []quorum.NodeID{0, 1, 2, 3, 4, 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if code := walMain([]string{root}, &out); code != 0 {
+		t.Fatalf("exit %d on a clean sharded parent\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"shard-0/node-0:",
+		"shard-0/node-1:",
+		"shard-1/node-2:",
+		"shard-0: 2 nodes, 10 records (10 binary), 0 in doubt",
+		"shard-1: 1 nodes, 1 records (1 binary), 1 in doubt",
+		"stranded-tx",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	if code := walMain([]string{"-in-doubt", "-strict", root}, &out); code == 0 {
+		t.Fatalf("-strict exited 0 with a stranded vote in shard 1\n%s", out.String())
+	}
+}
+
 // TestWalSubcommandInDoubtReport writes a log holding one decided and one
 // undecided 2PC vote and checks -in-doubt reports exactly the undecided one,
 // with -strict turning it into a non-zero exit.

@@ -35,6 +35,7 @@ import (
 	"qracn/internal/dtm"
 	"qracn/internal/quorum"
 	"qracn/internal/server"
+	"qracn/internal/shard"
 	"qracn/internal/trace"
 	"qracn/internal/transport"
 	"qracn/internal/wal"
@@ -58,8 +59,33 @@ func main() {
 		ttlAbort    = flag.Duration("ttl-abort-after", 0, "last-resort abort deadline when a complete peer round finds every participant equally in doubt (0: 60s default; must exceed the clients' -decide-timeout)")
 		unsafeTTL   = flag.Bool("unsafe-ttl-abort", false, "allow -ttl-abort-after at or below the default client -decide-timeout (only safe when every client runs with a smaller -decide-timeout)")
 		peersArg    = flag.String("peers", "", "comma-separated addresses of ALL nodes in tree order (node 0 first, this node included); enables the background cooperative-termination resolver")
+		shardMap    = flag.String("shard-map", "", "keyspace shard map as semicolon-separated quorum groups of node IDs (e.g. \"0-2;3-5\"); the node serves it to clients and scopes itself to its own group")
+		shardID     = flag.Int("shard-id", -1, "this node's shard index in -shard-map (cross-checked against the map; -1 derives it from the map)")
+		shardDegree = flag.Int("shard-degree", 0, "tree-quorum degree within each shard group (0: default 3)")
 	)
 	flag.Parse()
+
+	var shards *shard.Map
+	if *shardMap != "" {
+		m, err := shard.Parse(*shardMap, 1, *shardDegree)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		home := m.HomeOf(quorum.NodeID(*id))
+		if home < 0 {
+			fmt.Fprintf(os.Stderr, "-shard-map %q does not place node %d in any group\n", *shardMap, *id)
+			os.Exit(2)
+		}
+		if *shardID >= 0 && *shardID != home {
+			fmt.Fprintf(os.Stderr, "-shard-id %d contradicts -shard-map %q, which homes node %d in shard %d\n", *shardID, *shardMap, *id, home)
+			os.Exit(2)
+		}
+		shards = m
+	} else if *shardID >= 0 {
+		fmt.Fprintln(os.Stderr, "-shard-id requires -shard-map")
+		os.Exit(2)
+	}
 
 	walFormat, err := wal.FormatByName(*codecName)
 	if err != nil {
@@ -97,6 +123,7 @@ func main() {
 		SnapshotEvery: *snapEvery,
 		ResolveAfter:  *resolveAft,
 		TTLAbortAfter: *ttlAbort,
+		Shards:        shards,
 	}
 	if *traceCap > 0 {
 		scfg.Tracer = trace.New(*traceCap)
@@ -139,6 +166,10 @@ func main() {
 			*id, addr, *statsWindow, *walDir, walFormat, rec.SnapshotObjects, rec.LogRecords)
 	} else {
 		fmt.Printf("qracn-node %d serving on %s (stats window %v, volatile)\n", *id, addr, *statsWindow)
+	}
+	if shards != nil {
+		fmt.Printf("shard %d of map %q (version %d, %d groups)\n",
+			shards.HomeOf(quorum.NodeID(*id)), shards.String(), shards.Version(), shards.NumShards())
 	}
 
 	var peerClient *transport.TCPClient

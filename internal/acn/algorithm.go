@@ -20,6 +20,13 @@ type AlgoConfig struct {
 	DisableReattach bool
 	DisableMerge    bool
 	DisableSort     bool
+	// ShardHome, when non-nil, reports the keyspace shard hosting a
+	// UnitBlock's recent accesses (-1: unknown). The merge step then skips
+	// merges across different known homes: a merged Block prefetches and
+	// validates as one batch, and keeping it inside a single quorum group
+	// keeps that batch — and any partial rollback that re-executes it — a
+	// one-group operation.
+	ShardHome func(anchorID int) int
 }
 
 func (c *AlgoConfig) fillDefaults() {
@@ -163,11 +170,33 @@ func (alg *Algorithm) merge(hosts []int, groups [][]int, probs []float64) [][]in
 		}
 		return d <= alg.cfg.MergeThreshold*hi
 	}
+	home := func(g []int) int {
+		if alg.cfg.ShardHome == nil {
+			return -1
+		}
+		h := -1
+		for _, a := range g {
+			s := alg.cfg.ShardHome(a)
+			if s < 0 {
+				continue
+			}
+			if h < 0 {
+				h = s
+			} else if h != s {
+				return -1 // mixed accesses: no single home
+			}
+		}
+		return h
+	}
+	colocated := func(ga, gb []int) bool {
+		ha, hb := home(ga), home(gb)
+		return ha < 0 || hb < 0 || ha == hb
+	}
 
 	out := [][]int{groups[0]}
 	for i := 1; i < len(groups); i++ {
 		last := out[len(out)-1]
-		if dependent(last, groups[i]) && similar(last, groups[i]) {
+		if dependent(last, groups[i]) && similar(last, groups[i]) && colocated(last, groups[i]) {
 			candidate := append(append([]int(nil), last...), groups[i]...)
 			sort.Ints(candidate)
 			rest := append(append([][]int(nil), out[:len(out)-1]...), candidate)

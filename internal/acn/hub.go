@@ -43,12 +43,38 @@ func NewHub(rt *dtm.Runtime, cfg HubConfig) *Hub {
 }
 
 // Register adds a profile's executor; its Block sequence will be recomposed
-// on every refresh with the given algorithm configuration.
+// on every refresh with the given algorithm configuration. On a sharded
+// runtime an unset ShardHome defaults to the plurality shard of the
+// anchor's recently sampled objects, so recomposition prefers Blocks that
+// stay within one quorum group.
 func (h *Hub) Register(exec *Executor, cfg AlgoConfig) {
+	if cfg.ShardHome == nil {
+		if m := h.rt.ShardMap(); m != nil && m.NumShards() > 1 {
+			e := exec
+			cfg.ShardHome = func(anchor int) int {
+				return anchorHome(m.ShardFor, e.AnchorSample(anchor))
+			}
+		}
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.execs = append(h.execs, exec)
 	h.algos = append(h.algos, NewAlgorithm(exec.Analysis(), cfg))
+}
+
+// anchorHome reports the shard owning the plurality of an anchor's recently
+// sampled objects (-1 when the anchor has no samples yet).
+func anchorHome(shardOf func(store.ObjectID) int, ids []store.ObjectID) int {
+	best, bestN := -1, 0
+	counts := make(map[int]int)
+	for _, id := range ids {
+		s := shardOf(id)
+		counts[s]++
+		if counts[s] > bestN || (counts[s] == bestN && s < best) {
+			best, bestN = s, counts[s]
+		}
+	}
+	return best
 }
 
 // Table exposes the shared contention table.

@@ -15,6 +15,7 @@ import (
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/server"
+	"qracn/internal/shard"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 	"qracn/internal/transport"
@@ -28,6 +29,13 @@ type Config struct {
 	// Degree is the quorum tree fan-out (default 3, the paper's ternary
 	// tree).
 	Degree int
+	// Shards, when > 1, partitions the Servers into that many independent
+	// quorum groups (contiguous, near-equal, each with its own tree of the
+	// same Degree). Every node serves the resulting map over
+	// wire.KindShardMap, client runtimes route per object through it, and
+	// on a durable cluster each shard keeps its WAL under
+	// WALDir/shard-s/node-i. 0 or 1 leaves the cluster unsharded.
+	Shards int
 	// Network tunes the simulated interconnect.
 	Network transport.ChannelConfig
 	// StatsWindow is the contention observation window on every node.
@@ -71,6 +79,8 @@ type Cluster struct {
 	Tree  *quorum.Tree
 	Net   *transport.ChannelNetwork
 	Nodes []*server.Node
+	// Shards is the cluster's shard map (nil when unsharded).
+	Shards *shard.Map
 
 	cfg          Config // retained for CrashRestart node rebuilds
 	resolversOn  bool
@@ -100,6 +110,9 @@ func NewDurable(cfg Config) (*Cluster, error) {
 		Net:  transport.NewChannelNetwork(cfg.Network),
 		cfg:  cfg,
 	}
+	if cfg.Shards > 1 {
+		c.Shards = shard.NewUniform(cfg.Servers, cfg.Shards, cfg.Degree)
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		n, err := c.buildNode(quorum.NodeID(i))
 		if err != nil {
@@ -123,6 +136,7 @@ func (c *Cluster) buildNode(id quorum.NodeID) (*server.Node, error) {
 		SnapshotEvery: cfg.SnapshotEvery,
 		ResolveAfter:  cfg.ResolveAfter,
 		TTLAbortAfter: cfg.TTLAbortAfter,
+		Shards:        c.Shards,
 	}
 	if cfg.TraceCapacity > 0 {
 		scfg.Tracer = trace.New(cfg.TraceCapacity)
@@ -130,6 +144,12 @@ func (c *Cluster) buildNode(id quorum.NodeID) (*server.Node, error) {
 	var rec *wal.Recovered
 	if cfg.WALDir != "" {
 		dir := filepath.Join(cfg.WALDir, fmt.Sprintf("node-%d", id))
+		if c.Shards != nil {
+			// Per-shard WAL layout: each quorum group owns a directory, so
+			// an operator (or qracn-inspect wal) can reason about one
+			// shard's durable state in isolation.
+			dir = filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%d", c.Shards.HomeOf(id)), fmt.Sprintf("node-%d", id))
+		}
 		log, r, err := wal.Open(dir, wal.Options{FsyncInterval: cfg.FsyncInterval, Format: cfg.WALFormat})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d wal: %w", id, err)
@@ -179,11 +199,17 @@ func (c *Cluster) CrashRestart(id quorum.NodeID) error {
 	return nil
 }
 
-// Seed installs the same objects on every replica (full replication).
+// Seed installs objects on every replica that owns them: full replication
+// when unsharded, the owning quorum group's members only under a shard map
+// (foreign replicas must never hold a shard's objects, or stale copies
+// could answer reads routed by a future map version).
 func (c *Cluster) Seed(objs map[store.ObjectID]store.Value) {
 	for _, n := range c.Nodes {
 		cp := make(map[store.ObjectID]store.Value, len(objs))
 		for id, v := range objs {
+			if c.Shards != nil && !c.Shards.GroupOf(id).Contains(n.ID()) {
+				continue
+			}
 			if v != nil {
 				cp[id] = v.CloneValue()
 			} else {
@@ -214,6 +240,7 @@ func (c *Cluster) clampDecide(cfg *dtm.Config) {
 // fault tests deterministic.
 func (c *Cluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Tree = c.Tree
+	cfg.Shards = c.Shards
 	cfg.Client = c.Net
 	cfg.Alive = c.Net.Alive
 	cfg.ClientSeed = clientSeed
@@ -227,6 +254,7 @@ func (c *Cluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 // to exercise detector-driven failover end to end.
 func (c *Cluster) DetectorRuntime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Tree = c.Tree
+	cfg.Shards = c.Shards
 	cfg.Client = c.Net
 	cfg.Alive = nil
 	cfg.ClientSeed = clientSeed

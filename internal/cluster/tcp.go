@@ -9,6 +9,7 @@ import (
 	"qracn/internal/dtm"
 	"qracn/internal/quorum"
 	"qracn/internal/server"
+	"qracn/internal/shard"
 	"qracn/internal/store"
 	"qracn/internal/transport"
 	"qracn/internal/wal"
@@ -21,6 +22,10 @@ type TCPConfig struct {
 	Servers int
 	// Degree is the quorum tree fan-out (default 3).
 	Degree int
+	// Shards, when > 1, partitions the Servers into that many independent
+	// quorum groups (see cluster.Config.Shards). Durable nodes keep their
+	// logs under WALDir/shard-s/node-i.
+	Shards int
 	// StatsWindow is the contention observation window.
 	StatsWindow time.Duration
 	// Compress enables flate compression of large frames.
@@ -64,6 +69,8 @@ type TCPConfig struct {
 type TCPCluster struct {
 	Tree  *quorum.Tree
 	Nodes []*server.Node
+	// Shards is the cluster's shard map (nil when unsharded).
+	Shards *shard.Map
 
 	servers     []*transport.TCPServer
 	addrs       map[quorum.NodeID]string
@@ -90,6 +97,9 @@ type TCPCluster struct {
 func (c *TCPCluster) Durable() bool { return c.walDir != "" }
 
 func (c *TCPCluster) nodeWALDir(id quorum.NodeID) string {
+	if c.Shards != nil {
+		return filepath.Join(c.walDir, fmt.Sprintf("shard-%d", c.Shards.HomeOf(id)), fmt.Sprintf("node-%d", id))
+	}
 	return filepath.Join(c.walDir, fmt.Sprintf("node-%d", id))
 }
 
@@ -102,6 +112,7 @@ func (c *TCPCluster) newNode(id quorum.NodeID, log *wal.Log) *server.Node {
 		SnapshotEvery: c.snapshotEvery,
 		ResolveAfter:  c.resolveAfter,
 		TTLAbortAfter: c.ttlAbortAfter,
+		Shards:        c.Shards,
 	})
 	if c.protectTTL > 0 {
 		n.Store().SetProtectTTL(c.protectTTL, c.now)
@@ -131,6 +142,9 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		walFormat:     cfg.WALFormat,
 		resolveAfter:  cfg.ResolveAfter,
 		ttlAbortAfter: cfg.TTLAbortAfter,
+	}
+	if cfg.Shards > 1 {
+		c.Shards = shard.NewUniform(cfg.Servers, cfg.Shards, cfg.Degree)
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		id := quorum.NodeID(i)
@@ -179,6 +193,9 @@ func (c *TCPCluster) Seed(objs map[store.ObjectID]store.Value) {
 	for _, n := range c.Nodes {
 		cp := make(map[store.ObjectID]store.Value, len(objs))
 		for id, v := range objs {
+			if c.Shards != nil && !c.Shards.GroupOf(id).Contains(n.ID()) {
+				continue
+			}
 			if v != nil {
 				cp[id] = v.CloneValue()
 			} else {
@@ -203,6 +220,7 @@ func (c *TCPCluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	c.clients = append(c.clients, client)
 	c.mu.Unlock()
 	cfg.Tree = c.Tree
+	cfg.Shards = c.Shards
 	cfg.Client = client
 	cfg.ClientSeed = clientSeed
 	ttl := c.ttlAbortAfter

@@ -67,6 +67,17 @@ type Metrics struct {
 	// decision after the decide budget expired; each is left to the
 	// cooperative termination protocol.
 	DecisionsDropped atomic.Uint64
+
+	// SingleShardCommits counts committed transactions whose accesses all
+	// fell in one quorum group (sharded runtimes only — the fast path that
+	// never crosses group boundaries).
+	SingleShardCommits atomic.Uint64
+	// CrossShardCommits counts committed transactions that spanned two or
+	// more quorum groups (per-group prepares under one 2PC).
+	CrossShardCommits atomic.Uint64
+	// CrossShardAborts counts cross-shard commit attempts rejected at
+	// prepare time (validation failure or busy objects in any group).
+	CrossShardAborts atomic.Uint64
 }
 
 // WALStats aggregates server-side write-ahead-log counters across the nodes
@@ -178,6 +189,9 @@ type Snapshot struct {
 	Repairs             uint64
 	DecisionRetries     uint64
 	DecisionsDropped    uint64
+	SingleShardCommits  uint64
+	CrossShardCommits   uint64
+	CrossShardAborts    uint64
 }
 
 // Add accumulates another snapshot into s, field by field. It walks the
@@ -216,5 +230,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Repairs:             m.Repairs.Load(),
 		DecisionRetries:     m.DecisionRetries.Load(),
 		DecisionsDropped:    m.DecisionsDropped.Load(),
+		SingleShardCommits:  m.SingleShardCommits.Load(),
+		CrossShardCommits:   m.CrossShardCommits.Load(),
+		CrossShardAborts:    m.CrossShardAborts.Load(),
 	}
 }

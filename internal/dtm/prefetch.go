@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qracn/internal/quorum"
+	"qracn/internal/shard"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 	"qracn/internal/wire"
@@ -53,9 +54,10 @@ func (tx *Tx) Prefetch(ids ...store.ObjectID) error {
 	return err
 }
 
-// prefetchInner is the batched-read body; spanID (when non-zero) is stamped
-// on the batch request and its sub-reads so server spans nest under the
-// client's prefetch span.
+// prefetchInner dedupes and filters the requested IDs, then runs one batched
+// quorum round per owning quorum group (a single round when unsharded);
+// spanID (when non-zero) is stamped on the batch requests and their
+// sub-reads so server spans nest under the client's prefetch span.
 func (tx *Tx) prefetchInner(ids []store.ObjectID, spanID uint64) error {
 	need := make([]store.ObjectID, 0, len(ids))
 	seen := make(map[store.ObjectID]bool, len(ids))
@@ -75,7 +77,20 @@ func (tx *Tx) prefetchInner(ids []store.ObjectID, spanID uint64) error {
 	if len(need) == 0 {
 		return nil
 	}
+	if m := tx.rt.cfg.Shards; m != nil && m.NumShards() > 1 {
+		for _, p := range m.Partition(need) {
+			if err := tx.prefetchGroup(p.Group, p.IDs, spanID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return tx.prefetchGroup(tx.rt.groupFor(need[0]), need, spanID)
+}
 
+// prefetchGroup performs one batched first-access round against a single
+// quorum group's read quorum (the whole-cluster tree when g is nil).
+func (tx *Tx) prefetchGroup(g *shard.Group, need []store.ObjectID, spanID uint64) error {
 	rt := tx.rt
 	subs := make([]*wire.Request, len(need))
 	for i, id := range need {
@@ -83,7 +98,7 @@ func (tx *Tx) prefetchInner(ids []store.ObjectID, spanID uint64) error {
 		if i == 0 {
 			// One sub-request per node carries the incremental-validation
 			// list; replica-side validation is per-store, so once is enough.
-			rr.Validate = tx.validationList()
+			rr.Validate = tx.validationListFor(g)
 		}
 		subs[i] = &wire.Request{Kind: wire.KindRead, TxID: tx.id, Read: rr}
 		if spanID != 0 {
@@ -104,7 +119,7 @@ func (tx *Tx) prefetchInner(ids []store.ObjectID, spanID uint64) error {
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "prefetch quorum re-selection")
 		}
-		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
+		q, err := rt.selectReadQuorumIn(g, tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
 		}

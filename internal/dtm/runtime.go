@@ -9,6 +9,7 @@ import (
 
 	"qracn/internal/health"
 	"qracn/internal/quorum"
+	"qracn/internal/shard"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 	"qracn/internal/transport"
@@ -17,8 +18,17 @@ import (
 
 // Config parameterizes a client-side Runtime.
 type Config struct {
-	// Tree is the logical quorum tree shared by the whole cluster.
+	// Tree is the logical quorum tree shared by the whole cluster. May be
+	// nil when Shards is set (each group then carries its own tree).
 	Tree *quorum.Tree
+	// Shards, when non-nil, routes every object access to its owning quorum
+	// group: reads, prefetch batches, and contention-stats queries go to the
+	// object's group, single-group transactions commit against that group's
+	// write quorum alone, and transactions spanning several groups drive 2PC
+	// across every touched group (prepares stamped with the union of all
+	// groups' write-quorum members so cooperative termination can reach
+	// across groups). Nil preserves the unsharded behaviour over Tree.
+	Shards *shard.Map
 	// Client is the transport used to reach quorum nodes.
 	Client transport.Client
 	// Alive filters nodes believed reachable (nil: all alive). When both
@@ -183,12 +193,17 @@ type Runtime struct {
 	// of reads observing the same stale member sends one push, not many.
 	repairMu  sync.Mutex
 	repairing map[store.ObjectID]bool
+
+	// shardStats holds per-shard commit/abort attribution counters (nil
+	// when unsharded); see ShardSnapshot.
+	shardStats []shardCounters
 }
 
-// New creates a Runtime. It panics if Tree or Client is missing.
+// New creates a Runtime. It panics if Client is missing, or if neither Tree
+// nor Shards describes the cluster's quorum layout.
 func New(cfg Config) *Runtime {
-	if cfg.Tree == nil || cfg.Client == nil {
-		panic("dtm: Config.Tree and Config.Client are required")
+	if cfg.Client == nil || (cfg.Tree == nil && cfg.Shards == nil) {
+		panic("dtm: Config.Client and one of Config.Tree/Config.Shards are required")
 	}
 	cfg.fillDefaults()
 	seed := cfg.Seed
@@ -200,6 +215,9 @@ func New(cfg Config) *Runtime {
 		site:      fmt.Sprintf("client-%d", cfg.ClientSeed),
 		rng:       rand.New(rand.NewSource(seed)),
 		repairing: make(map[store.ObjectID]bool),
+	}
+	if cfg.Shards != nil {
+		rt.shardStats = make([]shardCounters, cfg.Shards.NumShards())
 	}
 	if !cfg.DisableDetector {
 		rt.health = cfg.Health
@@ -242,6 +260,9 @@ func (rt *Runtime) sampleTrace(seq uint64) bool {
 // Health exposes the runtime's failure detector (nil when disabled).
 func (rt *Runtime) Health() *health.Detector { return rt.health }
 
+// ShardMap exposes the runtime's shard map (nil when unsharded).
+func (rt *Runtime) ShardMap() *shard.Map { return rt.cfg.Shards }
+
 // aliveView composes the static Alive oracle with the failure detector: a
 // node must pass both to be eligible for quorum selection.
 func (rt *Runtime) aliveView(id quorum.NodeID) bool {
@@ -254,46 +275,62 @@ func (rt *Runtime) aliveView(id quorum.NodeID) bool {
 	return true
 }
 
-// selectReadQuorum picks a read quorum under the composed alive view minus
-// the operation's exclude set, relaxing in two steps when that fails: first
-// drop the exclude set, then the detector's suspicions. A quorum containing
-// a suspect beats no quorum — availability never regresses below what the
+// quorumFn is the shape shared by the tree-wide and group-scoped quorum
+// selectors (quorum.Tree's *Excluding methods and shard.Group's
+// ReadQuorum/WriteQuorum).
+type quorumFn func(seed int, f quorum.AliveFunc, excl quorum.ExcludeSet) ([]quorum.NodeID, error)
+
+// selectQuorum picks a quorum under the composed alive view minus the
+// operation's exclude set, relaxing in two steps when that fails: first drop
+// the exclude set, then the detector's suspicions. A quorum containing a
+// suspect beats no quorum — availability never regresses below what the
 // static oracle alone would allow.
-func (rt *Runtime) selectReadQuorum(seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
-	q, err := rt.cfg.Tree.ReadQuorumExcluding(seed, rt.aliveView, excl)
+func (rt *Runtime) selectQuorum(sel quorumFn, seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
+	q, err := sel(seed, rt.aliveView, excl)
 	if err == nil {
 		return q, nil
 	}
 	if len(excl) > 0 {
-		if q, err2 := rt.cfg.Tree.ReadQuorumExcluding(seed, rt.aliveView, nil); err2 == nil {
+		if q, err2 := sel(seed, rt.aliveView, nil); err2 == nil {
 			return q, nil
 		}
 	}
 	if rt.health != nil {
-		if q, err2 := rt.cfg.Tree.ReadQuorumExcluding(seed, rt.cfg.Alive, nil); err2 == nil {
+		if q, err2 := sel(seed, rt.cfg.Alive, nil); err2 == nil {
 			return q, nil
 		}
 	}
 	return nil, err
 }
 
-// selectWriteQuorum is selectReadQuorum for write quorums.
-func (rt *Runtime) selectWriteQuorum(seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
-	q, err := rt.cfg.Tree.WriteQuorumExcluding(seed, rt.aliveView, excl)
-	if err == nil {
-		return q, nil
+// groupFor returns the quorum group owning id, or nil when unsharded.
+func (rt *Runtime) groupFor(id store.ObjectID) *shard.Group {
+	if rt.cfg.Shards == nil {
+		return nil
 	}
-	if len(excl) > 0 {
-		if q, err2 := rt.cfg.Tree.WriteQuorumExcluding(seed, rt.aliveView, nil); err2 == nil {
-			return q, nil
-		}
+	return rt.cfg.Shards.GroupOf(id)
+}
+
+// selectReadQuorumIn picks a read quorum within group g (the whole-cluster
+// tree when g is nil).
+func (rt *Runtime) selectReadQuorumIn(g *shard.Group, seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
+	if g != nil {
+		return rt.selectQuorum(g.ReadQuorum, seed, excl)
 	}
-	if rt.health != nil {
-		if q, err2 := rt.cfg.Tree.WriteQuorumExcluding(seed, rt.cfg.Alive, nil); err2 == nil {
-			return q, nil
-		}
+	return rt.selectQuorum(rt.cfg.Tree.ReadQuorumExcluding, seed, excl)
+}
+
+// selectWriteQuorumIn is selectReadQuorumIn for write quorums.
+func (rt *Runtime) selectWriteQuorumIn(g *shard.Group, seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
+	if g != nil {
+		return rt.selectQuorum(g.WriteQuorum, seed, excl)
 	}
-	return nil, err
+	return rt.selectQuorum(rt.cfg.Tree.WriteQuorumExcluding, seed, excl)
+}
+
+// selectReadQuorum is the unsharded (tree-wide) read-quorum selection.
+func (rt *Runtime) selectReadQuorum(seed int, excl quorum.ExcludeSet) ([]quorum.NodeID, error) {
+	return rt.selectReadQuorumIn(nil, seed, excl)
 }
 
 // observe feeds one RPC outcome to the failure detector.
@@ -438,6 +475,7 @@ func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint
 		}
 		if err == nil {
 			rt.metrics.Commits.Add(1)
+			rt.noteShards(tx, shardCommit)
 			rt.cfg.Tracer.Record(trace.KindCommit, tx.id, "")
 			return nil
 		}
@@ -446,6 +484,7 @@ func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint
 			return err
 		}
 		rt.metrics.ParentAborts.Add(1)
+		rt.noteShards(tx, shardParentAbort)
 		rt.cfg.Tracer.Record(trace.KindFullAbort, tx.id, ae.Reason)
 		if ae.Busy {
 			rt.metrics.BusyBackoffs.Add(1)
@@ -536,6 +575,29 @@ func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[st
 	if len(ids) == 0 {
 		return map[store.ObjectID]float64{}, nil
 	}
+	if rt.cfg.Shards != nil {
+		// A group's meters only see the write quorums its members hosted, so
+		// each shard's IDs are asked of that shard's own read quorum.
+		merged := make(map[store.ObjectID]float64, len(ids))
+		for _, p := range rt.cfg.Shards.Partition(ids) {
+			levels, err := rt.fetchStatsIn(ctx, p.Group, p.IDs)
+			if err != nil {
+				return nil, err
+			}
+			for id, lv := range levels {
+				if lv > merged[id] {
+					merged[id] = lv
+				}
+			}
+		}
+		return merged, nil
+	}
+	return rt.fetchStatsIn(ctx, nil, ids)
+}
+
+// fetchStatsIn is FetchStats scoped to one quorum group (the whole cluster
+// when g is nil).
+func (rt *Runtime) fetchStatsIn(ctx context.Context, g *shard.Group, ids []store.ObjectID) (map[store.ObjectID]float64, error) {
 	req := &wire.Request{Kind: wire.KindStats, Stats: &wire.StatsRequest{Objects: ids}}
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
@@ -544,7 +606,7 @@ func (rt *Runtime) FetchStats(ctx context.Context, ids []store.ObjectID) (map[st
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, "stats", "quorum re-selection")
 		}
-		q, err := rt.selectReadQuorum(rt.cfg.ClientSeed+attempt, excl)
+		q, err := rt.selectReadQuorumIn(g, rt.cfg.ClientSeed+attempt, excl)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrQuorumUnreachable, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qracn/internal/quorum"
+	"qracn/internal/shard"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 	"qracn/internal/wire"
@@ -91,6 +92,27 @@ func (tx *Tx) validationList() []store.ReadDesc {
 	for c := tx; c != nil; c = c.parent {
 		for _, id := range c.readOrder {
 			out = append(out, store.ReadDesc{ID: id, Version: c.reads[id]})
+		}
+	}
+	return out
+}
+
+// validationListFor is validationList restricted to the objects the given
+// quorum group owns (the whole list when unsharded). A group's members store
+// only their own shard's objects, so foreign entries can neither validate
+// nor invalidate there — sending them only wastes bytes. Commit-time
+// prepares still validate every read in its owning group.
+func (tx *Tx) validationListFor(g *shard.Group) []store.ReadDesc {
+	m := tx.rt.cfg.Shards
+	if m == nil || g == nil {
+		return tx.validationList()
+	}
+	var out []store.ReadDesc
+	for c := tx; c != nil; c = c.parent {
+		for _, id := range c.readOrder {
+			if m.GroupOf(id) == g {
+				out = append(out, store.ReadDesc{ID: id, Version: c.reads[id]})
+			}
 		}
 	}
 	return out
@@ -198,7 +220,7 @@ func (tx *Tx) remoteRead(id store.ObjectID) (store.Value, error) {
 // is stamped on the wire requests as the parent for server spans.
 func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, error) {
 	rt := tx.rt
-	validate := tx.validationList()
+	validate := tx.validationListFor(rt.groupFor(id))
 
 	req := &wire.Request{
 		Kind: wire.KindRead,
@@ -338,7 +360,7 @@ func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "read quorum re-selection")
 		}
-		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
+		q, err := rt.selectReadQuorumIn(rt.groupFor(req.Read.Object), tx.seed+attempt, excl)
 		if err != nil {
 			return nil, -1, errors.Join(ErrQuorumUnreachable, err)
 		}
@@ -399,7 +421,7 @@ func (tx *Tx) followUpRead(id store.ObjectID, node quorum.NodeID) (*wire.ReadRes
 	req := &wire.Request{
 		Kind: wire.KindRead,
 		TxID: tx.id,
-		Read: &wire.ReadRequest{Object: id, Validate: tx.validationList()},
+		Read: &wire.ReadRequest{Object: id, Validate: tx.validationListFor(rt.groupFor(id))},
 	}
 	if tx.traceID != "" {
 		req.TraceID = tx.traceID
@@ -501,6 +523,7 @@ func (tx *Tx) runSub(fn func(*Tx) error, block int, blockID uint64) error {
 			return err
 		}
 		rt.metrics.SubAborts.Add(1)
+		rt.noteShards(child, shardSubAbort)
 		rt.cfg.Tracer.Record(trace.KindPartialAbort, tx.id, ae.Reason)
 		if err := rt.backoff(tx.ctx, attempt); err != nil {
 			return err
@@ -526,7 +549,9 @@ func (tx *Tx) merge(child *Tx) {
 
 // commit finalizes a top-level transaction with two-phase commit against a
 // write quorum (read-only transactions validate against a read quorum and
-// skip 2PC).
+// skip 2PC). Under a shard map the touched quorum groups decide the path:
+// one group runs the ordinary single-quorum 2PC against that group alone,
+// several groups run the cross-shard 2PC (commitCrossShard).
 func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 	reads := make([]store.ReadDesc, 0, len(tx.readOrder))
 	for _, id := range tx.readOrder {
@@ -553,6 +578,23 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 		release = append(release, r.ID)
 	}
 
+	if rt.cfg.Shards == nil {
+		return rt.commitIn(ctx, tx, nil, reads, writes, release)
+	}
+	parts := partitionCommit(rt.cfg.Shards, reads, writes, release)
+	if len(parts) == 1 {
+		err := rt.commitIn(ctx, tx, parts[0].group, reads, writes, release)
+		if err == nil {
+			rt.metrics.SingleShardCommits.Add(1)
+		}
+		return err
+	}
+	return rt.commitCrossShard(ctx, tx, parts)
+}
+
+// commitIn is the single-quorum 2PC: prepare and decide against one write
+// quorum picked from group g (the whole-cluster tree when g is nil).
+func (rt *Runtime) commitIn(ctx context.Context, tx *Tx, g *shard.Group, reads []store.ReadDesc, writes []store.WriteDesc, release []store.ObjectID) error {
 	var lastErr error
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
@@ -560,7 +602,7 @@ func (rt *Runtime) commit(ctx context.Context, tx *Tx) error {
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "write quorum re-selection")
 		}
-		wq, err := rt.selectWriteQuorum(tx.seed+attempt, excl)
+		wq, err := rt.selectWriteQuorumIn(g, tx.seed+attempt, excl)
 		if err != nil {
 			return errors.Join(ErrQuorumUnreachable, err)
 		}
@@ -649,14 +691,12 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 	if len(reads) == 0 {
 		return nil
 	}
-	req := &wire.Request{
-		Kind:    wire.KindPrepare,
-		TxID:    tx.id,
-		Prepare: &wire.PrepareRequest{Reads: reads},
-	}
-	if tx.traceID != "" {
-		req.TraceID = tx.traceID
-		req.SpanID = tx.span
+	// One validation part per touched quorum group: each group's read quorum
+	// validates only the reads it owns. Unsharded runs are one part over the
+	// whole-cluster tree.
+	parts := []commitPart{{reads: reads}}
+	if rt.cfg.Shards != nil {
+		parts = partitionCommit(rt.cfg.Shards, reads, nil, nil)
 	}
 	var lastErr error
 	var excl quorum.ExcludeSet
@@ -665,13 +705,30 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "read quorum re-selection")
 		}
-		q, err := rt.selectReadQuorum(tx.seed+attempt, excl)
-		if err != nil {
-			return errors.Join(ErrQuorumUnreachable, err)
+		var nodes []quorum.NodeID
+		var reqs []*wire.Request
+		for _, p := range parts {
+			q, err := rt.selectReadQuorumIn(p.group, tx.seed+attempt, excl)
+			if err != nil {
+				return errors.Join(ErrQuorumUnreachable, err)
+			}
+			req := &wire.Request{
+				Kind:    wire.KindPrepare,
+				TxID:    tx.id,
+				Prepare: &wire.PrepareRequest{Reads: p.reads},
+			}
+			if tx.traceID != "" {
+				req.TraceID = tx.traceID
+				req.SpanID = tx.span
+			}
+			for _, n := range q {
+				nodes = append(nodes, n)
+				reqs = append(reqs, req)
+			}
 		}
 		rt.metrics.ReadOnlyFasts.Add(1)
 		prepStart := time.Now()
-		results := rt.fanout(ctx, q, req)
+		results := rt.fanoutEach(ctx, nodes, func(i int) *wire.Request { return reqs[i] })
 		rt.stages.Prepare.Record(time.Since(prepStart))
 		var invalid []store.ObjectID
 		ok := true

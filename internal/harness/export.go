@@ -55,6 +55,28 @@ type exportedSeries struct {
 	// Resolution is present only when some vote entered cooperative
 	// termination during the run.
 	Resolution *exportedResolution `json:"resolution,omitempty"`
+	// Sharding is present only on sharded runs.
+	Sharding *exportedSharding `json:"sharding,omitempty"`
+}
+
+// exportedSharding is the stable JSON schema for a sharded run's routing
+// breakdown: how commits split between the single-group fast path and
+// cross-group 2PC, and each shard's share of the outcomes (a cross-shard
+// transaction counts in every shard it touched).
+type exportedSharding struct {
+	SingleShardCommits uint64          `json:"single_shard_commits"`
+	CrossShardCommits  uint64          `json:"cross_shard_commits"`
+	CrossShardAborts   uint64          `json:"cross_shard_aborts"`
+	CrossShardRatio    float64         `json:"cross_shard_ratio"`
+	PerShard           []exportedShard `json:"per_shard"`
+}
+
+// exportedShard is one shard's outcome counts.
+type exportedShard struct {
+	Shard         int    `json:"shard"`
+	Commits       uint64 `json:"commits"`
+	FullAborts    uint64 `json:"full_aborts"`
+	PartialAborts uint64 `json:"partial_aborts"`
 }
 
 // exportedWAL is the stable JSON schema for the commit-log counters of a
@@ -89,6 +111,7 @@ type exportedResolution struct {
 type exportedResult struct {
 	Workload         string           `json:"workload"`
 	Servers          int              `json:"servers"`
+	Shards           int              `json:"shards,omitempty"`
 	Clients          int              `json:"clients"`
 	ThreadsPerClient int              `json:"threads_per_client"`
 	IntervalMS       int64            `json:"interval_ms"`
@@ -102,6 +125,7 @@ type exportedResult struct {
 func (r *Result) ExportJSON() ([]byte, error) {
 	out := exportedResult{
 		Servers:          r.Options.Servers,
+		Shards:           r.Options.Shards,
 		Clients:          r.Options.Clients,
 		ThreadsPerClient: r.Options.ThreadsPerClient,
 		IntervalMS:       r.Options.IntervalLength.Milliseconds(),
@@ -158,6 +182,23 @@ func (r *Result) ExportJSON() ([]byte, error) {
 				StatusQueries:      r.StatusQueries,
 				ResolveForwards:    r.ResolveForwards,
 			}
+		}
+		if s.Shards != nil {
+			sh := &exportedSharding{
+				SingleShardCommits: s.Metrics.SingleShardCommits,
+				CrossShardCommits:  s.Metrics.CrossShardCommits,
+				CrossShardAborts:   s.Metrics.CrossShardAborts,
+				CrossShardRatio:    s.CrossShardRatio,
+			}
+			for i, c := range s.Shards {
+				sh.PerShard = append(sh.PerShard, exportedShard{
+					Shard:         i,
+					Commits:       c.Commits,
+					FullAborts:    c.ParentAborts,
+					PartialAborts: c.SubAborts,
+				})
+			}
+			es.Sharding = sh
 		}
 		out.Series = append(out.Series, es)
 	}

@@ -42,6 +42,9 @@ type Scale struct {
 	// that in-doubt deadline. Both zero by default.
 	DecideTimeout time.Duration
 	ResolveAfter  time.Duration
+	// Shards > 1 partitions the keyspace across that many independent
+	// quorum groups (0/1: one cluster-wide tree quorum).
+	Shards int
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -75,6 +78,7 @@ func (s Scale) apply(o Options) Options {
 	o.NetJitter = s.NetJitter
 	o.DecideTimeout = s.DecideTimeout
 	o.ResolveAfter = s.ResolveAfter
+	o.Shards = s.Shards
 	return o
 }
 

@@ -75,6 +75,11 @@ type Options struct {
 	Workload workload.Workload
 	// Servers is the number of quorum nodes (default 10, as in the paper).
 	Servers int
+	// Shards, when > 1, partitions the servers into that many independent
+	// quorum groups; clients route per object and cross-shard transactions
+	// run 2PC across every touched group. 0 or 1 keeps one cluster-wide
+	// quorum tree.
+	Shards int
 	// Clients is the number of client nodes (default 8) and
 	// ThreadsPerClient the concurrent transactions per client (default 2).
 	Clients          int
@@ -229,6 +234,12 @@ type Series struct {
 	// intervals (after Close or past the configured window) and therefore
 	// are absent from Throughput.
 	DroppedCommits uint64
+	// Shards is the per-shard outcome breakdown on sharded runs (nil
+	// otherwise), aggregated over all clients. A cross-shard transaction
+	// counts in every shard it touched.
+	Shards []dtm.ShardCounts
+	// CrossShardRatio is CrossShardCommits / Commits on sharded runs.
+	CrossShardRatio float64
 }
 
 // StageSummaries are the percentile summaries of the client-side stage
@@ -287,6 +298,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 
 	ccfg := cluster.Config{
 		Servers: opts.Servers,
+		Shards:  opts.Shards,
 		Network: transport.ChannelConfig{
 			Latency: max(opts.NetLatency, 0),
 			Jitter:  max(opts.NetJitter, 0),
@@ -486,11 +498,22 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		// Snapshot.Add walks the struct by reflection, so new counters are
 		// aggregated without touching this loop.
 		s.Metrics.Add(cs.rt.Metrics().Snapshot())
+		if per := cs.rt.ShardSnapshot(); per != nil {
+			if s.Shards == nil {
+				s.Shards = make([]dtm.ShardCounts, len(per))
+			}
+			for i := range per {
+				s.Shards[i].Add(per[i])
+			}
+		}
 		st := cs.rt.Stages()
 		stages.Read.Merge(&st.Read)
 		stages.PrefetchBatch.Merge(&st.PrefetchBatch)
 		stages.Prepare.Merge(&st.Prepare)
 		stages.Commit.Merge(&st.Commit)
+	}
+	if s.Shards != nil && s.Metrics.Commits > 0 {
+		s.CrossShardRatio = float64(s.Metrics.CrossShardCommits) / float64(s.Metrics.Commits)
 	}
 	s.Stages = StageSummaries{
 		Read:          stages.Read.Summarize(),

@@ -135,6 +135,15 @@ func (r *Result) Summary() string {
 			fmt.Fprintf(&b, " dropped=%d", s.DroppedCommits)
 		}
 		fmt.Fprintln(&b)
+		if s.Shards != nil {
+			fmt.Fprintf(&b, "        cross-shard ratio=%.2f (single=%d cross=%d cross-aborts=%d)\n",
+				s.CrossShardRatio, s.Metrics.SingleShardCommits,
+				s.Metrics.CrossShardCommits, s.Metrics.CrossShardAborts)
+			for i, c := range s.Shards {
+				fmt.Fprintf(&b, "        shard %d: commits=%-7d full-aborts=%-6d partial-aborts=%d\n",
+					i, c.Commits, c.ParentAborts, c.SubAborts)
+			}
+		}
 	}
 	return b.String()
 }

@@ -246,6 +246,16 @@ func (n *Node) applyDecision(txID string, commit bool, writes []store.WriteDesc,
 		// differ on ErrNotFound reads). Unprotect is idempotent, so release
 		// the union.
 		release = append(append([]store.ObjectID(nil), release...), entry.rec.Release...)
+		if src == fromPeer {
+			// A peer forwards the writes from ITS durable prepare record. In a
+			// sharded deployment the resolving peer can live in another quorum
+			// group (cross-shard prepares stamp the union of all touched
+			// groups' write quorums), so its writes name another group's
+			// keyspace. This node's own prepare record holds exactly the
+			// writes it promised to apply — use those whenever they exist;
+			// the sender's copy only matters for a node that lost its entry.
+			writes = entry.rec.Writes
+		}
 	}
 
 	// Durability point: the whole write-set plus the decision record is

@@ -16,6 +16,7 @@ import (
 	"qracn/internal/contention"
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
+	"qracn/internal/shard"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 	"qracn/internal/transport"
@@ -70,6 +71,11 @@ type Config struct {
 	// budget (dtm Config.DecideTimeout): the all-in-doubt round only proves
 	// no commit was delivered; the TTL is what proves none will be.
 	TTLAbortAfter time.Duration
+	// Shards, when non-nil, is the cluster's shard map. Every node serves it
+	// to clients via wire.KindShardMap (any node can answer, the map is
+	// static and identical cluster-wide); nodes without one answer
+	// StatusNotFound so unsharded deployments stay unchanged.
+	Shards *shard.Map
 }
 
 // Default termination-protocol deadlines (the zero values of
@@ -127,6 +133,8 @@ type Node struct {
 	ttlAbortAfter time.Duration
 	resolverMu    sync.Mutex
 	resolverStop  chan struct{}
+
+	shards *shard.Map
 }
 
 // NewNode creates a node with an empty replica.
@@ -166,6 +174,7 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 		now:           now,
 		resolveAfter:  cfg.ResolveAfter,
 		ttlAbortAfter: cfg.TTLAbortAfter,
+		shards:        cfg.Shards,
 	}
 }
 
@@ -392,6 +401,8 @@ func (n *Node) dispatch(ctx context.Context, req *wire.Request, serveID uint64) 
 		return n.handleTxStatus(req)
 	case wire.KindResolve:
 		return n.handleResolve(req)
+	case wire.KindShardMap:
+		return n.handleShardMap(req)
 	case wire.KindTraceFetch:
 		return n.handleTraceFetch(req)
 	case wire.KindBatch:
@@ -545,6 +556,24 @@ func (n *Node) handleTraceFetch(req *wire.Request) *wire.Response {
 		resp.Events = n.tracer.Events()
 	}
 	return &wire.Response{Status: wire.StatusOK, Trace: resp}
+}
+
+// handleShardMap serves the cluster's shard map. A client that already
+// caches the current version (HaveVersion matches) gets a membership-free
+// reply; an unsharded node answers StatusNotFound so the client falls back
+// to single-group routing.
+func (n *Node) handleShardMap(req *wire.Request) *wire.Response {
+	if req.ShardMap == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "shard-map request missing payload"}
+	}
+	if n.shards == nil {
+		return &wire.Response{Status: wire.StatusNotFound, Detail: "node has no shard map"}
+	}
+	resp := &wire.ShardMapResponse{Version: n.shards.Version(), Degree: n.shards.Degree()}
+	if req.ShardMap.HaveVersion != resp.Version {
+		resp.Groups = n.shards.Memberships()
+	}
+	return &wire.Response{Status: wire.StatusOK, ShardMap: resp}
 }
 
 func (n *Node) handleStats(req *wire.Request) *wire.Response {

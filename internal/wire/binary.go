@@ -81,6 +81,7 @@ const (
 	reqHasTraceFetch
 	reqHasTxStatus
 	reqHasResolve
+	reqHasShardMap
 )
 
 // Response payload presence bits, wire order; uvarint-encoded like the
@@ -93,6 +94,7 @@ const (
 	respHasBatch
 	respHasTrace
 	respHasTxStatus
+	respHasShardMap
 )
 
 // Value type tags.
@@ -351,6 +353,9 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 	if r.Resolve != nil {
 		mask |= reqHasResolve
 	}
+	if r.ShardMap != nil {
+		mask |= reqHasShardMap
+	}
 	dst = binary.AppendUvarint(dst, mask)
 	var err error
 	if r.Read != nil {
@@ -413,6 +418,9 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 		}
 		dst = appendIDs(dst, r.Resolve.Release)
 	}
+	if r.ShardMap != nil {
+		dst = binary.AppendUvarint(dst, r.ShardMap.HaveVersion)
+	}
 	return dst, nil
 }
 
@@ -443,6 +451,9 @@ func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
 	}
 	if r.TxStatus != nil {
 		mask |= respHasTxStatus
+	}
+	if r.ShardMap != nil {
+		mask |= respHasShardMap
 	}
 	dst = binary.AppendUvarint(dst, mask)
 	var err error
@@ -492,6 +503,14 @@ func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
 	}
 	if r.TxStatus != nil {
 		dst = binary.AppendVarint(dst, int64(r.TxStatus.State))
+	}
+	if r.ShardMap != nil {
+		dst = binary.AppendUvarint(dst, r.ShardMap.Version)
+		dst = binary.AppendVarint(dst, int64(r.ShardMap.Degree))
+		dst = binary.AppendUvarint(dst, uint64(len(r.ShardMap.Groups)))
+		for _, g := range r.ShardMap.Groups {
+			dst = appendNodeIDs(dst, g)
+		}
 	}
 	return dst, nil
 }
@@ -917,6 +936,13 @@ func (d *binReader) request() (*Request, error) {
 		}
 		r.Resolve = rs
 	}
+	if mask&reqHasShardMap != 0 {
+		sm := &ShardMapRequest{}
+		if sm.HaveVersion, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		r.ShardMap = sm
+	}
 	return r, nil
 }
 
@@ -1036,6 +1062,30 @@ func (d *binReader) response() (*Response, error) {
 		}
 		ts.State = TxState(state)
 		r.TxStatus = ts
+	}
+	if mask&respHasShardMap != 0 {
+		sm := &ShardMapResponse{}
+		if sm.Version, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		var degree int64
+		if degree, err = d.varint(); err != nil {
+			return nil, err
+		}
+		sm.Degree = int(degree)
+		n, err := d.count("shard groups")
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			sm.Groups = make([][]quorum.NodeID, n)
+			for i := range sm.Groups {
+				if sm.Groups[i], err = d.nodeIDs(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		r.ShardMap = sm
 	}
 	return r, nil
 }

@@ -124,6 +124,10 @@ func (r *Request) Clone() *Request {
 			Release: cloneIDs(r.Resolve.Release),
 		}
 	}
+	if r.ShardMap != nil {
+		sm := *r.ShardMap
+		out.ShardMap = &sm
+	}
 	return out
 }
 
@@ -171,6 +175,16 @@ func (r *Response) Clone() *Response {
 	if r.TxStatus != nil {
 		ts := *r.TxStatus
 		out.TxStatus = &ts
+	}
+	if r.ShardMap != nil {
+		sm := &ShardMapResponse{Version: r.ShardMap.Version, Degree: r.ShardMap.Degree}
+		if r.ShardMap.Groups != nil {
+			sm.Groups = make([][]quorum.NodeID, len(r.ShardMap.Groups))
+			for i, g := range r.ShardMap.Groups {
+				sm.Groups[i] = cloneNodeIDs(g)
+			}
+		}
+		out.ShardMap = sm
 	}
 	return out
 }

@@ -85,6 +85,48 @@ var kindFixtures = map[Kind]*Request{
 			Release: []store.ObjectID{store.ID("acct", 3), store.ID("acct", 4)},
 		},
 	},
+	KindShardMap: {
+		Kind:     KindShardMap,
+		ShardMap: &ShardMapRequest{HaveVersion: 3},
+	},
+}
+
+// TestShardMapResponseRoundTrips covers the response side of the shard-map
+// RPC through both codecs, including the empty "already current" reply.
+func TestShardMapResponseRoundTrips(t *testing.T) {
+	envs := []*Envelope{
+		{Seq: 1, IsResponse: true, Resp: &Response{
+			Status: StatusOK,
+			ShardMap: &ShardMapResponse{
+				Version: 7,
+				Degree:  3,
+				Groups:  [][]quorum.NodeID{{0, 1, 2}, {3, 4, 5}, {6, 7, 8, 9}},
+			},
+		}},
+		{Seq: 2, IsResponse: true, Resp: &Response{
+			Status:   StatusOK,
+			ShardMap: &ShardMapResponse{Version: 7, Degree: 3},
+		}},
+	}
+	for _, env := range envs {
+		for _, codec := range Codecs() {
+			var buf bytes.Buffer
+			if err := codec.NewEncoder(&buf, false).Encode(env); err != nil {
+				t.Fatalf("%s: %v", codec.Name(), err)
+			}
+			got, err := codec.NewDecoder(&buf).Decode()
+			if err != nil {
+				t.Fatalf("%s: %v", codec.Name(), err)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Fatalf("%s: round trip mutated the envelope:\n got %+v\nwant %+v",
+					codec.Name(), got.Resp.ShardMap, env.Resp.ShardMap)
+			}
+		}
+		if got := env.Resp.Clone(); !reflect.DeepEqual(got, env.Resp) {
+			t.Fatalf("Clone dropped shard-map fields:\n got %+v\nwant %+v", got.ShardMap, env.Resp.ShardMap)
+		}
+	}
 }
 
 // TestEveryKindRoundTrips drives each request kind through EVERY registered

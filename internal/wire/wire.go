@@ -98,6 +98,11 @@ const (
 	// converge without waiting out their own deadlines. Idempotent — a
 	// receiver that already decided simply acknowledges.
 	KindResolve
+	// KindShardMap fetches the cluster's shard map: the versioned assignment
+	// of hash partitions to quorum groups. Any node serves it; clients cache
+	// the map by version and send HaveVersion so an up-to-date cache costs a
+	// header-only reply.
+	KindShardMap
 
 	// numKinds counts the Kind values. It MUST stay last: the wire
 	// round-trip test iterates [0, numKinds) and fails compilation-adjacent
@@ -129,6 +134,8 @@ func (k Kind) String() string {
 		return "tx-status"
 	case KindResolve:
 		return "resolve"
+	case KindShardMap:
+		return "shard-map"
 	default:
 		return "ping"
 	}
@@ -156,6 +163,7 @@ type Request struct {
 	TraceFetch *TraceFetchRequest
 	TxStatus   *TxStatusRequest
 	Resolve    *ResolveRequest
+	ShardMap   *ShardMapRequest
 }
 
 // BatchRequest bundles independent sub-requests into one frame. Sub-requests
@@ -264,6 +272,23 @@ type ResolveRequest struct {
 	Release []store.ObjectID
 }
 
+// ShardMapRequest fetches the node's shard map. HaveVersion is the version
+// the client already caches; a node holding that exact version answers with
+// an empty ShardMapResponse (same Version, no Groups) so the common
+// cache-refresh costs no membership bytes.
+type ShardMapRequest struct {
+	HaveVersion uint64
+}
+
+// ShardMapResponse carries the shard map: every group's node membership in
+// shard order, plus the tree degree each group's quorum uses. Groups is nil
+// when the client's cached version is already current.
+type ShardMapResponse struct {
+	Version uint64
+	Degree  int
+	Groups  [][]quorum.NodeID
+}
+
 // StatsRequest asks for the contention level of specific objects.
 type StatsRequest struct {
 	Objects []store.ObjectID
@@ -318,6 +343,7 @@ type Response struct {
 	Batch    *BatchResponse
 	Trace    *TraceFetchResponse
 	TxStatus *TxStatusResponse
+	ShardMap *ShardMapResponse
 }
 
 // ReadResponse carries the object, the incremental-validation outcome, and
