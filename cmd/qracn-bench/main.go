@@ -54,6 +54,12 @@ func main() {
 		traceAB    = flag.Bool("trace-ab", false, "run each figure twice — tracing on and off — and emit a combined JSON A/B document with the overhead ratio")
 		shards     = flag.Int("shards", 0, "partition the keyspace across this many independent quorum groups (0/1: one cluster-wide tree)")
 		shardsAB   = flag.Bool("shards-ab", false, "run each figure twice — sharded (-shards groups, default 4) vs the single cluster-wide tree — and emit a combined JSON A/B document with the committed-throughput ratio")
+
+		maxInflight = flag.Int("max-inflight", 0, "admission control on every node: max concurrently executing gated requests (0: gate off)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission wait-queue depth before requests are shed with StatusOverloaded (0: 4x -max-inflight)")
+		txDeadline  = flag.Duration("tx-deadline", 0, "end-to-end deadline per transaction, propagated so servers refuse expired work (0: none)")
+		retryBudget = flag.Int("retry-budget", 0, "retries per transaction attempt shared across failover, busy, and overload backoff (0: dtm default; negative: unlimited)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "hedge quorum reads to one spare replica after this delay (0: off; negative: auto from observed p99)")
 	)
 	flag.Parse()
 	if *jsonFile != "" {
@@ -90,6 +96,11 @@ func main() {
 		DecideTimeout:    *decideTO,
 		ResolveAfter:     *resolveAft,
 		Shards:           *shards,
+		MaxInflight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		TxDeadline:       *txDeadline,
+		RetryBudget:      *retryBudget,
+		HedgeAfter:       *hedgeAfter,
 	}
 
 	modes, err := parseModes(*modesArg)
@@ -633,6 +644,7 @@ func runAveraged(ctx context.Context, f harness.Figure, scale harness.Scale, mod
 			a.Metrics.Add(series.Metrics)
 			a.DroppedCommits += series.DroppedCommits
 			a.WAL.Add(series.WAL)
+			a.Admission.Add(series.Admission)
 			for i := range a.Shards {
 				if i < len(series.Shards) {
 					a.Shards[i].Add(series.Shards[i])

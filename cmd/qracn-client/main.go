@@ -54,6 +54,9 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "how often one trial request probes a suspected node")
 		noRepair      = flag.Bool("no-repair", false, "disable asynchronous read-repair of stale quorum members")
 		decideTimeout = flag.Duration("decide-timeout", 0, "per-transaction budget for delivering the 2PC decision after a yes-vote quorum (0: 10s; keep below the nodes' -ttl-abort-after)")
+		txDeadline    = flag.Duration("tx-deadline", 0, "end-to-end deadline per transaction, propagated on every request so servers refuse expired work (0: none)")
+		retryBudget   = flag.Int("retry-budget", 0, "retries per transaction attempt shared across failover, busy, and overload backoff (0: 1000; negative: unlimited)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge quorum reads to one extra replica after this delay (0: off; negative: auto from observed p99 read latency)")
 
 		traceCap    = flag.Int("trace", 0, "span/event ring size for distributed tracing; >0 turns tracing on")
 		traceSample = flag.Int("trace-sample", 1, "with tracing on, record spans for 1-in-N transactions (0/1: all, negative: events only)")
@@ -127,6 +130,9 @@ func main() {
 		NoRepair:      *noRepair,
 		TraceSample:   *traceSample,
 		DecideTimeout: *decideTimeout,
+		TxDeadline:    *txDeadline,
+		RetryBudget:   *retryBudget,
+		HedgeAfter:    *hedgeAfter,
 	}
 	if *traceCap > 0 {
 		dcfg.Tracer = trace.New(*traceCap)
@@ -198,6 +204,8 @@ func main() {
 		m.RemoteReads, m.BatchReads, m.PrefetchedObjects, m.TransportRetries)
 	fmt.Printf("faults: failovers=%d suspicions=%d probes=%d readmissions=%d repairs=%d\n",
 		m.Failovers, m.Suspicions, m.Probes, m.Readmissions, m.Repairs)
+	fmt.Printf("overload: backoffs=%d budget-exhausted=%d hedges-fired=%d hedge-wins=%d\n",
+		m.OverloadBackoffs, m.BudgetExhausted, m.HedgesFired, m.HedgeWins)
 	st := rt.Stages()
 	fmt.Printf("stages: read[%s] prefetch[%s] prepare[%s] commit[%s]\n",
 		st.Read.Summarize(), st.PrefetchBatch.Summarize(),

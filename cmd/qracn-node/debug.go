@@ -63,6 +63,10 @@ func nodeExposition(node *server.Node) *metrics.Exposition {
 	e.Counter("qracn_resolution_ttl_aborts_total", "In-doubt votes aborted by the last-resort TTL after a complete all-in-doubt peer round.", rs.TTLAborts)
 	e.Counter("qracn_resolution_status_queries_total", "KindTxStatus queries this node sent while resolving.", rs.StatusQueries)
 	e.Counter("qracn_resolution_forwards_total", "Decisions this node forwarded to still-in-doubt peers.", rs.ResolveForwards)
+	as := node.AdmissionStats()
+	e.Counter("qracn_admission_admitted_total", "Gated requests that acquired an execution slot.", as.Admitted)
+	e.Counter("qracn_admission_shed_total", "Gated requests answered StatusOverloaded instead of executing.", as.Shed)
+	e.Counter("qracn_admission_expired_total", "Requests rejected because their propagated deadline had already passed on arrival.", as.Expired)
 	if w := node.WAL(); w != nil {
 		ws := w.Stats()
 		e.Counter("qracn_wal_appends_total", "Commit-log append calls (one per durable decision).", ws.Appends)

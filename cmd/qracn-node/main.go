@@ -62,6 +62,9 @@ func main() {
 		shardMap    = flag.String("shard-map", "", "keyspace shard map as semicolon-separated quorum groups of node IDs (e.g. \"0-2;3-5\"); the node serves it to clients and scopes itself to its own group")
 		shardID     = flag.Int("shard-id", -1, "this node's shard index in -shard-map (cross-checked against the map; -1 derives it from the map)")
 		shardDegree = flag.Int("shard-degree", 0, "tree-quorum degree within each shard group (0: default 3)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing gated requests (0 disables the gate)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission wait-queue depth; beyond it requests are shed with StatusOverloaded (0: 4x -max-inflight)")
+		maxQueueAge = flag.Duration("max-queue-age", 0, "admission queue age past which the gate flips to adaptive LIFO and sheds aged waiters (0: 100ms)")
 	)
 	flag.Parse()
 
@@ -124,6 +127,9 @@ func main() {
 		ResolveAfter:  *resolveAft,
 		TTLAbortAfter: *ttlAbort,
 		Shards:        shards,
+		MaxInflight:   *maxInflight,
+		QueueDepth:    *queueDepth,
+		MaxQueueAge:   *maxQueueAge,
 	}
 	if *traceCap > 0 {
 		scfg.Tracer = trace.New(*traceCap)

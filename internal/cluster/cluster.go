@@ -72,6 +72,17 @@ type Config struct {
 	// complete peer round finds everyone equally undecided (0: server
 	// default 60s). Must exceed the coordinators' decide budget.
 	TTLAbortAfter time.Duration
+	// MaxInflight, when positive, bounds concurrently executing gated
+	// requests per node; excess requests queue up to QueueDepth and are
+	// answered StatusOverloaded beyond that (admission control / load
+	// shedding). 0 disables the gate.
+	MaxInflight int
+	// QueueDepth bounds the per-node admission wait queue (0 with
+	// MaxInflight set: 4×MaxInflight).
+	QueueDepth int
+	// MaxQueueAge is the admission queue's adaptive-LIFO threshold (0:
+	// server default 100ms).
+	MaxQueueAge time.Duration
 }
 
 // Cluster is a running in-process deployment.
@@ -137,6 +148,9 @@ func (c *Cluster) buildNode(id quorum.NodeID) (*server.Node, error) {
 		ResolveAfter:  cfg.ResolveAfter,
 		TTLAbortAfter: cfg.TTLAbortAfter,
 		Shards:        c.Shards,
+		MaxInflight:   cfg.MaxInflight,
+		QueueDepth:    cfg.QueueDepth,
+		MaxQueueAge:   cfg.MaxQueueAge,
 	}
 	if cfg.TraceCapacity > 0 {
 		scfg.Tracer = trace.New(cfg.TraceCapacity)
@@ -331,6 +345,15 @@ func (c *Cluster) Resolution() dtm.ResolutionStats {
 			StatusQueries:      s.StatusQueries,
 			ResolveForwards:    s.ResolveForwards,
 		})
+	}
+	return out
+}
+
+// Admission sums the overload-protection counters across all nodes.
+func (c *Cluster) Admission() server.AdmissionStats {
+	var out server.AdmissionStats
+	for _, n := range c.Nodes {
+		out.Add(n.AdmissionStats())
 	}
 	return out
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package cluster_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Chaos suites keep every correctness assertion under race but
+// skip quantitative latency/goodput thresholds: the race runtime serializes
+// goroutines and inflates tails ~10x, which would make performance bounds
+// measure the detector, not the system.
+const raceEnabled = true

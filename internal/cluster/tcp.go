@@ -59,6 +59,15 @@ type TCPConfig struct {
 	// TTLAbortAfter is the last-resort in-doubt abort deadline (0: server
 	// default 60s). Must exceed the coordinators' decide budget.
 	TTLAbortAfter time.Duration
+	// MaxInflight, when positive, bounds concurrently executing gated
+	// requests per node (admission control; see cluster.Config.MaxInflight).
+	MaxInflight int
+	// QueueDepth bounds the per-node admission wait queue (0 with
+	// MaxInflight set: 4×MaxInflight).
+	QueueDepth int
+	// MaxQueueAge is the admission queue's adaptive-LIFO threshold (0:
+	// server default 100ms).
+	MaxQueueAge time.Duration
 }
 
 // TCPCluster is a multi-listener deployment on the loopback interface: the
@@ -86,6 +95,9 @@ type TCPCluster struct {
 	walFormat     wal.Format
 	resolveAfter  time.Duration
 	ttlAbortAfter time.Duration
+	maxInflight   int
+	queueDepth    int
+	maxQueueAge   time.Duration
 
 	mu           sync.Mutex
 	clients      []*transport.TCPClient
@@ -113,6 +125,9 @@ func (c *TCPCluster) newNode(id quorum.NodeID, log *wal.Log) *server.Node {
 		ResolveAfter:  c.resolveAfter,
 		TTLAbortAfter: c.ttlAbortAfter,
 		Shards:        c.Shards,
+		MaxInflight:   c.maxInflight,
+		QueueDepth:    c.queueDepth,
+		MaxQueueAge:   c.maxQueueAge,
 	})
 	if c.protectTTL > 0 {
 		n.Store().SetProtectTTL(c.protectTTL, c.now)
@@ -142,6 +157,9 @@ func NewTCP(cfg TCPConfig) (*TCPCluster, error) {
 		walFormat:     cfg.WALFormat,
 		resolveAfter:  cfg.ResolveAfter,
 		ttlAbortAfter: cfg.TTLAbortAfter,
+		maxInflight:   cfg.MaxInflight,
+		queueDepth:    cfg.QueueDepth,
+		maxQueueAge:   cfg.MaxQueueAge,
 	}
 	if cfg.Shards > 1 {
 		c.Shards = shard.NewUniform(cfg.Servers, cfg.Shards, cfg.Degree)
@@ -285,6 +303,15 @@ func (c *TCPCluster) Resolution() dtm.ResolutionStats {
 			StatusQueries:      s.StatusQueries,
 			ResolveForwards:    s.ResolveForwards,
 		})
+	}
+	return out
+}
+
+// Admission sums the overload-protection counters across all nodes.
+func (c *TCPCluster) Admission() server.AdmissionStats {
+	var out server.AdmissionStats
+	for _, n := range c.Nodes {
+		out.Add(n.AdmissionStats())
 	}
 	return out
 }

@@ -75,4 +75,10 @@ var (
 	// deliberately does not satisfy health.CountsAsFailure, so a recovering
 	// node is not pushed toward suspicion by the very clients it refused.
 	ErrNodeUnavailable = errors.New("dtm: node unavailable (recovering)")
+	// ErrNodeOverloaded reports a member that kept answering
+	// StatusOverloaded past the transaction's retry budget (or context).
+	// Like ErrNodeUnavailable it deliberately does not satisfy
+	// health.CountsAsFailure: the node is alive and shedding load on
+	// purpose; suspecting it would convert backpressure into failover churn.
+	ErrNodeOverloaded = errors.New("dtm: node overloaded (backpressure)")
 )

@@ -64,9 +64,12 @@ func TestDetectorFailover(t *testing.T) {
 
 	const sick = quorum.NodeID(4) // a leaf: its level keeps a majority without it
 	failNode.Store(int64(sick))
-	for i := 0; i < 20; i++ {
+	// Commit until the detector trips rather than assuming a fixed number of
+	// transactions sweeps the sick node into enough quorums.
+	tripped := time.Now().Add(5 * time.Second)
+	for !det.IsSuspected(sick) && time.Now().Before(tripped) {
 		if err := bump(); err != nil {
-			t.Fatalf("commit %d during fault: %v", i, err)
+			t.Fatalf("commit during fault: %v", err)
 		}
 	}
 	m := rt.Metrics().Snapshot()
@@ -118,34 +121,81 @@ func TestDetectorFailoverOnTimeouts(t *testing.T) {
 		RequestTimeout: 30 * time.Millisecond, // keep dropped calls cheap
 	})
 	ctx := context.Background()
-	for i := 0; i < 10; i++ {
-		if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+	bump := func() error {
+		return rt.Atomic(ctx, func(tx *dtm.Tx) error {
 			v, err := tx.Read("x")
 			if err != nil {
 				return err
 			}
 			return tx.Write("x", store.Int64(store.AsInt64(v)+1))
-		}); err != nil {
-			t.Fatalf("commit %d: %v", i, err)
+		})
+	}
+	// Commit until the timeouts have tripped the detector (polling, not a
+	// fixed transaction count: how many commits sweep node 4 into a quorum
+	// depends on the seed rotation).
+	deadline := time.Now().Add(5 * time.Second)
+	for !rt.Health().IsSuspected(4) && time.Now().Before(deadline) {
+		if err := bump(); err != nil {
+			t.Fatalf("commit during drops: %v", err)
 		}
 	}
 	if !rt.Health().IsSuspected(4) {
 		t.Fatal("detector did not trip on timeouts")
 	}
 	// Once suspected, the node is excluded from selection, so steady-state
-	// commits stop paying the timeout.
-	start := time.Now()
-	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
-		v, err := tx.Read("x")
-		if err != nil {
-			return err
+	// commits stop paying the timeout. An individual commit can still carry
+	// a half-open probe of the suspect (and eat one more timeout), so poll
+	// for a probe-free fast commit instead of timing a single one.
+	fast := false
+	deadline = time.Now().Add(5 * time.Second)
+	for !fast && time.Now().Before(deadline) {
+		start := time.Now()
+		if err := bump(); err != nil {
+			t.Fatalf("commit with suspect excluded: %v", err)
 		}
-		return tx.Write("x", store.Int64(store.AsInt64(v)+1))
-	}); err != nil {
-		t.Fatal(err)
+		fast = time.Since(start) < 25*time.Millisecond
 	}
-	if d := time.Since(start); d > 25*time.Millisecond {
-		t.Fatalf("commit with suspect excluded took %v, want well under the 30ms timeout", d)
+	if !fast {
+		t.Fatal("no commit finished under the 30ms drop timeout while the suspect was excluded")
+	}
+}
+
+// TestDeadlineExpiryDetectorNeutral: when a transaction's own deadline
+// expires while calls are in flight, the timeouts it manufactures must not
+// be charged to the nodes — an impatient client is not a sick server.
+func TestDeadlineExpiryDetectorNeutral(t *testing.T) {
+	c := cluster.New(cluster.Config{Servers: 4, StatsWindow: time.Hour})
+	defer c.Close()
+	c.Seed(map[store.ObjectID]store.Value{"x": store.Int64(0)})
+
+	// Every message hangs until the caller gives up. With RequestTimeout far
+	// beyond TxDeadline, the only thing that can fail the calls is the
+	// transaction's own budget expiring.
+	c.Net.SetFault(func(to quorum.NodeID, req *wire.Request) transport.Fault {
+		return transport.Fault{Drop: true}
+	})
+
+	rt := c.DetectorRuntime(1, dtm.Config{
+		Seed:           1,
+		Health:         health.New(health.Config{SuspectAfter: 1, ProbeInterval: time.Hour}),
+		RequestTimeout: 10 * time.Second,
+		TxDeadline:     30 * time.Millisecond,
+		MaxAttempts:    1,
+	})
+	err := rt.Atomic(context.Background(), func(tx *dtm.Tx) error {
+		_, err := tx.Read("x")
+		return err
+	})
+	if err == nil {
+		t.Fatal("transaction committed with every message dropped")
+	}
+	if got := rt.Metrics().Snapshot().Suspicions; got != 0 {
+		t.Fatalf("suspicions = %d after a self-inflicted deadline expiry, want 0", got)
+	}
+	for n := quorum.NodeID(0); n < 4; n++ {
+		if rt.Health().IsSuspected(n) {
+			t.Fatalf("node %d suspected because of an expired-deadline timeout", n)
+		}
 	}
 }
 
@@ -225,21 +275,35 @@ func TestNoRepairFlag(t *testing.T) {
 	c.Seed(map[store.ObjectID]store.Value{"x": store.Int64(1)})
 
 	rt := c.Runtime(1, dtm.Config{Seed: 1, NoRepair: true})
+	// control shares the cluster with repair enabled: once IT has recorded a
+	// repair push, async pushes demonstrably had time to happen — a positive
+	// signal to poll for, instead of sleeping a fixed "long enough" and
+	// hoping the negative assertion was given a fair window.
+	control := c.Runtime(2, dtm.Config{Seed: 2})
 	ctx := context.Background()
 	if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
 		return tx.Write("x", store.Int64(2))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 30; i++ {
-		if err := rt.Atomic(ctx, func(tx *dtm.Tx) error {
+	readX := func(r *dtm.Runtime) {
+		t.Helper()
+		if err := r.Atomic(ctx, func(tx *dtm.Tx) error {
 			_, err := tx.Read("x")
 			return err
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(20 * time.Millisecond) // would be plenty for async pushes
+	deadline := time.Now().Add(5 * time.Second)
+	for control.Metrics().Snapshot().Repairs == 0 && time.Now().Before(deadline) {
+		readX(rt)
+		readX(control)
+		time.Sleep(time.Millisecond)
+	}
+	if control.Metrics().Snapshot().Repairs == 0 {
+		t.Fatal("control runtime never recorded a repair push; cannot judge the NoRepair claim")
+	}
 	if got := rt.Metrics().Snapshot().Repairs; got != 0 {
 		t.Fatalf("repairs = %d with NoRepair set, want 0", got)
 	}

@@ -78,6 +78,19 @@ type Metrics struct {
 	// CrossShardAborts counts cross-shard commit attempts rejected at
 	// prepare time (validation failure or busy objects in any group).
 	CrossShardAborts atomic.Uint64
+
+	// OverloadBackoffs counts jittered same-node retries after a
+	// StatusOverloaded answer (backpressure honoured, not failover).
+	OverloadBackoffs atomic.Uint64
+	// BudgetExhausted counts operations abandoned because the transaction's
+	// shared retry budget (failover + busy + overload) ran out.
+	BudgetExhausted atomic.Uint64
+	// HedgesFired counts hedged quorum reads: the extra-replica request
+	// issued after the hedge delay elapsed with the quorum incomplete.
+	HedgesFired atomic.Uint64
+	// HedgeWins counts hedged reads where the hedge replica's answer let the
+	// read complete before the slow original member responded.
+	HedgeWins atomic.Uint64
 }
 
 // WALStats aggregates server-side write-ahead-log counters across the nodes
@@ -192,6 +205,10 @@ type Snapshot struct {
 	SingleShardCommits  uint64
 	CrossShardCommits   uint64
 	CrossShardAborts    uint64
+	OverloadBackoffs    uint64
+	BudgetExhausted     uint64
+	HedgesFired         uint64
+	HedgeWins           uint64
 }
 
 // Add accumulates another snapshot into s, field by field. It walks the
@@ -233,5 +250,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		SingleShardCommits:  m.SingleShardCommits.Load(),
 		CrossShardCommits:   m.CrossShardCommits.Load(),
 		CrossShardAborts:    m.CrossShardAborts.Load(),
+		OverloadBackoffs:    m.OverloadBackoffs.Load(),
+		BudgetExhausted:     m.BudgetExhausted.Load(),
+		HedgesFired:         m.HedgesFired.Load(),
+		HedgeWins:           m.HedgeWins.Load(),
 	}
 }

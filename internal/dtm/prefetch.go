@@ -100,13 +100,13 @@ func (tx *Tx) prefetchGroup(g *shard.Group, need []store.ObjectID, spanID uint64
 			// list; replica-side validation is per-store, so once is enough.
 			rr.Validate = tx.validationListFor(g)
 		}
-		subs[i] = &wire.Request{Kind: wire.KindRead, TxID: tx.id, Read: rr}
+		subs[i] = &wire.Request{Kind: wire.KindRead, TxID: tx.id, Deadline: tx.deadline, Read: rr}
 		if spanID != 0 {
 			subs[i].TraceID = tx.traceID
 			subs[i].SpanID = spanID
 		}
 	}
-	batch := &wire.Request{Kind: wire.KindBatch, TxID: tx.id, Batch: &wire.BatchRequest{Subs: subs}}
+	batch := &wire.Request{Kind: wire.KindBatch, TxID: tx.id, Deadline: tx.deadline, Batch: &wire.BatchRequest{Subs: subs}}
 	if spanID != 0 {
 		batch.TraceID = tx.traceID
 		batch.SpanID = spanID
@@ -116,6 +116,9 @@ func (tx *Tx) prefetchGroup(g *shard.Group, need []store.ObjectID, spanID uint64
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
+			if !tx.takeRetry() {
+				return errBudget("prefetch quorum failover")
+			}
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "prefetch quorum re-selection")
 		}

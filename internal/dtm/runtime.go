@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"qracn/internal/backoff"
 	"qracn/internal/health"
 	"qracn/internal/quorum"
 	"qracn/internal/shard"
@@ -77,6 +78,28 @@ type Config struct {
 	// retried with capped backoff.
 	DecideTimeout time.Duration
 
+	// TxDeadline bounds one top-level transaction end to end (0: none, the
+	// caller's context governs). The deadline is installed on the context
+	// and propagated as an absolute timestamp on every wire request the
+	// transaction issues, so servers can reject already-expired work before
+	// touching locks or the WAL. Decision/Resolve delivery is exempt on
+	// both sides: a decided transaction's outcome must reach participants
+	// no matter how stale the delivery is.
+	TxDeadline time.Duration
+	// RetryBudget caps retries per transaction attempt, shared across every
+	// retry class — quorum failover, busy re-reads, and overload
+	// backpressure waits (0: 1000; negative: unlimited). Exhausting the
+	// budget fails the transaction with ErrRetriesExhausted instead of
+	// letting pathological clusters absorb unbounded retry work.
+	RetryBudget int
+	// HedgeAfter enables hedged quorum reads: when a read quorum has not
+	// fully answered after this delay, the read is issued to one extra
+	// replica and the first valid quorum's answers win (version arithmetic
+	// deduplicates). >0 is a fixed delay, 0 disables hedging, and negative
+	// derives the delay from the observed p99 read latency — the classic
+	// tail-tolerant setting that hedges only the slowest ~1% of reads.
+	HedgeAfter time.Duration
+
 	// StatsEveryNReads piggybacks a contention-stats query on every Nth
 	// remote read (0: never). StatsWanted supplies the object IDs to ask
 	// about and StatsSink receives the levels servers report.
@@ -142,6 +165,9 @@ func (c *Config) fillDefaults() {
 	if c.DecideTimeout == 0 {
 		c.DecideTimeout = DefaultDecideTimeout
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 1000
+	}
 }
 
 // DefaultDecideTimeout is the zero-value decision-delivery budget
@@ -176,6 +202,7 @@ func ClampDecideTimeout(decide, ttlAbortAfter time.Duration) time.Duration {
 // a client node typically runs many transaction goroutines over one Runtime.
 type Runtime struct {
 	cfg     Config
+	pol     backoff.Policy
 	metrics Metrics
 	stages  StageLatencies
 	health  *health.Detector
@@ -212,6 +239,7 @@ func New(cfg Config) *Runtime {
 	}
 	rt := &Runtime{
 		cfg:       cfg,
+		pol:       backoff.Policy{Base: cfg.BackoffBase, Max: cfg.BackoffMax},
 		site:      fmt.Sprintf("client-%d", cfg.ClientSeed),
 		rng:       rand.New(rand.NewSource(seed)),
 		repairing: make(map[store.ObjectID]bool),
@@ -376,21 +404,10 @@ func (rt *Runtime) nextReadSeq() uint64 {
 }
 
 func (rt *Runtime) backoff(ctx context.Context, attempt int) error {
-	d := rt.cfg.BackoffBase << uint(min(attempt, 16))
-	if d > rt.cfg.BackoffMax {
-		d = rt.cfg.BackoffMax
-	}
 	rt.rngMu.Lock()
-	jittered := d/2 + time.Duration(rt.rng.Int63n(int64(d)+1))
+	d := rt.pol.JitteredDelay(attempt, rt.rng.Int63n)
 	rt.rngMu.Unlock()
-	t := time.NewTimer(jittered)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return backoff.Sleep(ctx, d)
 }
 
 // Backoff sleeps the runtime's randomized exponential backoff for the given
@@ -433,6 +450,18 @@ func (rt *Runtime) Atomic(ctx context.Context, fn func(*Tx) error) error {
 // runAttempts is Atomic's retry loop. traceID/rootID carry the sampled
 // trace context (empty/0 when unsampled).
 func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint64, traceID string, rootID uint64) error {
+	if rt.cfg.TxDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Now().Add(rt.cfg.TxDeadline))
+		defer cancel()
+	}
+	// The wire deadline is the context deadline as an absolute timestamp:
+	// either TxDeadline just installed it, or the caller's context already
+	// carried one worth propagating.
+	var deadline int64
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d.UnixNano()
+	}
 	for attempt := 0; attempt < rt.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -448,9 +477,17 @@ func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint
 				Start:  time.Now(),
 			}
 		}
+		// A fresh retry budget per attempt: the budget bounds the fan-in of
+		// retries (failover, busy, overload) within one execution, while
+		// MaxAttempts separately bounds whole re-executions. It rides the
+		// context so the fan-out layer can charge overload waits against it.
+		budget := backoff.NewBudget(rt.cfg.RetryBudget)
+		tctx := context.WithValue(ctx, txBudgetKey{}, budget)
 		tx := &Tx{
 			rt:         rt,
-			ctx:        ctx,
+			ctx:        tctx,
+			deadline:   deadline,
+			budget:     budget,
 			id:         fmt.Sprintf("c%d-t%d-a%d", rt.cfg.ClientSeed, seq, attempt),
 			seed:       rt.cfg.ClientSeed + int(seq),
 			traceID:    traceID,
@@ -462,7 +499,7 @@ func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint
 		}
 		err := fn(tx)
 		if err == nil {
-			err = rt.commitStaged(ctx, tx, attemptSpan.ID)
+			err = rt.commitStaged(tctx, tx, attemptSpan.ID)
 		}
 		if traceID != "" {
 			attemptSpan.End = time.Now()
@@ -537,6 +574,17 @@ func (rt *Runtime) fanout(ctx context.Context, nodes []quorum.NodeID, req *wire.
 	return rt.fanoutEach(ctx, nodes, func(int) *wire.Request { return req })
 }
 
+// txBudgetKey carries the transaction attempt's shared retry budget through
+// the context so the fan-out layer can charge overload waits against it.
+// decide()'s context.WithoutCancel preserves values, but Decision delivery is
+// admission-exempt server-side, so the overload path never fires there.
+type txBudgetKey struct{}
+
+func budgetFrom(ctx context.Context) *backoff.Budget {
+	b, _ := ctx.Value(txBudgetKey{}).(*backoff.Budget)
+	return b // nil (unlimited) outside a transaction
+}
+
 // fanoutEach issues a per-node request to every node in parallel. Every
 // call's outcome feeds the failure detector: a response is a success,
 // timeouts and connection errors count against the node, and caller-side
@@ -550,19 +598,188 @@ func (rt *Runtime) fanoutEach(ctx context.Context, nodes []quorum.NodeID, makeRe
 		wg.Add(1)
 		go func(i int, n quorum.NodeID) {
 			defer wg.Done()
-			resp, err := rt.cfg.Client.Call(cctx, n, makeReq(i))
-			if err == nil && resp != nil && resp.Status == wire.StatusUnavailable {
-				// Recovery handshake: the node is up but replaying its
-				// commit log. Surface it as a call error so the usual
-				// exclude-and-failover path re-picks the quorum around it.
-				resp, err = nil, ErrNodeUnavailable
-			}
-			out[i] = callResult{node: n, resp: resp, err: err}
-			rt.observe(n, err)
+			out[i] = rt.call1(cctx, n, makeReq(i))
 		}(i, n)
 	}
 	wg.Wait()
 	return out
+}
+
+// call1 is one node's leg of a fan-out: the RPC itself plus the status
+// conversions and the detector report.
+func (rt *Runtime) call1(ctx context.Context, n quorum.NodeID, req *wire.Request) callResult {
+	var resp *wire.Response
+	var err error
+	for try := 0; ; try++ {
+		resp, err = rt.cfg.Client.Call(ctx, n, req)
+		if err == nil && resp != nil && resp.Status == wire.StatusOverloaded {
+			// Pure backpressure: the node answered, so it is alive — this
+			// must never feed the failure detector or trigger failover
+			// (shifting an overloaded node's work onto its peers turns one
+			// hot node into a cascading brownout). Retry the SAME node after
+			// a jittered backoff, within the transaction's retry budget.
+			if budgetFrom(ctx).Take() {
+				rt.metrics.OverloadBackoffs.Add(1)
+				if rt.backoff(ctx, try) == nil {
+					continue
+				}
+			} else {
+				rt.metrics.BudgetExhausted.Add(1)
+			}
+			// Budget or context exhausted mid-backpressure: surface a plain
+			// error (health.CountsAsFailure is false for it) so callers
+			// stop, without marking the node suspect.
+			resp, err = nil, ErrNodeOverloaded
+		} else if err == nil && resp != nil && resp.Status == wire.StatusUnavailable {
+			// Recovery handshake: the node is up but replaying its
+			// commit log. Surface it as a call error so the usual
+			// exclude-and-failover path re-picks the quorum around it.
+			resp, err = nil, ErrNodeUnavailable
+		}
+		break
+	}
+	if err != nil && req.Deadline != 0 && time.Now().UnixNano() >= req.Deadline {
+		// The transaction's own budget expired while this call was in
+		// flight: the manufactured timeout says nothing about the node's
+		// health, so report neither success nor failure. An impatient
+		// client must not read as a sick server.
+	} else {
+		rt.observe(n, err)
+	}
+	return callResult{node: n, resp: resp, err: err}
+}
+
+// hedgeDelay resolves Config.HedgeAfter: 0 disables hedging, >0 is the fixed
+// delay, <0 derives it from the observed p99 of the Read stage so only the
+// slowest ~1% of reads pay for an extra replica. Before enough samples exist
+// the auto mode falls back to a conservative fixed delay.
+func (rt *Runtime) hedgeDelay() time.Duration {
+	d := rt.cfg.HedgeAfter
+	if d >= 0 {
+		return d
+	}
+	p := rt.stages.Read.Quantile(0.99)
+	if p <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p
+}
+
+// fanoutHedged is fanout for quorum reads with tail-latency hedging: if the
+// quorum has not fully answered after the hedge delay, the same read goes to
+// one extra replica outside the quorum, and the read completes as soon as the
+// successful answers contain a valid read quorum — max-version arithmetic in
+// the caller deduplicates whatever subset returns. The abandoned slow call is
+// cancelled, which the detector ignores (caller-side cancellation), so a
+// merely slow member is neither waited on nor suspected.
+func (rt *Runtime) fanoutHedged(ctx context.Context, g *shard.Group, q []quorum.NodeID, req *wire.Request, seed int, excl quorum.ExcludeSet, hedgeAfter time.Duration) []callResult {
+	cctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+	defer cancel()
+
+	type done struct {
+		hedge bool
+		res   callResult
+	}
+	ch := make(chan done, len(q)+1)
+	for _, n := range q {
+		go func(n quorum.NodeID) {
+			ch <- done{res: rt.call1(cctx, n, req)}
+		}(n)
+	}
+
+	timer := time.NewTimer(hedgeAfter)
+	defer timer.Stop()
+
+	results := make([]callResult, 0, len(q)+1)
+	ok := make(map[quorum.NodeID]bool, len(q)+1)
+	answered := make(map[quorum.NodeID]bool, len(q))
+	var hedgeRes *callResult
+	pending := len(q)
+	hedged := false
+
+	// quorumIn reports whether the successful answers already contain a
+	// valid read quorum (the same selector the read used, alive = answered).
+	quorumIn := func() bool {
+		sel := func(f quorum.AliveFunc, e quorum.ExcludeSet) ([]quorum.NodeID, error) {
+			if g != nil {
+				return g.ReadQuorum(seed, f, e)
+			}
+			return rt.cfg.Tree.ReadQuorumExcluding(seed, f, e)
+		}
+		_, err := sel(func(id quorum.NodeID) bool { return ok[id] }, nil)
+		return err == nil
+	}
+
+	for pending > 0 {
+		select {
+		case d := <-ch:
+			if d.res.err == nil {
+				ok[d.res.node] = true
+			}
+			if d.hedge {
+				if d.res.err == nil {
+					hedgeRes = &d.res
+					if quorumIn() {
+						// The hedge completed the quorum before the slow
+						// member answered: stop waiting for it.
+						rt.metrics.HedgeWins.Add(1)
+						results = append(results, *hedgeRes)
+						return results
+					}
+				}
+				continue
+			}
+			pending--
+			answered[d.res.node] = true
+			results = append(results, d.res)
+			if hedgeRes != nil && quorumIn() {
+				results = append(results, *hedgeRes)
+				return results
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			// Pick one replica outside the quorum (and the operation's
+			// exclude set); a cluster exactly the size of the quorum has no
+			// spare, and then the hedge silently does not fire.
+			exq := make(quorum.ExcludeSet, len(q)+len(excl))
+			for id := range excl {
+				exq[id] = true
+			}
+			for _, n := range q {
+				exq[n] = true
+			}
+			// Deliberately NOT selectQuorum: its relaxation steps drop the
+			// exclude set, which here would re-pick a member of q. No spare
+			// replica simply means no hedge.
+			var alt []quorum.NodeID
+			var err error
+			if g != nil {
+				alt, err = g.ReadQuorum(seed+1, rt.aliveView, exq)
+			} else {
+				alt, err = rt.cfg.Tree.ReadQuorumExcluding(seed+1, rt.aliveView, exq)
+			}
+			if err != nil || len(alt) == 0 {
+				continue
+			}
+			rt.metrics.HedgesFired.Add(1)
+			go func(n quorum.NodeID) {
+				ch <- done{hedge: true, res: rt.call1(cctx, n, req)}
+			}(alt[0])
+		case <-cctx.Done():
+			// Timed out mid-read: surface the context error for every member
+			// still outstanding so the caller's failover path takes over.
+			for _, n := range q {
+				if !answered[n] {
+					results = append(results, callResult{node: n, err: cctx.Err()})
+				}
+			}
+			return results
+		}
+	}
+	return results
 }
 
 // FetchStats asks a read quorum for the contention level of the given

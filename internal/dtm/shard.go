@@ -184,6 +184,9 @@ func (rt *Runtime) commitCrossShard(ctx context.Context, tx *Tx, parts []commitP
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
+			if !tx.takeRetry() {
+				return errBudget("cross-shard quorum failover")
+			}
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "cross-shard quorum re-selection")
 		}
@@ -209,9 +212,10 @@ func (rt *Runtime) commitCrossShard(ctx context.Context, tx *Tx, parts []commitP
 		var partIdx []int
 		for i, p := range parts {
 			preq := &wire.Request{
-				Kind:    wire.KindPrepare,
-				TxID:    txid,
-				Prepare: &wire.PrepareRequest{Reads: p.reads, Writes: p.writes, Quorum: union},
+				Kind:     wire.KindPrepare,
+				TxID:     txid,
+				Deadline: tx.deadline,
+				Prepare:  &wire.PrepareRequest{Reads: p.reads, Writes: p.writes, Quorum: union},
 			}
 			if tx.traceID != "" {
 				preq.TraceID = tx.traceID

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"qracn/internal/backoff"
 	"qracn/internal/quorum"
 	"qracn/internal/shard"
 	"qracn/internal/store"
@@ -22,6 +23,14 @@ type Tx struct {
 	ctx  context.Context
 	id   string
 	seed int
+
+	// deadline is the transaction's absolute deadline (UnixNano, 0: none),
+	// stamped on every wire request so servers can refuse expired work
+	// before touching locks or the WAL. Decision delivery is exempt.
+	deadline int64
+	// budget is the attempt's shared retry budget, charged by quorum
+	// failovers, busy re-reads, and overload backpressure waits.
+	budget *backoff.Budget
 
 	parent *Tx
 
@@ -54,6 +63,22 @@ type Tx struct {
 
 // ID returns the transaction identifier (unique per top-level attempt).
 func (tx *Tx) ID() string { return tx.id }
+
+// takeRetry charges one retry — a quorum failover, a busy re-read, or any
+// other second try — against the attempt's shared budget. A false return
+// means the budget is gone; callers fail the transaction with errBudget
+// instead of retrying further.
+func (tx *Tx) takeRetry() bool {
+	if tx.budget.Take() {
+		return true
+	}
+	tx.rt.metrics.BudgetExhausted.Add(1)
+	return false
+}
+
+func errBudget(op string) error {
+	return fmt.Errorf("%w: retry budget spent during %s", ErrRetriesExhausted, op)
+}
 
 // InSub reports whether tx is a sub-transaction context.
 func (tx *Tx) InSub() bool { return tx.parent != nil }
@@ -223,9 +248,10 @@ func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, er
 	validate := tx.validationListFor(rt.groupFor(id))
 
 	req := &wire.Request{
-		Kind: wire.KindRead,
-		TxID: tx.id,
-		Read: &wire.ReadRequest{Object: id, Validate: validate},
+		Kind:     wire.KindRead,
+		TxID:     tx.id,
+		Deadline: tx.deadline,
+		Read:     &wire.ReadRequest{Object: id, Validate: validate},
 	}
 	if spanID != 0 {
 		req.TraceID = tx.traceID
@@ -295,6 +321,9 @@ func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, er
 				if busyTry >= rt.cfg.ReadBusyRetries {
 					return nil, tx.busyAbort(id, "lean follow-up failed past retry budget")
 				}
+				if !tx.takeRetry() {
+					return nil, errBudget("lean follow-up re-read")
+				}
 				if err := rt.backoff(tx.ctx, busyTry); err != nil {
 					return nil, err
 				}
@@ -313,6 +342,9 @@ func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, er
 			if busyTry < rt.cfg.ReadBusyRetries {
 				rt.metrics.BusyBackoffs.Add(1)
 				rt.cfg.Tracer.Record(trace.KindBusy, tx.id, string(id))
+				if !tx.takeRetry() {
+					return nil, errBudget("busy re-read")
+				}
 				if err := rt.backoff(tx.ctx, busyTry); err != nil {
 					return nil, err
 				}
@@ -355,12 +387,16 @@ func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
 	rt := tx.rt
 	var lastErr error
 	var excl quorum.ExcludeSet
+	g := rt.groupFor(req.Read.Object)
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
+			if !tx.takeRetry() {
+				return nil, -1, errBudget("read quorum failover")
+			}
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "read quorum re-selection")
 		}
-		q, err := rt.selectReadQuorumIn(rt.groupFor(req.Read.Object), tx.seed+attempt, excl)
+		q, err := rt.selectReadQuorumIn(g, tx.seed+attempt, excl)
 		if err != nil {
 			return nil, -1, errors.Join(ErrQuorumUnreachable, err)
 		}
@@ -393,7 +429,14 @@ func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
 				return plain
 			})
 		default:
-			results = rt.fanout(tx.ctx, q, req)
+			// Only the plain full-value read hedges: the lean and
+			// piggybacked-stats variants send per-member requests whose roles
+			// (full value, stats carrier) a late extra replica can't assume.
+			if d := rt.hedgeDelay(); d > 0 {
+				results = rt.fanoutHedged(tx.ctx, g, q, req, tx.seed+attempt, excl, d)
+			} else {
+				results = rt.fanout(tx.ctx, q, req)
+			}
 		}
 
 		allReachable := true
@@ -419,9 +462,10 @@ func (tx *Tx) quorumRead(req *wire.Request) ([]callResult, int, error) {
 func (tx *Tx) followUpRead(id store.ObjectID, node quorum.NodeID) (*wire.ReadResponse, error) {
 	rt := tx.rt
 	req := &wire.Request{
-		Kind: wire.KindRead,
-		TxID: tx.id,
-		Read: &wire.ReadRequest{Object: id, Validate: tx.validationListFor(rt.groupFor(id))},
+		Kind:     wire.KindRead,
+		TxID:     tx.id,
+		Deadline: tx.deadline,
+		Read:     &wire.ReadRequest{Object: id, Validate: tx.validationListFor(rt.groupFor(id))},
 	}
 	if tx.traceID != "" {
 		req.TraceID = tx.traceID
@@ -496,6 +540,8 @@ func (tx *Tx) runSub(fn func(*Tx) error, block int, blockID uint64) error {
 			ctx:      tx.ctx,
 			id:       tx.id,
 			seed:     tx.seed,
+			deadline: tx.deadline,
+			budget:   tx.budget,
 			parent:   tx,
 			block:    block,
 			traceID:  tx.traceID,
@@ -599,6 +645,9 @@ func (rt *Runtime) commitIn(ctx context.Context, tx *Tx, g *shard.Group, reads [
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
+			if !tx.takeRetry() {
+				return errBudget("write quorum failover")
+			}
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "write quorum re-selection")
 		}
@@ -621,9 +670,10 @@ func (rt *Runtime) commitIn(ctx context.Context, tx *Tx, g *shard.Group, reads [
 		// coordinator crash it knows which peers to ask for the decision
 		// (cooperative termination).
 		prepare := &wire.Request{
-			Kind:    wire.KindPrepare,
-			TxID:    txid,
-			Prepare: &wire.PrepareRequest{Reads: reads, Writes: writes, Quorum: wq},
+			Kind:     wire.KindPrepare,
+			TxID:     txid,
+			Deadline: tx.deadline,
+			Prepare:  &wire.PrepareRequest{Reads: reads, Writes: writes, Quorum: wq},
 		}
 		if tx.traceID != "" {
 			prepare.TraceID = tx.traceID
@@ -702,6 +752,9 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 	var excl quorum.ExcludeSet
 	for attempt := 0; attempt < rt.cfg.QuorumAttempts; attempt++ {
 		if attempt > 0 {
+			if !tx.takeRetry() {
+				return errBudget("read-only validation failover")
+			}
 			rt.metrics.Failovers.Add(1)
 			rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "read quorum re-selection")
 		}
@@ -713,9 +766,10 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 				return errors.Join(ErrQuorumUnreachable, err)
 			}
 			req := &wire.Request{
-				Kind:    wire.KindPrepare,
-				TxID:    tx.id,
-				Prepare: &wire.PrepareRequest{Reads: p.reads},
+				Kind:     wire.KindPrepare,
+				TxID:     tx.id,
+				Deadline: tx.deadline,
+				Prepare:  &wire.PrepareRequest{Reads: p.reads},
 			}
 			if tx.traceID != "" {
 				req.TraceID = tx.traceID

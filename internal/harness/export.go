@@ -55,6 +55,9 @@ type exportedSeries struct {
 	// Resolution is present only when some vote entered cooperative
 	// termination during the run.
 	Resolution *exportedResolution `json:"resolution,omitempty"`
+	// Overload is present only when admission control, deadlines, retry
+	// budgets, or read hedging did anything during the run.
+	Overload *exportedOverload `json:"overload,omitempty"`
 	// Sharding is present only on sharded runs.
 	Sharding *exportedSharding `json:"sharding,omitempty"`
 }
@@ -105,6 +108,19 @@ type exportedResolution struct {
 	TTLAborts          uint64 `json:"ttl_aborts"`
 	StatusQueries      uint64 `json:"status_queries"`
 	ResolveForwards    uint64 `json:"resolve_forwards"`
+}
+
+// exportedOverload is the stable JSON schema for the overload-protection
+// counters: the nodes' admission-gate outcomes summed across the cluster
+// plus the clients' backpressure and hedging reactions.
+type exportedOverload struct {
+	Admitted         uint64 `json:"admitted"`
+	Shed             uint64 `json:"shed"`
+	ExpiredOnArrival uint64 `json:"expired_on_arrival"`
+	OverloadBackoffs uint64 `json:"overload_backoffs"`
+	BudgetExhausted  uint64 `json:"budget_exhausted"`
+	HedgesFired      uint64 `json:"hedges_fired"`
+	HedgeWins        uint64 `json:"hedge_wins"`
 }
 
 // exportedResult is the stable JSON schema for one experiment.
@@ -181,6 +197,18 @@ func (r *Result) ExportJSON() ([]byte, error) {
 				TTLAborts:          r.TTLAborts,
 				StatusQueries:      r.StatusQueries,
 				ResolveForwards:    r.ResolveForwards,
+			}
+		}
+		a, mm := s.Admission, s.Metrics
+		if a.Admitted+a.Shed+a.Expired+mm.OverloadBackoffs+mm.BudgetExhausted+mm.HedgesFired > 0 {
+			es.Overload = &exportedOverload{
+				Admitted:         a.Admitted,
+				Shed:             a.Shed,
+				ExpiredOnArrival: a.Expired,
+				OverloadBackoffs: mm.OverloadBackoffs,
+				BudgetExhausted:  mm.BudgetExhausted,
+				HedgesFired:      mm.HedgesFired,
+				HedgeWins:        mm.HedgeWins,
 			}
 		}
 		if s.Shards != nil {

@@ -45,6 +45,16 @@ type Scale struct {
 	// Shards > 1 partitions the keyspace across that many independent
 	// quorum groups (0/1: one cluster-wide tree quorum).
 	Shards int
+	// Overload-protection knobs, mirrored from Options: MaxInflight > 0
+	// gates every node's concurrency, TxDeadline bounds each transaction
+	// end to end, RetryBudget caps per-attempt retries, and HedgeAfter
+	// hedges slow quorum reads. All zero (off) by default.
+	MaxInflight int
+	QueueDepth  int
+	MaxQueueAge time.Duration
+	TxDeadline  time.Duration
+	RetryBudget int
+	HedgeAfter  time.Duration
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -79,6 +89,12 @@ func (s Scale) apply(o Options) Options {
 	o.DecideTimeout = s.DecideTimeout
 	o.ResolveAfter = s.ResolveAfter
 	o.Shards = s.Shards
+	o.MaxInflight = s.MaxInflight
+	o.QueueDepth = s.QueueDepth
+	o.MaxQueueAge = s.MaxQueueAge
+	o.TxDeadline = s.TxDeadline
+	o.RetryBudget = s.RetryBudget
+	o.HedgeAfter = s.HedgeAfter
 	return o
 }
 

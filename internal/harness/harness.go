@@ -21,6 +21,7 @@ import (
 	"qracn/internal/dtm"
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
+	"qracn/internal/server"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 	"qracn/internal/transport"
@@ -153,6 +154,24 @@ type Options struct {
 	// termination loop with this in-doubt deadline, so votes stranded by a
 	// fault-schedule kill resolve among the participants during the run.
 	ResolveAfter time.Duration
+	// MaxInflight, when positive, turns on every node's admission gate: at
+	// most this many gated requests execute concurrently, QueueDepth more
+	// may wait (0: 4x MaxInflight), and a queue older than MaxQueueAge
+	// flips to adaptive LIFO and sheds aged waiters with StatusOverloaded
+	// (0: 100ms).
+	MaxInflight int
+	QueueDepth  int
+	MaxQueueAge time.Duration
+	// TxDeadline gives every transaction an absolute end-to-end deadline,
+	// propagated on each request so servers refuse expired work (0: none).
+	TxDeadline time.Duration
+	// RetryBudget caps the retries one transaction attempt may spend across
+	// failover, busy re-reads, and overload backoff (0: dtm default;
+	// negative: unlimited).
+	RetryBudget int
+	// HedgeAfter hedges quorum reads to one spare replica after this delay
+	// (0: off; negative: auto-derive from the observed p99 read latency).
+	HedgeAfter time.Duration
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -224,6 +243,10 @@ type Series struct {
 	// (in-doubt votes and how each was decided; all zero on a run where no
 	// coordinator died in-doubt).
 	Resolution dtm.ResolutionStats
+	// Admission aggregates the nodes' overload-protection counters
+	// (admitted/shed/expired-on-arrival; all zero unless MaxInflight or
+	// TxDeadline was set).
+	Admission server.AdmissionStats
 	// Stages summarizes the always-on client stage histograms (quorum read,
 	// prefetch batch, 2PC prepare, whole commit) merged across all clients.
 	Stages StageSummaries
@@ -309,6 +332,9 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		ProtectTTL:    opts.ProtectTTL,
 		TraceCapacity: opts.TraceCapacity,
 		ResolveAfter:  opts.ResolveAfter,
+		MaxInflight:   opts.MaxInflight,
+		QueueDepth:    opts.QueueDepth,
+		MaxQueueAge:   opts.MaxQueueAge,
 	}
 	if opts.Durable {
 		// A fresh directory per run: replaying a previous run's log would
@@ -365,6 +391,9 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 			NoRepair:      opts.NoRepair,
 			TraceSample:   opts.TraceSample,
 			DecideTimeout: opts.DecideTimeout,
+			TxDeadline:    opts.TxDeadline,
+			RetryBudget:   opts.RetryBudget,
+			HedgeAfter:    opts.HedgeAfter,
 		}
 		if opts.TraceCapacity > 0 {
 			dcfg.Tracer = trace.New(opts.TraceCapacity)
@@ -490,6 +519,7 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		P99Latency:     latency.Quantile(0.99),
 		WAL:            c.WALStats(),
 		Resolution:     c.Resolution(),
+		Admission:      c.Admission(),
 		FsyncWait:      c.FsyncWait().Summarize(),
 		DroppedCommits: meter.Dropped(),
 	}

@@ -135,6 +135,12 @@ func (r *Result) Summary() string {
 			fmt.Fprintf(&b, " dropped=%d", s.DroppedCommits)
 		}
 		fmt.Fprintln(&b)
+		a, mm := s.Admission, s.Metrics
+		if a.Admitted+a.Shed+a.Expired+mm.OverloadBackoffs+mm.BudgetExhausted+mm.HedgesFired > 0 {
+			fmt.Fprintf(&b, "        overload: admitted=%d shed=%d expired=%d backoffs=%d budget-exhausted=%d hedges=%d hedge-wins=%d\n",
+				a.Admitted, a.Shed, a.Expired,
+				mm.OverloadBackoffs, mm.BudgetExhausted, mm.HedgesFired, mm.HedgeWins)
+		}
 		if s.Shards != nil {
 			fmt.Fprintf(&b, "        cross-shard ratio=%.2f (single=%d cross=%d cross-aborts=%d)\n",
 				s.CrossShardRatio, s.Metrics.SingleShardCommits,

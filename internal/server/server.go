@@ -76,6 +76,20 @@ type Config struct {
 	// static and identical cluster-wide); nodes without one answer
 	// StatusNotFound so unsharded deployments stay unchanged.
 	Shards *shard.Map
+	// MaxInflight bounds concurrently executing gated requests (reads,
+	// prepares, batches, stats, sync, repair, trace-fetch) — the admission
+	// gate. Excess requests queue up to QueueDepth and are shed with
+	// StatusOverloaded beyond it. 0 disables the gate entirely (the
+	// pre-overload-protection behaviour). 2PC decisions, termination-protocol
+	// traffic, pings, and shard-map fetches are never gated; see
+	// admissionGated.
+	MaxInflight int
+	// QueueDepth bounds waiters queued behind a full gate (0: 4×MaxInflight).
+	QueueDepth int
+	// MaxQueueAge is the adaptive-LIFO threshold: once the queue's head has
+	// waited this long, released slots go to the NEWEST waiter and aged
+	// waiters are shed immediately (0: 100ms).
+	MaxQueueAge time.Duration
 }
 
 // Default termination-protocol deadlines (the zero values of
@@ -135,6 +149,12 @@ type Node struct {
 	resolverStop  chan struct{}
 
 	shards *shard.Map
+
+	// gate is the admission limiter (nil: unbounded, Config.MaxInflight 0);
+	// admExpired counts deadline-expired-on-arrival rejections, which happen
+	// before the gate and regardless of whether one is configured.
+	gate       *admissionGate
+	admExpired atomic.Uint64
 }
 
 // NewNode creates a node with an empty replica.
@@ -175,6 +195,7 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 		resolveAfter:  cfg.ResolveAfter,
 		ttlAbortAfter: cfg.TTLAbortAfter,
 		shards:        cfg.Shards,
+		gate:          newAdmissionGate(cfg.MaxInflight, cfg.QueueDepth, cfg.MaxQueueAge, now),
 	}
 }
 
@@ -350,6 +371,51 @@ func (n *Node) Handle(ctx context.Context, req *wire.Request) *wire.Response {
 	if n.recovering.Load() && req.Kind != wire.KindPing {
 		return &wire.Response{Status: wire.StatusUnavailable, Detail: "node recovering: replaying commit log"}
 	}
+	// Deadline-expired work is rejected before the admission gate, the
+	// dispatch locks, and the WAL: the caller has already given up, so the
+	// cheapest correct answer is the only one worth producing. Decisions and
+	// termination-protocol traffic are exempt (deadlineExempt) — an in-doubt
+	// transaction must never be ended early by a stale caller deadline.
+	if resp := n.checkDeadline(req); resp != nil {
+		return resp
+	}
+	if n.gate != nil && admissionGated(req.Kind) {
+		release, shed := n.gate.acquire(ctx)
+		if shed != nil {
+			return shed
+		}
+		defer release()
+	}
+	return n.serve(ctx, req)
+}
+
+// checkDeadline answers StatusOverloaded for a request whose propagated
+// deadline passed before this node saw it (nil: proceed). The status choice
+// is deliberate: like a shed, an expired reject is explicit backpressure from
+// a healthy node — it must not feed failure detection or failover.
+func (n *Node) checkDeadline(req *wire.Request) *wire.Response {
+	if req.Deadline == 0 || deadlineExempt(req.Kind) {
+		return nil
+	}
+	if n.now().UnixNano() <= req.Deadline {
+		return nil
+	}
+	n.admExpired.Add(1)
+	return &wire.Response{Status: wire.StatusOverloaded, Detail: "deadline expired on arrival"}
+}
+
+// AdmissionStats snapshots the node's overload-protection counters.
+func (n *Node) AdmissionStats() AdmissionStats {
+	s := AdmissionStats{Expired: n.admExpired.Load()}
+	if n.gate != nil {
+		s.Admitted = n.gate.admitted.Load()
+		s.Shed = n.gate.shed.Load()
+	}
+	return s
+}
+
+// serve runs an admitted request: trace wrapping + dispatch.
+func (n *Node) serve(ctx context.Context, req *wire.Request) *wire.Response {
 	if req.TraceID == "" || !n.tracer.Enabled() {
 		return n.dispatch(ctx, req, 0)
 	}
@@ -406,12 +472,26 @@ func (n *Node) dispatch(ctx context.Context, req *wire.Request, serveID uint64) 
 	case wire.KindTraceFetch:
 		return n.handleTraceFetch(req)
 	case wire.KindBatch:
-		return transport.HandleBatch(ctx, n.Handle, req)
+		// Sub-requests bypass the admission gate — the enclosing batch
+		// already holds the slot, and re-acquiring per sub would deadlock a
+		// small gate against its own children — but each sub still gets its
+		// own deadline check (a batch can outlive the budget of the
+		// transaction that sent one of its subs).
+		return transport.HandleBatch(ctx, n.handleBatchSub, req)
 	case wire.KindPing:
 		return &wire.Response{Status: wire.StatusOK}
 	default:
 		return &wire.Response{Status: wire.StatusError, Detail: "unknown request kind"}
 	}
+}
+
+// handleBatchSub serves one batch sub-request: deadline-checked and traced,
+// but not re-admitted (see the KindBatch dispatch case).
+func (n *Node) handleBatchSub(ctx context.Context, req *wire.Request) *wire.Response {
+	if resp := n.checkDeadline(req); resp != nil {
+		return resp
+	}
+	return n.serve(ctx, req)
 }
 
 var _ transport.Handler = (*Node)(nil).Handle

@@ -19,11 +19,38 @@ import (
 type ChaosClient struct {
 	inner Client
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	drop  map[quorum.NodeID]float64
-	delay map[quorum.NodeID]time.Duration
-	cut   map[quorum.NodeID]bool
+	mu         sync.Mutex
+	rng        *rand.Rand
+	drop       map[quorum.NodeID]float64
+	delay      map[quorum.NodeID]time.Duration
+	replyDelay map[quorum.NodeID]time.Duration
+	ramp       map[quorum.NodeID]rampSpec
+	cut        map[quorum.NodeID]bool
+}
+
+// rampSpec describes gray-failure latency that grows linearly from zero to
+// target over the window starting at from, then holds — the "node getting
+// slower and slower" shape real degrading disks and GC death spirals produce,
+// which step-function delays never exercise.
+type rampSpec struct {
+	target time.Duration
+	over   time.Duration
+	from   time.Time
+}
+
+// at returns the ramped delay at time t.
+func (r rampSpec) at(t time.Time) time.Duration {
+	if r.target <= 0 {
+		return 0
+	}
+	el := t.Sub(r.from)
+	if el <= 0 {
+		return 0
+	}
+	if r.over <= 0 || el >= r.over {
+		return r.target
+	}
+	return time.Duration(float64(r.target) * (float64(el) / float64(r.over)))
 }
 
 // NewChaosClient wraps inner; seed fixes the drop-roll sequence (0 derives
@@ -33,11 +60,13 @@ func NewChaosClient(inner Client, seed int64) *ChaosClient {
 		seed = time.Now().UnixNano()
 	}
 	return &ChaosClient{
-		inner: inner,
-		rng:   rand.New(rand.NewSource(seed)),
-		drop:  make(map[quorum.NodeID]float64),
-		delay: make(map[quorum.NodeID]time.Duration),
-		cut:   make(map[quorum.NodeID]bool),
+		inner:      inner,
+		rng:        rand.New(rand.NewSource(seed)),
+		drop:       make(map[quorum.NodeID]float64),
+		delay:      make(map[quorum.NodeID]time.Duration),
+		replyDelay: make(map[quorum.NodeID]time.Duration),
+		ramp:       make(map[quorum.NodeID]rampSpec),
+		cut:        make(map[quorum.NodeID]bool),
 	}
 }
 
@@ -49,11 +78,36 @@ func (c *ChaosClient) SetDropRate(id quorum.NodeID, p float64) {
 	c.drop[id] = p
 }
 
-// SetDelay adds fixed latency to every call to the node.
+// SetDelay adds fixed latency on the request direction of every call to the
+// node (before the request is delivered).
 func (c *ChaosClient) SetDelay(id quorum.NodeID, d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.delay[id] = d
+}
+
+// SetReplyDelay adds fixed latency on the reply direction: the request is
+// delivered (and executed) promptly, but the answer is held back. This is the
+// nastier half of a gray failure — the server did the work and holds the
+// locks, yet the client can't tell it apart from a lost request.
+func (c *ChaosClient) SetReplyDelay(id quorum.NodeID, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replyDelay[id] = d
+}
+
+// SetRamp makes the node's request latency grow linearly from zero to target
+// over the given window (then hold at target); over <= 0 applies target
+// immediately. target <= 0 clears the ramp. The ramp adds to any SetDelay
+// latency.
+func (c *ChaosClient) SetRamp(id quorum.NodeID, target, over time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if target <= 0 {
+		delete(c.ramp, id)
+		return
+	}
+	c.ramp[id] = rampSpec{target: target, over: over, from: time.Now()}
 }
 
 // Cut partitions the node away (true) or heals it (false): calls fail
@@ -69,6 +123,10 @@ func (c *ChaosClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Requ
 	c.mu.Lock()
 	cut := c.cut[to]
 	delay := c.delay[to]
+	if r, ok := c.ramp[to]; ok {
+		delay += r.at(time.Now())
+	}
+	replyDelay := c.replyDelay[to]
 	dropped := false
 	if p := c.drop[to]; p > 0 {
 		dropped = c.rng.Float64() < p
@@ -82,17 +140,35 @@ func (c *ChaosClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Requ
 		<-ctx.Done()
 		return nil, classify(to, ErrKindTimeout, ctx.Err())
 	}
-	if delay > 0 {
-		t := time.NewTimer(delay)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return nil, ctx.Err()
-		}
-		t.Stop()
+	if err := c.sleep(ctx, to, delay); err != nil {
+		return nil, err
 	}
-	return c.inner.Call(ctx, to, req)
+	resp, err := c.inner.Call(ctx, to, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.sleep(ctx, to, replyDelay); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// sleep blocks for d, honouring context cancellation. A cancellation mid-
+// delay is classified as a per-node timeout — the same shape a real slow
+// link produces — rather than leaking a bare context error that callers (and
+// the failure-detector classifier) would not attribute to the node.
+func (c *ChaosClient) sleep(ctx context.Context, to quorum.NodeID, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return classify(to, ErrKindTimeout, ctx.Err())
+	}
 }
 
 var _ Client = (*ChaosClient)(nil)

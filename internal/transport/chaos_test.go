@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qracn/internal/wire"
+)
+
+func okHandler(ctx context.Context, req *wire.Request) *wire.Response {
+	return &wire.Response{Status: wire.StatusOK}
+}
+
+func TestRampSpecShape(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	r := rampSpec{target: 100 * time.Millisecond, over: time.Second, from: t0}
+	cases := []struct {
+		at   time.Duration
+		want time.Duration
+	}{
+		{-time.Second, 0}, // before the ramp starts
+		{0, 0},            // at the start
+		{250 * time.Millisecond, 25 * time.Millisecond},
+		{500 * time.Millisecond, 50 * time.Millisecond},
+		{time.Second, 100 * time.Millisecond}, // ramp complete
+		{time.Minute, 100 * time.Millisecond}, // holds at target
+	}
+	for _, tc := range cases {
+		if got := r.at(t0.Add(tc.at)); got != tc.want {
+			t.Errorf("at(+%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	// over <= 0 applies the target immediately.
+	step := rampSpec{target: 7 * time.Millisecond, from: t0}
+	if got := step.at(t0.Add(time.Nanosecond)); got != 7*time.Millisecond {
+		t.Errorf("step ramp = %v, want full target", got)
+	}
+	// Cleared ramp (target <= 0) contributes nothing.
+	if got := (rampSpec{}).at(t0.Add(time.Hour)); got != 0 {
+		t.Errorf("zero ramp = %v, want 0", got)
+	}
+}
+
+// TestChaosClientReplyDelay checks the reply-direction injection: the server
+// executes the request promptly (the gray-failure half where work happens and
+// locks are held), only the answer is late.
+func TestChaosClientReplyDelay(t *testing.T) {
+	net := NewChannelNetwork(ChannelConfig{})
+	defer net.Close()
+	served := make(chan time.Time, 1)
+	net.Register(0, func(ctx context.Context, req *wire.Request) *wire.Response {
+		served <- time.Now()
+		return &wire.Response{Status: wire.StatusOK}
+	})
+	chaos := NewChaosClient(net, 7)
+	chaos.SetReplyDelay(0, 60*time.Millisecond)
+
+	start := time.Now()
+	resp, err := chaos.Call(context.Background(), 0, &wire.Request{Kind: wire.KindPing})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("call: %v, %v", resp, err)
+	}
+	if total := time.Since(start); total < 50*time.Millisecond {
+		t.Fatalf("reply delay not applied: round trip %v", total)
+	}
+	servedAt := <-served
+	if lag := servedAt.Sub(start); lag > 30*time.Millisecond {
+		t.Fatalf("request direction delayed by %v; reply-delay must not slow delivery", lag)
+	}
+}
+
+// TestChaosClientSleepClassification pins the detector contract of delays cut
+// short by the caller: a context DEADLINE mid-delay is a per-node timeout (a
+// slow link looks like a timeout and must count against the node), while a
+// context CANCEL passes through raw (the caller gave up — e.g. an abandoned
+// hedge — and the node must not be blamed).
+func TestChaosClientSleepClassification(t *testing.T) {
+	net := NewChannelNetwork(ChannelConfig{})
+	defer net.Close()
+	net.Register(0, okHandler)
+	chaos := NewChaosClient(net, 7)
+	chaos.SetDelay(0, time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := chaos.Call(ctx, 0, &wire.Request{Kind: wire.KindPing})
+	var te *Error
+	if !errors.As(err, &te) || te.Kind != ErrKindTimeout || te.Node != 0 {
+		t.Fatalf("deadline mid-delay = %v, want node-0 timeout", err)
+	}
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		ccancel()
+	}()
+	_, err = chaos.Call(cctx, 0, &wire.Request{Kind: wire.KindPing})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel mid-delay = %v, want context.Canceled to survive", err)
+	}
+	if wrapped := new(Error); errors.As(err, &wrapped) {
+		t.Fatalf("cancel mid-delay was node-classified (%+v); abandoned calls must stay detector-neutral", wrapped)
+	}
+}
+
+// TestChaosClientRampGrows drives the ramp through Call: latency grows over
+// the window instead of stepping, the degradation shape real graying nodes
+// produce.
+func TestChaosClientRampGrows(t *testing.T) {
+	net := NewChannelNetwork(ChannelConfig{})
+	defer net.Close()
+	net.Register(0, okHandler)
+	chaos := NewChaosClient(net, 7)
+	chaos.SetRamp(0, 80*time.Millisecond, 160*time.Millisecond)
+
+	timeCall := func() time.Duration {
+		start := time.Now()
+		if _, err := chaos.Call(context.Background(), 0, &wire.Request{Kind: wire.KindPing}); err != nil {
+			t.Fatalf("call: %v", err)
+		}
+		return time.Since(start)
+	}
+	early := timeCall() // just after SetRamp: a small fraction of target
+	time.Sleep(200 * time.Millisecond)
+	late := timeCall() // past the window: held at target
+	if early >= 60*time.Millisecond {
+		t.Fatalf("early ramped call took %v, want well under the 80ms target", early)
+	}
+	if late < 60*time.Millisecond {
+		t.Fatalf("held ramped call took %v, want ~80ms target", late)
+	}
+
+	// target <= 0 clears the ramp.
+	chaos.SetRamp(0, 0, 0)
+	if d := timeCall(); d > 20*time.Millisecond {
+		t.Fatalf("cleared ramp still delays calls: %v", d)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qracn/internal/backoff"
 	"qracn/internal/quorum"
 	"qracn/internal/wire"
 )
@@ -519,18 +520,8 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.NodeID, req *wire.Reques
 }
 
 func (c *TCPClient) sleepBackoff(ctx context.Context, attempt int) error {
-	d := c.retry.BackoffBase << uint(min(attempt-1, 16))
-	if d > c.retry.BackoffMax {
-		d = c.retry.BackoffMax
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	p := backoff.Policy{Base: c.retry.BackoffBase, Max: c.retry.BackoffMax}
+	return backoff.Sleep(ctx, p.Delay(attempt-1))
 }
 
 // Close tears down all connections.

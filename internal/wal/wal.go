@@ -37,6 +37,10 @@ import (
 // ErrClosed is returned by Append after Close or Crash.
 var ErrClosed = errors.New("wal: log closed")
 
+// errInjectedSyncFailure is the synthetic I/O error produced by
+// SetSyncFailEvery (slow/failing-disk fault injection in tests).
+var errInjectedSyncFailure = errors.New("wal: injected fsync failure")
+
 // Options tunes a Log.
 type Options struct {
 	// FsyncInterval is the group-commit window: appends block until the
@@ -135,6 +139,14 @@ type Log struct {
 	maxBatch atomic.Uint64
 	snaps    atomic.Uint64
 	removed  atomic.Uint64
+
+	// Slow-disk fault injection (tests only; both zero in production).
+	// syncDelay stalls every fsync by the given nanoseconds while holding
+	// l.mu — exactly the shape of a degrading disk: appends queue behind the
+	// slow flush and commit latency balloons without any call failing.
+	// syncFailEvery makes every Nth fsync report an I/O error.
+	syncDelay     atomic.Int64
+	syncFailEvery atomic.Int64
 
 	replayedRecords uint64
 	replayedSnap    uint64
@@ -308,6 +320,17 @@ func (l *Log) Stats() Stats {
 // trigger input for automatic snapshots.
 func (l *Log) RecordsSinceSnapshot() uint64 { return l.recsSinceSnap.Load() }
 
+// SetSyncDelay injects a stall of d into every subsequent fsync (0 clears
+// it). The sleep happens while holding the log mutex, so appends queue
+// behind it exactly as they would behind a degrading disk. Test-only.
+func (l *Log) SetSyncDelay(d time.Duration) { l.syncDelay.Store(int64(d)) }
+
+// SetSyncFailEvery makes every Nth fsync report an injected I/O error to all
+// appends in that batch (0 clears it). The data was still written and
+// synced, modelling a disk that flushes but answers with errors — appenders
+// must treat the batch as failed. Test-only.
+func (l *Log) SetSyncFailEvery(n int64) { l.syncFailEvery.Store(n) }
+
 // Append durably logs one commit's records: it stages the frames, then
 // blocks until the batched fsync covering them completes. On return the
 // records survive any crash. Safe for concurrent use; concurrent appends
@@ -385,8 +408,18 @@ func (l *Log) syncLocked() error {
 		l.buf.Reset()
 	}
 	if err == nil {
+		if d := l.syncDelay.Load(); d > 0 {
+			// Injected slow disk: sleep under l.mu so appends pile up behind
+			// the stalled flush, as they would behind real hardware.
+			time.Sleep(time.Duration(d))
+		}
 		err = l.f.Sync()
 		l.fsyncs.Add(1)
+		if err == nil {
+			if every := l.syncFailEvery.Load(); every > 0 && l.fsyncs.Load()%uint64(every) == 0 {
+				err = errInjectedSyncFailure
+			}
+		}
 		if b := uint64(len(waiters)); b > l.maxBatch.Load() {
 			l.maxBatch.Store(b)
 		}

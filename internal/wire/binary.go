@@ -82,6 +82,11 @@ const (
 	reqHasTxStatus
 	reqHasResolve
 	reqHasShardMap
+	// reqHasDeadline marks a non-zero Request.Deadline (a header field, not
+	// a payload, but presence-masked the same way so deadline-free requests
+	// — including every frame an old peer emits — stay byte-identical to
+	// the pre-deadline layout).
+	reqHasDeadline
 )
 
 // Response payload presence bits, wire order; uvarint-encoded like the
@@ -356,6 +361,9 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 	if r.ShardMap != nil {
 		mask |= reqHasShardMap
 	}
+	if r.Deadline != 0 {
+		mask |= reqHasDeadline
+	}
 	dst = binary.AppendUvarint(dst, mask)
 	var err error
 	if r.Read != nil {
@@ -420,6 +428,9 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 	}
 	if r.ShardMap != nil {
 		dst = binary.AppendUvarint(dst, r.ShardMap.HaveVersion)
+	}
+	if r.Deadline != 0 {
+		dst = binary.AppendVarint(dst, r.Deadline)
 	}
 	return dst, nil
 }
@@ -942,6 +953,11 @@ func (d *binReader) request() (*Request, error) {
 			return nil, err
 		}
 		r.ShardMap = sm
+	}
+	if mask&reqHasDeadline != 0 {
+		if r.Deadline, err = d.varint(); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }

@@ -68,7 +68,7 @@ func (r *Request) Clone() *Request {
 	if r == nil {
 		return nil
 	}
-	out := &Request{Kind: r.Kind, TxID: r.TxID, TraceID: r.TraceID, SpanID: r.SpanID}
+	out := &Request{Kind: r.Kind, TxID: r.TxID, TraceID: r.TraceID, SpanID: r.SpanID, Deadline: r.Deadline}
 	if r.Read != nil {
 		out.Read = &ReadRequest{
 			Object:      r.Read.Object,

@@ -18,8 +18,9 @@ import (
 // codecs (TCP transport, commit log) cannot slip through.
 var kindFixtures = map[Kind]*Request{
 	KindRead: {
-		Kind: KindRead,
-		TxID: "tx-read",
+		Kind:     KindRead,
+		TxID:     "tx-read",
+		Deadline: 1700000000123456789,
 		Read: &ReadRequest{
 			Object:      store.ID("acct", 1),
 			Validate:    []store.ReadDesc{{ID: store.ID("acct", 2), Version: 7}},
@@ -230,12 +231,94 @@ func TestTraceFetchResponseRoundTrips(t *testing.T) {
 // TestEveryStatusHasAString keeps Status printable as the enum grows (a new
 // status falling through to "error" would make failure triage misleading).
 func TestEveryStatusHasAString(t *testing.T) {
-	for _, s := range []Status{StatusOK, StatusBusy, StatusNotFound, StatusError, StatusUnavailable} {
+	for _, s := range []Status{StatusOK, StatusBusy, StatusNotFound, StatusError, StatusUnavailable, StatusOverloaded} {
 		if s.String() == "" {
 			t.Fatalf("Status %d has empty String()", s)
 		}
 	}
 	if StatusUnavailable.String() != "unavailable" {
 		t.Fatalf("StatusUnavailable prints %q", StatusUnavailable.String())
+	}
+	if StatusOverloaded.String() != "overloaded" {
+		t.Fatalf("StatusOverloaded prints %q", StatusOverloaded.String())
+	}
+}
+
+// TestStatusOverloadedRoundTrips pins the new backpressure status through
+// both codecs on a response envelope (the varint status encoding makes this
+// nearly free, but a decoder that validated against the old status range
+// would reject it — this is the mixed-version smoke for the status side).
+func TestStatusOverloadedRoundTrips(t *testing.T) {
+	env := &Envelope{
+		Seq:        3,
+		IsResponse: true,
+		Resp:       &Response{Status: StatusOverloaded, Detail: "admission queue full"},
+	}
+	for _, codec := range Codecs() {
+		var buf bytes.Buffer
+		if err := codec.NewEncoder(&buf, false).Encode(env); err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		got, err := codec.NewDecoder(&buf).Decode()
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("%s: round trip mutated the envelope: got %+v", codec.Name(), got.Resp)
+		}
+	}
+}
+
+// TestDeadlineMixedVersionInterop pins the compatibility story for the
+// deadline header field in the binary codec:
+//
+//  1. Forward: a request WITHOUT a deadline encodes byte-identically to what
+//     a pre-deadline peer emits (the presence bit is only set for non-zero
+//     deadlines), so an old peer's frames — which can never carry the bit —
+//     decode here with Deadline == 0, and frames sent to an old peer carry
+//     nothing it would reject.
+//  2. The bit itself round-trips: stripping the deadline from a fixture and
+//     re-encoding removes exactly the mask bit and the varint payload.
+func TestDeadlineMixedVersionInterop(t *testing.T) {
+	withDL := kindFixtures[KindRead]
+	if withDL.Deadline == 0 {
+		t.Fatal("fixture must carry a deadline for this test")
+	}
+	noDL := withDL.Clone()
+	noDL.Deadline = 0
+
+	enc := func(r *Request) []byte {
+		var buf bytes.Buffer
+		if err := Binary.NewEncoder(&buf, false).Encode(&Envelope{Seq: 1, Req: r}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	oldLayout := enc(noDL)
+	newLayout := enc(withDL)
+	if bytes.Equal(oldLayout, newLayout) {
+		t.Fatal("deadline did not change the encoding")
+	}
+
+	// An "old peer" frame (no deadline bit) decodes with a zero deadline and
+	// no trailing-byte error.
+	got, err := Binary.NewDecoder(bytes.NewReader(oldLayout)).Decode()
+	if err != nil {
+		t.Fatalf("decode old layout: %v", err)
+	}
+	if got.Req.Deadline != 0 {
+		t.Fatalf("old-layout decode invented deadline %d", got.Req.Deadline)
+	}
+	if !reflect.DeepEqual(got.Req, noDL) {
+		t.Fatalf("old-layout round trip mutated the request: %+v", got.Req)
+	}
+
+	// The new layout round-trips with the deadline intact.
+	got, err = Binary.NewDecoder(bytes.NewReader(newLayout)).Decode()
+	if err != nil {
+		t.Fatalf("decode new layout: %v", err)
+	}
+	if got.Req.Deadline != withDL.Deadline {
+		t.Fatalf("deadline mutated: got %d want %d", got.Req.Deadline, withDL.Deadline)
 	}
 }

@@ -39,6 +39,15 @@ const (
 	// unlike a refused dial it does not feed the failure detector's
 	// suspicion score, because answering at all proves the process is live.
 	StatusUnavailable
+	// StatusOverloaded: the node's admission gate shed the request (its
+	// in-flight limit and queue are full, the queued request aged out, or
+	// the request's deadline had already expired on arrival — see
+	// Response.Detail). Pure backpressure: the node is healthy, so clients
+	// must retry the SAME node after a jittered backoff within their retry
+	// budget — never fail over (that would migrate load onto the remaining
+	// members and cascade) and never feed the failure detector (answering
+	// proves liveness).
+	StatusOverloaded
 )
 
 func (s Status) String() string {
@@ -51,6 +60,8 @@ func (s Status) String() string {
 		return "not-found"
 	case StatusUnavailable:
 		return "unavailable"
+	case StatusOverloaded:
+		return "overloaded"
 	default:
 		return "error"
 	}
@@ -151,8 +162,20 @@ type Request struct {
 	// request. Both are zero on untraced requests — gob omits zero-valued
 	// fields, so the header costs no wire bytes when tracing is off — and a
 	// server that receives them records its serve span under SpanID.
-	TraceID    string
-	SpanID     uint64
+	TraceID string
+	SpanID  uint64
+	// Deadline is the absolute expiry of the issuing transaction's budget,
+	// in Unix nanoseconds (0: none). Servers reject work whose deadline has
+	// already passed BEFORE touching locks or the WAL — executing it would
+	// be wasted: the caller has given up. Deliberately absolute rather than
+	// a remaining-time delta: a delta survives clock skew but silently
+	// inflates on every store-and-forward hop; an absolute deadline is
+	// exact under the bounded skew a quorum deployment already assumes for
+	// lease TTLs, and only ever errs by that skew once, not per hop.
+	// Coordinators never stamp it on KindDecision/KindResolve — a decided
+	// transaction must reach participants regardless of who is still
+	// waiting — and servers never deadline-check those kinds.
+	Deadline   int64
 	Read       *ReadRequest
 	Prepare    *PrepareRequest
 	Decision   *DecisionRequest
