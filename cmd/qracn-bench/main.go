@@ -60,6 +60,9 @@ func main() {
 		txDeadline  = flag.Duration("tx-deadline", 0, "end-to-end deadline per transaction, propagated so servers refuse expired work (0: none)")
 		retryBudget = flag.Int("retry-budget", 0, "retries per transaction attempt shared across failover, busy, and overload backoff (0: dtm default; negative: unlimited)")
 		hedgeAfter  = flag.Duration("hedge-after", 0, "hedge quorum reads to one spare replica after this delay (0: off; negative: auto from observed p99)")
+
+		forensicsRing = flag.Int("forensics-ring", 0, "abort-forensics event ring capacity per node and client (0: 4096 default)")
+		noForensics   = flag.Bool("no-forensics", false, "disable abort forensics entirely (conflict attribution rings and witnesses)")
 	)
 	flag.Parse()
 	if *jsonFile != "" {
@@ -101,6 +104,8 @@ func main() {
 		TxDeadline:       *txDeadline,
 		RetryBudget:      *retryBudget,
 		HedgeAfter:       *hedgeAfter,
+		ForensicsRing:    *forensicsRing,
+		NoForensics:      *noForensics,
 	}
 
 	modes, err := parseModes(*modesArg)
@@ -221,6 +226,10 @@ func main() {
 		fmt.Print(res.Table())
 		fmt.Println()
 		fmt.Print(res.Summary())
+		if !*noForensics {
+			fmt.Println()
+			fmt.Print(res.AbortRatioTable())
+		}
 		if *stages {
 			fmt.Println()
 			fmt.Print(res.StageReport())
@@ -645,6 +654,7 @@ func runAveraged(ctx context.Context, f harness.Figure, scale harness.Scale, mod
 			a.DroppedCommits += series.DroppedCommits
 			a.WAL.Add(series.WAL)
 			a.Admission.Add(series.Admission)
+			a.Forensics.Merge(series.Forensics)
 			for i := range a.Shards {
 				if i < len(series.Shards) {
 					a.Shards[i].Add(series.Shards[i])

@@ -61,6 +61,9 @@ func main() {
 		traceCap    = flag.Int("trace", 0, "span/event ring size for distributed tracing; >0 turns tracing on")
 		traceSample = flag.Int("trace-sample", 1, "with tracing on, record spans for 1-in-N transactions (0/1: all, negative: events only)")
 		spansOut    = flag.String("spans-out", "", "after the run, fetch this client's spans plus every node's and write them as JSON (implies tracing)")
+
+		forensicsRing = flag.Int("forensics-ring", 0, "abort-forensics event ring capacity (0: 4096 default)")
+		noForensics   = flag.Bool("no-forensics", false, "disable abort forensics on this client")
 	)
 	flag.Parse()
 
@@ -133,6 +136,8 @@ func main() {
 		TxDeadline:    *txDeadline,
 		RetryBudget:   *retryBudget,
 		HedgeAfter:    *hedgeAfter,
+		ForensicsRing: *forensicsRing,
+		NoForensics:   *noForensics,
 	}
 	if *traceCap > 0 {
 		dcfg.Tracer = trace.New(*traceCap)
@@ -206,6 +211,19 @@ func main() {
 		m.Failovers, m.Suspicions, m.Probes, m.Readmissions, m.Repairs)
 	fmt.Printf("overload: backoffs=%d budget-exhausted=%d hedges-fired=%d hedge-wins=%d\n",
 		m.OverloadBackoffs, m.BudgetExhausted, m.HedgesFired, m.HedgeWins)
+	if !*noForensics {
+		fmt.Printf("forensics: read-val=%d lock=%d commit-round=%d deadline=%d overload=%d blocks=[%d %d %d %d]",
+			m.AbortsReadValidation, m.AbortsLockConflict, m.AbortsCommitRound,
+			m.AbortsDeadline, m.AbortsOverload,
+			m.AbortsBlock0, m.AbortsBlock1, m.AbortsBlock2, m.AbortsBlock3Plus)
+		for i, h := range rt.Forensics().HotKeys(3) {
+			if i == 0 {
+				fmt.Print(" hot:")
+			}
+			fmt.Printf(" %s(%d)", h.Key, h.Conflicts)
+		}
+		fmt.Println()
+	}
 	st := rt.Stages()
 	fmt.Printf("stages: read[%s] prefetch[%s] prepare[%s] commit[%s]\n",
 		st.Read.Summarize(), st.PrefetchBatch.Summarize(),

@@ -24,6 +24,15 @@
 //
 //	qracn-inspect trace -in spans.json -timeline
 //	qracn-inspect trace -nodes 127.0.0.1:7450,127.0.0.1:7451 -chrome trace.json
+//
+// The forensics subcommand renders the abort-attribution report — per-cause
+// abort counts with coverage, the partial-vs-full split, the abort-position
+// histogram over Block index, the hot-key conflict ranking, and the ACN
+// controller's decision timeline — from a qracn-bench JSON export or live
+// from a cluster's forensic rings:
+//
+//	qracn-inspect forensics -in bench.json
+//	qracn-inspect forensics -nodes 127.0.0.1:7450,127.0.0.1:7451 -top 10 -events 20
 package main
 
 import (
@@ -49,6 +58,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(traceMain(os.Args[2:], os.Stdout))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "forensics" {
+		os.Exit(forensicsMain(os.Args[2:], os.Stdout))
 	}
 	var (
 		list      = flag.Bool("list", false, "list registered programs")

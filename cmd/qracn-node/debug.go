@@ -6,7 +6,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 
+	"qracn/internal/forensics"
 	"qracn/internal/metrics"
 	"qracn/internal/server"
 )
@@ -67,6 +69,22 @@ func nodeExposition(node *server.Node) *metrics.Exposition {
 	e.Counter("qracn_admission_admitted_total", "Gated requests that acquired an execution slot.", as.Admitted)
 	e.Counter("qracn_admission_shed_total", "Gated requests answered StatusOverloaded instead of executing.", as.Shed)
 	e.Counter("qracn_admission_expired_total", "Requests rejected because their propagated deadline had already passed on arrival.", as.Expired)
+	if fr := node.Forensics(); fr != nil {
+		e.Counter("qracn_forensics_abort_events_total", "Conflict events this node attributed (validation invalidations and busy refusals observed server-side).", fr.TotalAborts())
+		var byCause [forensics.NumCauses]uint64
+		for _, ev := range fr.Aborts() {
+			if int(ev.Cause) < len(byCause) {
+				byCause[ev.Cause]++
+			}
+		}
+		for c := forensics.CauseUnknown + 1; c < forensics.NumCauses; c++ {
+			e.Gauge("qracn_forensics_ring_"+strings.ReplaceAll(c.String(), "-", "_"),
+				"Events of this cause currently buffered in the forensic ring.", float64(byCause[c]))
+		}
+		if hot := fr.HotKeys(1); len(hot) > 0 {
+			e.Gauge("qracn_forensics_top_key_conflicts", "Conflict tally of the currently hottest key ("+hot[0].Key+").", float64(hot[0].Conflicts))
+		}
+	}
 	if w := node.WAL(); w != nil {
 		ws := w.Stats()
 		e.Counter("qracn_wal_appends_total", "Commit-log append calls (one per durable decision).", ws.Appends)

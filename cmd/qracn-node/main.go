@@ -65,6 +65,9 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing gated requests (0 disables the gate)")
 		queueDepth  = flag.Int("queue-depth", 0, "admission wait-queue depth; beyond it requests are shed with StatusOverloaded (0: 4x -max-inflight)")
 		maxQueueAge = flag.Duration("max-queue-age", 0, "admission queue age past which the gate flips to adaptive LIFO and sheds aged waiters (0: 100ms)")
+
+		forensicsRing = flag.Int("forensics-ring", 0, "abort-forensics event ring capacity (0: 4096 default); rings are fetchable via qracn-inspect forensics")
+		noForensics   = flag.Bool("no-forensics", false, "disable abort forensics: no conflict rings, no conflict-witness piggyback on busy replies")
 	)
 	flag.Parse()
 
@@ -130,6 +133,8 @@ func main() {
 		MaxInflight:   *maxInflight,
 		QueueDepth:    *queueDepth,
 		MaxQueueAge:   *maxQueueAge,
+		ForensicsRing: *forensicsRing,
+		NoForensics:   *noForensics,
 	}
 	if *traceCap > 0 {
 		scfg.Tracer = trace.New(*traceCap)

@@ -3,6 +3,7 @@ package acn
 import (
 	"sort"
 
+	"qracn/internal/forensics"
 	"qracn/internal/model"
 	"qracn/internal/unitgraph"
 )
@@ -52,6 +53,23 @@ func NewAlgorithm(an *unitgraph.Analysis, cfg AlgoConfig) *Algorithm {
 	return &Algorithm{an: an, cfg: cfg}
 }
 
+// Audit explains one Recompose decision for the forensics pipeline: the
+// contention inputs the algorithm saw, how many merges and reorders it
+// performed, and every merge it considered but refused (with the closure that
+// vetoed it).
+type Audit struct {
+	// Levels are the per-UnitBlock contention levels the decision was made
+	// from (the raw level inputs, before the abort-probability model).
+	Levels []forensics.AnchorLevel
+	// Merges counts adjacent Block pairs folded together by step 2.
+	Merges int
+	// Reorders counts Blocks step 3 scheduled at a different position than
+	// the dependency-order sequence step 2 produced.
+	Reorders int
+	// Refusals are the adjacent pairs step 2 examined and left unmerged.
+	Refusals []forensics.Refusal
+}
+
 // Recompose produces a new Block sequence from the current contention levels
 // (level is queried per UnitBlock). The three steps of §V-C3:
 //
@@ -62,18 +80,37 @@ func NewAlgorithm(an *unitgraph.Analysis, cfg AlgoConfig) *Algorithm {
 //  3. order the Blocks by increasing contention — hot spots as close to the
 //     commit phase as possible — while preserving data dependencies.
 func (alg *Algorithm) Recompose(level func(anchorID int) float64) *Composition {
+	comp, _ := alg.RecomposeAudited(level)
+	return comp
+}
+
+// RecomposeAudited is Recompose plus a decision audit describing what the
+// algorithm did and why it declined the merges it declined.
+func (alg *Algorithm) RecomposeAudited(level func(anchorID int) float64) (*Composition, *Audit) {
 	an := alg.an
 	n := an.NumAnchors
+	aud := &Audit{Levels: make([]forensics.AnchorLevel, 0, n)}
 	probs := make([]float64, n)
 	for i := 0; i < n; i++ {
-		probs[i] = alg.cfg.Model.AbortProb(level(i))
+		l := level(i)
+		probs[i] = alg.cfg.Model.AbortProb(l)
+		aud.Levels = append(aud.Levels, forensics.AnchorLevel{Anchor: i, Level: l})
 	}
 
 	hosts := alg.reattach(probs)
 	groups := baseGroups(an, hosts)
-	groups = alg.merge(hosts, groups, probs)
+	groups = alg.merge(hosts, groups, probs, aud)
+	preSort := make([]int, len(groups))
+	for i, g := range groups {
+		preSort[i] = g[0]
+	}
 	groups = alg.sortGroups(hosts, groups, probs)
-	return build(an, hosts, groups)
+	for i, g := range groups {
+		if g[0] != preSort[i] {
+			aud.Reorders++
+		}
+	}
+	return build(an, hosts, groups), aud
 }
 
 // hotter imposes the deterministic total order used for host selection:
@@ -131,8 +168,9 @@ func (alg *Algorithm) reattach(probs []float64) []int {
 // abort probabilities differ by less than the threshold — they will move
 // together and an invalidation of either re-executes only the merged Block.
 // A merge that would deadlock the ordering (cycle through a Block between
-// them) is skipped.
-func (alg *Algorithm) merge(hosts []int, groups [][]int, probs []float64) [][]int {
+// them) is skipped. aud, when non-nil, collects every merge and every
+// refusal with the closure that vetoed it.
+func (alg *Algorithm) merge(hosts []int, groups [][]int, probs []float64, aud *Audit) [][]int {
 	if alg.cfg.DisableMerge || len(groups) <= 1 {
 		return groups
 	}
@@ -193,17 +231,40 @@ func (alg *Algorithm) merge(hosts []int, groups [][]int, probs []float64) [][]in
 		return ha < 0 || hb < 0 || ha == hb
 	}
 
+	refuse := func(ga, gb []int, reason forensics.RefusalReason) {
+		if aud != nil {
+			aud.Refusals = append(aud.Refusals, forensics.Refusal{
+				First: ga[0], Second: gb[0], Reason: reason,
+			})
+		}
+	}
 	out := [][]int{groups[0]}
 	for i := 1; i < len(groups); i++ {
 		last := out[len(out)-1]
-		if dependent(last, groups[i]) && similar(last, groups[i]) && colocated(last, groups[i]) {
+		dep := dependent(last, groups[i])
+		if dep && similar(last, groups[i]) && colocated(last, groups[i]) {
 			candidate := append(append([]int(nil), last...), groups[i]...)
 			sort.Ints(candidate)
 			rest := append(append([][]int(nil), out[:len(out)-1]...), candidate)
 			rest = append(rest, groups[i+1:]...)
 			if groupsAcyclic(an, hosts, rest) {
 				out[len(out)-1] = candidate
+				if aud != nil {
+					aud.Merges++
+				}
 				continue
+			}
+			// Merging would cycle the Block order through a group between
+			// the pair: a dependency refusal.
+			refuse(last, groups[i], forensics.RefusalDependency)
+		} else {
+			switch {
+			case !dep:
+				refuse(last, groups[i], forensics.RefusalDependency)
+			case !similar(last, groups[i]):
+				refuse(last, groups[i], forensics.RefusalSimilarity)
+			default:
+				refuse(last, groups[i], forensics.RefusalShardHome)
 			}
 		}
 		out = append(out, groups[i])

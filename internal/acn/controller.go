@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qracn/internal/contention"
+	"qracn/internal/forensics"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 )
@@ -87,6 +88,12 @@ func (c *Controller) anchorLevel(id int) float64 {
 // synchronously: query the quorum for the contention of recently touched
 // objects, fold into the table, recompose, and swap the Block sequence.
 func (c *Controller) RefreshOnce(ctx context.Context) error {
+	return c.refresh(ctx, "manual")
+}
+
+// refresh is RefreshOnce with the forensic trigger label: "interval" for the
+// periodic loop, "manual" for explicit RefreshOnce calls.
+func (c *Controller) refresh(ctx context.Context, trigger string) error {
 	ids := c.exec.SampledIDs()
 	if len(ids) > 0 {
 		levels, err := c.exec.Runtime().FetchStats(ctx, ids)
@@ -95,18 +102,32 @@ func (c *Controller) RefreshOnce(ctx context.Context) error {
 		}
 		c.table.ObserveAll(levels)
 	}
-	comp := c.algo.Recompose(c.anchorLevel)
+	before := ""
+	if cur := c.exec.Composition(); cur != nil {
+		before = cur.String()
+	}
+	comp, aud := c.algo.RecomposeAudited(c.anchorLevel)
 	// Skip the swap when the algorithm module reproduced the current Block
 	// sequence: SetComposition recompiles the whole plan, and an unchanged
 	// composition would churn it (and every in-flight Execute's view) for
 	// nothing.
-	if cur := c.exec.Composition(); cur != nil && cur.String() == comp.String() {
-		c.refreshes.Add(1)
+	applied := before != comp.String()
+	c.exec.Runtime().Forensics().RecordRecompose(forensics.RecomposeEvent{
+		Trigger:  trigger,
+		Before:   before,
+		After:    comp.String(),
+		Levels:   aud.Levels,
+		Merges:   aud.Merges,
+		Reorders: aud.Reorders,
+		Refusals: aud.Refusals,
+		Applied:  applied,
+	})
+	c.refreshes.Add(1)
+	if !applied {
 		c.tracer.Record(trace.KindRecomposeSkip, "", comp.String())
 		return nil
 	}
 	c.exec.SetComposition(comp)
-	c.refreshes.Add(1)
 	c.tracer.Record(trace.KindRecompose, "", comp.String())
 	return nil
 }
@@ -129,7 +150,7 @@ func (c *Controller) Start(ctx context.Context) {
 		for {
 			select {
 			case <-ticker.C:
-				_ = c.RefreshOnce(ctx) // transient quorum errors: retry next tick
+				_ = c.refresh(ctx, "interval") // transient quorum errors: retry next tick
 			case <-c.stop:
 				return
 			case <-ctx.Done():

@@ -39,6 +39,12 @@ type compiled struct {
 	// references are resolvable at Block entry (every RefVar defined by an
 	// earlier Block).
 	prefetch [][]int
+	// anchors maps the DTM block index (0: top-level context, k: k-th Sub)
+	// to the representative UnitBlock (first anchor ID) the block executes;
+	// -1 for a top-level context that only drives Subs. Stamped on every
+	// transaction via Tx.SetBlockMeta so forensic abort events can name the
+	// decomposition unit a conflict hit.
+	anchors []int
 }
 
 // varDefs maps each variable to the statement indices that define it, in
@@ -97,7 +103,24 @@ func (e *Executor) compile(c *Composition) *compiled {
 			}
 		}
 	}
-	return &compiled{comp: c, prefetch: plan}
+	repr := func(b *BlockSpec) int {
+		if len(b.AnchorIDs) > 0 {
+			return b.AnchorIDs[0]
+		}
+		return -1
+	}
+	var anchors []int
+	if len(c.Blocks) == 1 {
+		// Flat nesting: the single block IS the top-level context.
+		anchors = []int{repr(&c.Blocks[0])}
+	} else {
+		anchors = make([]int, 0, len(c.Blocks)+1)
+		anchors = append(anchors, -1) // top-level context: drives the Subs
+		for bi := range c.Blocks {
+			anchors = append(anchors, repr(&c.Blocks[bi]))
+		}
+	}
+	return &compiled{comp: c, prefetch: plan, anchors: anchors}
 }
 
 // resolvableAtEntry reports whether the statement's Ref sees the same
@@ -163,6 +186,7 @@ func (e *Executor) SampledIDs() []store.ObjectID {
 func (e *Executor) Execute(ctx context.Context, params map[string]any) error {
 	comp := e.comp.Load()
 	return e.rt.Atomic(ctx, func(tx *dtm.Tx) error {
+		tx.SetBlockMeta(len(comp.anchors), comp.anchors)
 		env := txir.NewEnv(params)
 		if len(comp.comp.Blocks) == 1 {
 			// A single block is flat nesting: no sub-transaction needed.

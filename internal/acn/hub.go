@@ -6,6 +6,7 @@ import (
 
 	"qracn/internal/contention"
 	"qracn/internal/dtm"
+	"qracn/internal/forensics"
 	"qracn/internal/store"
 	"qracn/internal/trace"
 )
@@ -119,10 +120,25 @@ func (h *Hub) RefreshOnce(ctx context.Context) error {
 	h.mu.Unlock()
 	for i, exec := range execs {
 		e := exec
-		comp := algos[i].Recompose(func(anchor int) float64 {
+		comp, aud := algos[i].RecomposeAudited(func(anchor int) float64 {
 			return h.table.Mean(e.AnchorSample(anchor))
 		})
-		if cur := e.Composition(); cur != nil && cur.String() == comp.String() {
+		before := ""
+		if cur := e.Composition(); cur != nil {
+			before = cur.String()
+		}
+		applied := before != comp.String()
+		h.rt.Forensics().RecordRecompose(forensics.RecomposeEvent{
+			Trigger:  "interval",
+			Before:   before,
+			After:    comp.String(),
+			Levels:   aud.Levels,
+			Merges:   aud.Merges,
+			Reorders: aud.Reorders,
+			Refusals: aud.Refusals,
+			Applied:  applied,
+		})
+		if !applied {
 			h.rt.Tracer().Record(trace.KindRecomposeSkip, "", comp.String())
 			continue
 		}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"qracn/internal/dtm"
+	"qracn/internal/forensics"
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/server"
@@ -83,6 +84,13 @@ type Config struct {
 	// MaxQueueAge is the admission queue's adaptive-LIFO threshold (0:
 	// server default 100ms).
 	MaxQueueAge time.Duration
+	// ForensicsRing sizes every node's abort-forensics event rings (0:
+	// forensics.DefaultRingSize). Client runtimes built by Runtime /
+	// DetectorRuntime inherit the setting.
+	ForensicsRing int
+	// NoForensics disables abort forensics on every node and on client
+	// runtimes built by Runtime / DetectorRuntime (A/B overhead runs).
+	NoForensics bool
 }
 
 // Cluster is a running in-process deployment.
@@ -151,6 +159,8 @@ func (c *Cluster) buildNode(id quorum.NodeID) (*server.Node, error) {
 		MaxInflight:   cfg.MaxInflight,
 		QueueDepth:    cfg.QueueDepth,
 		MaxQueueAge:   cfg.MaxQueueAge,
+		ForensicsRing: cfg.ForensicsRing,
+		NoForensics:   cfg.NoForensics,
 	}
 	if cfg.TraceCapacity > 0 {
 		scfg.Tracer = trace.New(cfg.TraceCapacity)
@@ -258,8 +268,20 @@ func (c *Cluster) Runtime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Client = c.Net
 	cfg.Alive = c.Net.Alive
 	cfg.ClientSeed = clientSeed
+	c.applyForensics(&cfg)
 	c.clampDecide(&cfg)
 	return dtm.New(cfg)
+}
+
+// applyForensics propagates the cluster's forensics settings to a client
+// runtime config unless the caller already chose its own.
+func (c *Cluster) applyForensics(cfg *dtm.Config) {
+	if cfg.ForensicsRing == 0 {
+		cfg.ForensicsRing = c.cfg.ForensicsRing
+	}
+	if c.cfg.NoForensics {
+		cfg.NoForensics = true
+	}
 }
 
 // DetectorRuntime creates a client runtime WITHOUT the network's liveness
@@ -272,6 +294,7 @@ func (c *Cluster) DetectorRuntime(clientSeed int, cfg dtm.Config) *dtm.Runtime {
 	cfg.Client = c.Net
 	cfg.Alive = nil
 	cfg.ClientSeed = clientSeed
+	c.applyForensics(&cfg)
 	c.clampDecide(&cfg)
 	return dtm.New(cfg)
 }
@@ -345,6 +368,19 @@ func (c *Cluster) Resolution() dtm.ResolutionStats {
 			StatusQueries:      s.StatusQueries,
 			ResolveForwards:    s.ResolveForwards,
 		})
+	}
+	return out
+}
+
+// Forensics merges the per-node abort-forensics snapshots — the server-side
+// conflict witnesses — into one. topK bounds each node's hot-key table. It
+// returns an empty snapshot on a NoForensics cluster.
+func (c *Cluster) Forensics(topK int) *forensics.Snapshot {
+	out := &forensics.Snapshot{}
+	for _, n := range c.Nodes {
+		if rec := n.Forensics(); rec != nil {
+			out.Merge(rec.Snapshot(topK))
+		}
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"qracn/internal/forensics"
 	"qracn/internal/store"
 )
 
@@ -41,6 +42,20 @@ type AbortError struct {
 	// elsewhere) rather than invalidated reads.
 	Busy   bool
 	Reason string
+
+	// Forensic attribution, populated at the abort site so the retry loop
+	// can record a structured AbortEvent without re-deriving the cause.
+	Cause forensics.Cause
+	// Key is the first object implicated in the abort ("" when the abort
+	// has no single-object witness, e.g. a rejected prepare round).
+	Key store.ObjectID
+	// ConflictTx names the transaction whose protection or commit caused
+	// the conflict, when a server-side witness identified one.
+	ConflictTx string
+	// Block is the index of the execution context that detected the
+	// conflict: 0 for top-level (including commit time), k for the k-th
+	// sub-transaction.
+	Block int
 }
 
 // Error implements error.

@@ -1,0 +1,120 @@
+package dtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qracn/internal/forensics"
+	"qracn/internal/quorum"
+	"qracn/internal/transport"
+	"qracn/internal/wire"
+)
+
+// recordAbort attributes one abort — partial or full — to its forensic
+// cause: per-cause and per-block counters always, plus a structured ring
+// event when the recorder is enabled. tx is the TOP-LEVEL context (runSub
+// passes the parent), so block metadata and the transaction ID are the
+// merged transaction's. Only abort paths reach here; the conflict-free hot
+// path never allocates an event.
+func (rt *Runtime) recordAbort(tx *Tx, ae *AbortError, partial bool, retryDepth int) {
+	switch ae.Cause {
+	case forensics.CauseReadValidation:
+		rt.metrics.AbortsReadValidation.Add(1)
+	case forensics.CauseLockConflict:
+		rt.metrics.AbortsLockConflict.Add(1)
+	case forensics.CauseCommitRound:
+		rt.metrics.AbortsCommitRound.Add(1)
+	case forensics.CauseDeadline:
+		rt.metrics.AbortsDeadline.Add(1)
+	case forensics.CauseOverload:
+		rt.metrics.AbortsOverload.Add(1)
+	}
+	switch {
+	case ae.Block <= 0:
+		rt.metrics.AbortsBlock0.Add(1)
+	case ae.Block == 1:
+		rt.metrics.AbortsBlock1.Add(1)
+	case ae.Block == 2:
+		rt.metrics.AbortsBlock2.Add(1)
+	default:
+		rt.metrics.AbortsBlock3Plus.Add(1)
+	}
+	if rt.forensics == nil {
+		return
+	}
+	shard := -1
+	if rt.cfg.Shards != nil && ae.Key != "" {
+		shard = rt.cfg.Shards.ShardFor(ae.Key)
+	}
+	anchor := -1
+	if ae.Block >= 0 && ae.Block < len(tx.blockAnchors) {
+		anchor = tx.blockAnchors[ae.Block]
+	}
+	rt.forensics.RecordAbort(forensics.AbortEvent{
+		TxID:            tx.id,
+		Incarnation:     tx.incarnation,
+		BlockIndex:      ae.Block,
+		BlockCount:      tx.blockCount,
+		UnitAnchorID:    anchor,
+		Key:             string(ae.Key),
+		Shard:           shard,
+		Cause:           ae.Cause,
+		ConflictingTxID: ae.ConflictTx,
+		Partial:         partial,
+		RetryDepth:      retryDepth,
+	})
+}
+
+// causeOfErr classifies a non-abort transaction exit for forensic
+// attribution: retry budgets and deadlines read as deadline aborts, refused
+// backpressure as overload. Everything else (quorum loss, transport
+// failures) stays unattributed.
+func causeOfErr(err error) forensics.Cause {
+	switch {
+	case errors.Is(err, ErrNodeOverloaded):
+		return forensics.CauseOverload
+	case errors.Is(err, ErrRetriesExhausted),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return forensics.CauseDeadline
+	}
+	return forensics.CauseUnknown
+}
+
+// FetchForensics drains the forensic snapshots of the given nodes — the
+// server-side conflict witnesses — and merges them, newest-last per node.
+// topK bounds each node's hot-key table. Nodes that fail to answer are
+// skipped; the error is non-nil only when every node failed.
+func FetchForensics(ctx context.Context, client transport.Client, nodes []quorum.NodeID, topK int) (*forensics.Snapshot, error) {
+	req := &wire.Request{
+		Kind:      wire.KindForensics,
+		Forensics: &wire.ForensicsRequest{TopK: topK},
+	}
+	merged := &forensics.Snapshot{}
+	answered := 0
+	var lastErr error
+	for _, n := range nodes {
+		resp, err := client.Call(ctx, n, req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Status != wire.StatusOK || resp.Forensics == nil {
+			lastErr = fmt.Errorf("dtm: forensics fetch from node %d: %s (%s)", n, resp.Status, resp.Detail)
+			continue
+		}
+		answered++
+		merged.Merge(forensics.Snapshot{
+			Aborts:          resp.Forensics.Aborts,
+			Recomposes:      resp.Forensics.Recomposes,
+			HotKeys:         resp.Forensics.HotKeys,
+			TotalAborts:     resp.Forensics.TotalAborts,
+			TotalRecomposes: resp.Forensics.TotalRecomposes,
+		})
+	}
+	if answered == 0 && len(nodes) > 0 {
+		return nil, lastErr
+	}
+	return merged, nil
+}

@@ -91,6 +91,20 @@ type Metrics struct {
 	// HedgeWins counts hedged reads where the hedge replica's answer let the
 	// read complete before the slow original member responded.
 	HedgeWins atomic.Uint64
+
+	// Per-cause abort attribution (forensics). Every recorded abort event —
+	// partial or full — increments exactly one of these.
+	AbortsReadValidation atomic.Uint64 // stale read-set detected by validation
+	AbortsLockConflict   atomic.Uint64 // protected object (commit flag held elsewhere)
+	AbortsCommitRound    atomic.Uint64 // 2PC prepare round rejected
+	AbortsDeadline       atomic.Uint64 // retry budget / context deadline expired
+	AbortsOverload       atomic.Uint64 // node backpressure past the retry budget
+	// Block-index histogram of recorded aborts: which ACN Block detected the
+	// conflict. Block 0 is the top-level context (including commit time).
+	AbortsBlock0     atomic.Uint64
+	AbortsBlock1     atomic.Uint64
+	AbortsBlock2     atomic.Uint64
+	AbortsBlock3Plus atomic.Uint64
 }
 
 // WALStats aggregates server-side write-ahead-log counters across the nodes
@@ -209,6 +223,16 @@ type Snapshot struct {
 	BudgetExhausted     uint64
 	HedgesFired         uint64
 	HedgeWins           uint64
+
+	AbortsReadValidation uint64
+	AbortsLockConflict   uint64
+	AbortsCommitRound    uint64
+	AbortsDeadline       uint64
+	AbortsOverload       uint64
+	AbortsBlock0         uint64
+	AbortsBlock1         uint64
+	AbortsBlock2         uint64
+	AbortsBlock3Plus     uint64
 }
 
 // Add accumulates another snapshot into s, field by field. It walks the
@@ -254,5 +278,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		BudgetExhausted:     m.BudgetExhausted.Load(),
 		HedgesFired:         m.HedgesFired.Load(),
 		HedgeWins:           m.HedgeWins.Load(),
+
+		AbortsReadValidation: m.AbortsReadValidation.Load(),
+		AbortsLockConflict:   m.AbortsLockConflict.Load(),
+		AbortsCommitRound:    m.AbortsCommitRound.Load(),
+		AbortsDeadline:       m.AbortsDeadline.Load(),
+		AbortsOverload:       m.AbortsOverload.Load(),
+		AbortsBlock0:         m.AbortsBlock0.Load(),
+		AbortsBlock1:         m.AbortsBlock1.Load(),
+		AbortsBlock2:         m.AbortsBlock2.Load(),
+		AbortsBlock3Plus:     m.AbortsBlock3Plus.Load(),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qracn/internal/backoff"
+	"qracn/internal/forensics"
 	"qracn/internal/health"
 	"qracn/internal/quorum"
 	"qracn/internal/shard"
@@ -113,6 +114,15 @@ type Config struct {
 
 	// Seed makes backoff jitter reproducible (0: from the clock).
 	Seed int64
+
+	// ForensicsRing sizes the abort-forensics event rings (0: the
+	// forensics.DefaultRingSize). Forensics is always on unless NoForensics
+	// is set: the conflict-free hot path records nothing, so the recorder
+	// only costs memory for the rings plus one event allocation per abort.
+	ForensicsRing int
+	// NoForensics disables the abort-forensics recorder entirely (A/B
+	// overhead experiments; production runs leave it on).
+	NoForensics bool
 
 	// Tracer, when non-nil, records protocol events (reads, aborts,
 	// commits) for debugging; nil disables tracing at zero cost.
@@ -224,6 +234,10 @@ type Runtime struct {
 	// shardStats holds per-shard commit/abort attribution counters (nil
 	// when unsharded); see ShardSnapshot.
 	shardStats []shardCounters
+
+	// forensics records structured abort/recompose events (nil when
+	// Config.NoForensics disables it; every use is nil-safe).
+	forensics *forensics.Recorder
 }
 
 // New creates a Runtime. It panics if Client is missing, or if neither Tree
@@ -246,6 +260,9 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.Shards != nil {
 		rt.shardStats = make([]shardCounters, cfg.Shards.NumShards())
+	}
+	if !cfg.NoForensics {
+		rt.forensics = forensics.New(cfg.ForensicsRing)
 	}
 	if !cfg.DisableDetector {
 		rt.health = cfg.Health
@@ -287,6 +304,10 @@ func (rt *Runtime) sampleTrace(seq uint64) bool {
 
 // Health exposes the runtime's failure detector (nil when disabled).
 func (rt *Runtime) Health() *health.Detector { return rt.health }
+
+// Forensics exposes the runtime's abort-forensics recorder (nil when
+// disabled; all Recorder methods are nil-safe).
+func (rt *Runtime) Forensics() *forensics.Recorder { return rt.forensics }
 
 // ShardMap exposes the runtime's shard map (nil when unsharded).
 func (rt *Runtime) ShardMap() *shard.Map { return rt.cfg.Shards }
@@ -484,18 +505,19 @@ func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint
 		budget := backoff.NewBudget(rt.cfg.RetryBudget)
 		tctx := context.WithValue(ctx, txBudgetKey{}, budget)
 		tx := &Tx{
-			rt:         rt,
-			ctx:        tctx,
-			deadline:   deadline,
-			budget:     budget,
-			id:         fmt.Sprintf("c%d-t%d-a%d", rt.cfg.ClientSeed, seq, attempt),
-			seed:       rt.cfg.ClientSeed + int(seq),
-			traceID:    traceID,
-			span:       attemptSpan.ID,
-			reads:      make(map[store.ObjectID]uint64),
-			readVals:   make(map[store.ObjectID]store.Value),
-			writes:     make(map[store.ObjectID]store.Value),
-			writeBlock: make(map[store.ObjectID]int),
+			rt:          rt,
+			ctx:         tctx,
+			deadline:    deadline,
+			budget:      budget,
+			id:          fmt.Sprintf("c%d-t%d-a%d", rt.cfg.ClientSeed, seq, attempt),
+			seed:        rt.cfg.ClientSeed + int(seq),
+			incarnation: attempt,
+			traceID:     traceID,
+			span:        attemptSpan.ID,
+			reads:       make(map[store.ObjectID]uint64),
+			readVals:    make(map[store.ObjectID]store.Value),
+			writes:      make(map[store.ObjectID]store.Value),
+			writeBlock:  make(map[store.ObjectID]int),
 		}
 		err := fn(tx)
 		if err == nil {
@@ -512,17 +534,25 @@ func (rt *Runtime) runAttempts(ctx context.Context, fn func(*Tx) error, seq uint
 		}
 		if err == nil {
 			rt.metrics.Commits.Add(1)
-			rt.noteShards(tx, shardCommit)
+			rt.noteShards(tx, shardCommit, forensics.CauseUnknown)
 			rt.cfg.Tracer.Record(trace.KindCommit, tx.id, "")
 			return nil
 		}
 		ae, ok := AsAbort(err)
 		if !ok {
+			// Non-abort exits (spent retry budgets, expired deadlines,
+			// refused backpressure) still attribute forensically when the
+			// error names a cause — these are the aborts a raw counter
+			// diff cannot explain.
+			if cause := causeOfErr(err); cause != forensics.CauseUnknown {
+				rt.recordAbort(tx, &AbortError{Level: AbortParent, Reason: err.Error(), Cause: cause}, false, attempt)
+			}
 			return err
 		}
 		rt.metrics.ParentAborts.Add(1)
-		rt.noteShards(tx, shardParentAbort)
-		rt.cfg.Tracer.Record(trace.KindFullAbort, tx.id, ae.Reason)
+		rt.noteShards(tx, shardParentAbort, ae.Cause)
+		rt.recordAbort(tx, ae, false, attempt)
+		rt.cfg.Tracer.Record(trace.KindFullAbort, tx.id, abortDetail(ae))
 		if ae.Busy {
 			rt.metrics.BusyBackoffs.Add(1)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qracn/internal/forensics"
 	"qracn/internal/quorum"
 	"qracn/internal/shard"
 	"qracn/internal/store"
@@ -23,13 +24,24 @@ type shardCounters struct {
 	commits      atomic.Uint64
 	parentAborts atomic.Uint64
 	subAborts    atomic.Uint64
+	// causes attributes aborts (full and partial together) by forensic
+	// cause, indexed by forensics.Cause. CauseUnknown aborts stay in slot 0.
+	causes [forensics.NumCauses]atomic.Uint64
 }
 
 // ShardCounts is a point-in-time copy of one shard's attribution counters.
+// The commits/full_aborts/partial_aborts keys predate per-cause attribution
+// and are kept stable for existing report consumers.
 type ShardCounts struct {
 	Commits      uint64 `json:"commits"`
 	ParentAborts uint64 `json:"full_aborts"`
 	SubAborts    uint64 `json:"partial_aborts"`
+
+	AbortsReadValidation uint64 `json:"aborts_read_validation"`
+	AbortsLockConflict   uint64 `json:"aborts_lock_conflict"`
+	AbortsCommitRound    uint64 `json:"aborts_commit_round"`
+	AbortsDeadline       uint64 `json:"aborts_deadline"`
+	AbortsOverload       uint64 `json:"aborts_overload"`
 }
 
 // Add accumulates another snapshot of the same shard.
@@ -37,6 +49,11 @@ func (c *ShardCounts) Add(o ShardCounts) {
 	c.Commits += o.Commits
 	c.ParentAborts += o.ParentAborts
 	c.SubAborts += o.SubAborts
+	c.AbortsReadValidation += o.AbortsReadValidation
+	c.AbortsLockConflict += o.AbortsLockConflict
+	c.AbortsCommitRound += o.AbortsCommitRound
+	c.AbortsDeadline += o.AbortsDeadline
+	c.AbortsOverload += o.AbortsOverload
 }
 
 // ShardSnapshot copies the per-shard attribution counters, indexed by shard.
@@ -51,6 +68,12 @@ func (rt *Runtime) ShardSnapshot() []ShardCounts {
 			Commits:      rt.shardStats[i].commits.Load(),
 			ParentAborts: rt.shardStats[i].parentAborts.Load(),
 			SubAborts:    rt.shardStats[i].subAborts.Load(),
+
+			AbortsReadValidation: rt.shardStats[i].causes[forensics.CauseReadValidation].Load(),
+			AbortsLockConflict:   rt.shardStats[i].causes[forensics.CauseLockConflict].Load(),
+			AbortsCommitRound:    rt.shardStats[i].causes[forensics.CauseCommitRound].Load(),
+			AbortsDeadline:       rt.shardStats[i].causes[forensics.CauseDeadline].Load(),
+			AbortsOverload:       rt.shardStats[i].causes[forensics.CauseOverload].Load(),
 		}
 	}
 	return out
@@ -67,8 +90,9 @@ const (
 // noteShards attributes one top-level outcome to every shard the context's
 // read set touches (writes always follow a first-access read, so the read
 // set covers both). Aborts raised before the first merged read go
-// unattributed — the breakdown is a profile, not an invariant.
-func (rt *Runtime) noteShards(tx *Tx, outcome shardOutcome) {
+// unattributed — the breakdown is a profile, not an invariant. cause splits
+// abort outcomes by forensic cause (pass forensics.CauseUnknown for commits).
+func (rt *Runtime) noteShards(tx *Tx, outcome shardOutcome, cause forensics.Cause) {
 	if rt.shardStats == nil {
 		return
 	}
@@ -86,6 +110,9 @@ func (rt *Runtime) noteShards(tx *Tx, outcome shardOutcome) {
 			rt.shardStats[s].parentAborts.Add(1)
 		case shardSubAbort:
 			rt.shardStats[s].subAborts.Add(1)
+		}
+		if outcome != shardCommit && int(cause) < len(rt.shardStats[s].causes) {
+			rt.shardStats[s].causes[cause].Add(1)
 		}
 	}
 }
@@ -234,6 +261,7 @@ func (rt *Runtime) commitCrossShard(ctx context.Context, tx *Tx, parts []commitP
 
 		var invalid []store.ObjectID
 		var busyIDs []store.ObjectID
+		conflictTx := ""
 		yes := 0
 		unreachable := false
 		preparedOn := make([][]quorum.NodeID, len(parts))
@@ -254,6 +282,9 @@ func (rt *Runtime) commitCrossShard(ctx context.Context, tx *Tx, parts []commitP
 			}
 			invalid = append(invalid, r.resp.Prepare.Invalid...)
 			busyIDs = append(busyIDs, r.resp.Prepare.Busy...)
+			if conflictTx == "" {
+				conflictTx = r.resp.ConflictTx
+			}
 		}
 
 		if yes == len(nodes) {
@@ -292,12 +323,20 @@ func (rt *Runtime) commitCrossShard(ctx context.Context, tx *Tx, parts []commitP
 
 		if len(invalid) > 0 || len(busyIDs) > 0 {
 			rt.metrics.CrossShardAborts.Add(1)
-			return &AbortError{
+			busyOnly := len(busyIDs) > 0 && len(invalid) == 0
+			ae := &AbortError{
 				Level:   AbortParent,
 				Invalid: append(invalid, busyIDs...),
-				Busy:    len(busyIDs) > 0 && len(invalid) == 0,
+				Busy:    busyOnly,
 				Reason:  "cross-shard commit validation failed",
+				Cause:   forensics.CauseReadValidation,
+				Key:     firstID(invalid, busyIDs),
 			}
+			if busyOnly {
+				ae.Cause = forensics.CauseLockConflict
+				ae.ConflictTx = conflictTx
+			}
+			return ae
 		}
 		if unreachable {
 			excl, _ = recordFailed(excl, results)
@@ -307,7 +346,7 @@ func (rt *Runtime) commitCrossShard(ctx context.Context, tx *Tx, parts []commitP
 			continue
 		}
 		rt.metrics.CrossShardAborts.Add(1)
-		return &AbortError{Level: AbortParent, Reason: "cross-shard prepare rejected"}
+		return &AbortError{Level: AbortParent, Reason: "cross-shard prepare rejected", Cause: forensics.CauseCommitRound}
 	}
 	return errors.Join(ErrQuorumUnreachable, lastErr)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qracn/internal/backoff"
+	"qracn/internal/forensics"
 	"qracn/internal/quorum"
 	"qracn/internal/shard"
 	"qracn/internal/store"
@@ -23,6 +24,9 @@ type Tx struct {
 	ctx  context.Context
 	id   string
 	seed int
+	// incarnation is the top-level attempt index this context executes
+	// under (the -aN suffix of id), carried for forensic abort events.
+	incarnation int
 
 	// deadline is the transaction's absolute deadline (UnixNano, 0: none),
 	// stamped on every wire request so servers can refuse expired work
@@ -44,6 +48,15 @@ type Tx struct {
 	subSeq     int
 	writeBlock map[store.ObjectID]int
 
+	// blockCount/blockAnchors (top level only) describe the compiled ACN
+	// composition this transaction executes: how many Blocks it has and which
+	// source unit (anchor atomic-block ID) each Block maps to. The ACN
+	// executor stamps them via SetBlockMeta so forensic abort events can name
+	// the decomposition unit a conflict hit; hand-written transactions leave
+	// them unset.
+	blockCount   int
+	blockAnchors []int
+
 	// traceID is the distributed-trace ID of the sampled top-level
 	// transaction this context belongs to (empty: unsampled — every span
 	// branch below is skipped, keeping the hot path allocation-free). span is
@@ -63,6 +76,16 @@ type Tx struct {
 
 // ID returns the transaction identifier (unique per top-level attempt).
 func (tx *Tx) ID() string { return tx.id }
+
+// SetBlockMeta records the shape of the compiled composition this top-level
+// transaction executes: count is the number of Blocks (including the
+// top-level context as block 0) and anchors maps block index → anchor unit ID
+// in the source decomposition. The slice is retained by reference — callers
+// pass a compile-time-constant mapping, so no per-transaction copy is made.
+func (tx *Tx) SetBlockMeta(count int, anchors []int) {
+	tx.blockCount = count
+	tx.blockAnchors = anchors
+}
 
 // takeRetry charges one retry — a quorum failover, a busy re-read, or any
 // other second try — against the attempt's shared budget. A false return
@@ -158,18 +181,25 @@ func (tx *Tx) abortFor(invalid []store.ObjectID, busy bool, reason string) *Abor
 			}
 		}
 	}
-	return &AbortError{Level: level, Invalid: invalid, Busy: busy, Reason: reason}
+	ae := &AbortError{Level: level, Invalid: invalid, Busy: busy, Reason: reason,
+		Cause: forensics.CauseReadValidation, Block: tx.block}
+	if len(invalid) > 0 {
+		ae.Key = invalid[0]
+	}
+	return ae
 }
 
 // busyAbort classifies a busy object the same way: a busy object being read
 // for the first time belongs to the current context, so in a sub-transaction
-// the retry scope is the sub-transaction.
-func (tx *Tx) busyAbort(id store.ObjectID, reason string) *AbortError {
+// the retry scope is the sub-transaction. holder is the conflict witness the
+// server piggybacked on its Busy reply ("" when no witness survived).
+func (tx *Tx) busyAbort(id store.ObjectID, holder, reason string) *AbortError {
 	level := AbortParent
 	if tx.parent != nil {
 		level = AbortSub
 	}
-	return &AbortError{Level: level, Invalid: []store.ObjectID{id}, Busy: true, Reason: reason}
+	return &AbortError{Level: level, Invalid: []store.ObjectID{id}, Busy: true, Reason: reason,
+		Cause: forensics.CauseLockConflict, Key: id, ConflictTx: holder, Block: tx.block}
 }
 
 // Read returns the value of a shared object. The first access of an object
@@ -276,6 +306,7 @@ func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, er
 		var invalid []store.ObjectID
 		seen := make(map[store.ObjectID]bool)
 		busy := false
+		conflictTx := "" // conflict witness piggybacked on Busy replies
 		var best *wire.ReadResponse
 		bestNode := quorum.NodeID(-1)
 		okCount := 0
@@ -303,6 +334,9 @@ func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, er
 				okCount++ // absence is an answer: version 0
 			case wire.StatusBusy:
 				busy = true
+				if conflictTx == "" {
+					conflictTx = r.resp.ConflictTx
+				}
 			}
 		}
 
@@ -319,7 +353,7 @@ func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, er
 				// whole quorum read after a pause.
 				rt.metrics.BusyBackoffs.Add(1)
 				if busyTry >= rt.cfg.ReadBusyRetries {
-					return nil, tx.busyAbort(id, "lean follow-up failed past retry budget")
+					return nil, tx.busyAbort(id, conflictTx, "lean follow-up failed past retry budget")
 				}
 				if !tx.takeRetry() {
 					return nil, errBudget("lean follow-up re-read")
@@ -350,7 +384,7 @@ func (tx *Tx) remoteReadInner(id store.ObjectID, spanID uint64) (store.Value, er
 				}
 				continue
 			}
-			return nil, tx.busyAbort(id, "object busy past retry budget")
+			return nil, tx.busyAbort(id, conflictTx, "object busy past retry budget")
 		}
 		if okCount == 0 {
 			return nil, ErrQuorumUnreachable
@@ -536,19 +570,20 @@ func (tx *Tx) runSub(fn func(*Tx) error, block int, blockID uint64) error {
 			}
 		}
 		child := &Tx{
-			rt:       rt,
-			ctx:      tx.ctx,
-			id:       tx.id,
-			seed:     tx.seed,
-			deadline: tx.deadline,
-			budget:   tx.budget,
-			parent:   tx,
-			block:    block,
-			traceID:  tx.traceID,
-			span:     trySpan.ID,
-			reads:    make(map[store.ObjectID]uint64),
-			readVals: make(map[store.ObjectID]store.Value),
-			writes:   make(map[store.ObjectID]store.Value),
+			rt:          rt,
+			ctx:         tx.ctx,
+			id:          tx.id,
+			seed:        tx.seed,
+			incarnation: tx.incarnation,
+			deadline:    tx.deadline,
+			budget:      tx.budget,
+			parent:      tx,
+			block:       block,
+			traceID:     tx.traceID,
+			span:        trySpan.ID,
+			reads:       make(map[store.ObjectID]uint64),
+			readVals:    make(map[store.ObjectID]store.Value),
+			writes:      make(map[store.ObjectID]store.Value),
 		}
 		err := fn(child)
 		if blockID != 0 {
@@ -569,8 +604,9 @@ func (tx *Tx) runSub(fn func(*Tx) error, block int, blockID uint64) error {
 			return err
 		}
 		rt.metrics.SubAborts.Add(1)
-		rt.noteShards(child, shardSubAbort)
-		rt.cfg.Tracer.Record(trace.KindPartialAbort, tx.id, ae.Reason)
+		rt.noteShards(child, shardSubAbort, ae.Cause)
+		rt.recordAbort(tx, ae, true, attempt)
+		rt.cfg.Tracer.Record(trace.KindPartialAbort, tx.id, abortDetail(ae))
 		if err := rt.backoff(tx.ctx, attempt); err != nil {
 			return err
 		}
@@ -686,6 +722,7 @@ func (rt *Runtime) commitIn(ctx context.Context, tx *Tx, g *shard.Group, reads [
 
 		var invalid []store.ObjectID
 		var busyIDs []store.ObjectID
+		conflictTx := ""
 		yes := 0
 		unreachable := false
 		var preparedOn []quorum.NodeID
@@ -706,6 +743,9 @@ func (rt *Runtime) commitIn(ctx context.Context, tx *Tx, g *shard.Group, reads [
 			}
 			invalid = append(invalid, r.resp.Prepare.Invalid...)
 			busyIDs = append(busyIDs, r.resp.Prepare.Busy...)
+			if conflictTx == "" {
+				conflictTx = r.resp.ConflictTx
+			}
 		}
 
 		if yes == len(wq) {
@@ -719,12 +759,20 @@ func (rt *Runtime) commitIn(ctx context.Context, tx *Tx, g *shard.Group, reads [
 		rt.decide(ctx, preparedOn, tx, txid, false, nil, release)
 
 		if len(invalid) > 0 || len(busyIDs) > 0 {
-			return &AbortError{
+			busyOnly := len(busyIDs) > 0 && len(invalid) == 0
+			ae := &AbortError{
 				Level:   AbortParent,
 				Invalid: append(invalid, busyIDs...),
-				Busy:    len(busyIDs) > 0 && len(invalid) == 0,
+				Busy:    busyOnly,
 				Reason:  "commit validation failed",
+				Cause:   forensics.CauseReadValidation,
+				Key:     firstID(invalid, busyIDs),
 			}
+			if busyOnly {
+				ae.Cause = forensics.CauseLockConflict
+				ae.ConflictTx = conflictTx
+			}
+			return ae
 		}
 		if unreachable {
 			// Exclude the members that errored so the re-selected quorum
@@ -732,7 +780,7 @@ func (rt *Runtime) commitIn(ctx context.Context, tx *Tx, g *shard.Group, reads [
 			excl, _ = recordFailed(excl, results)
 			continue
 		}
-		return &AbortError{Level: AbortParent, Reason: "prepare rejected"}
+		return &AbortError{Level: AbortParent, Reason: "prepare rejected", Cause: forensics.CauseCommitRound}
 	}
 	return errors.Join(ErrQuorumUnreachable, lastErr)
 }
@@ -797,7 +845,8 @@ func (rt *Runtime) commitReadOnly(ctx context.Context, tx *Tx, reads []store.Rea
 			}
 		}
 		if len(invalid) > 0 {
-			return &AbortError{Level: AbortParent, Invalid: invalid, Reason: "read-only validation failed"}
+			return &AbortError{Level: AbortParent, Invalid: invalid, Reason: "read-only validation failed",
+				Cause: forensics.CauseReadValidation, Key: invalid[0]}
 		}
 		if ok {
 			return nil
@@ -853,4 +902,30 @@ func (rt *Runtime) decide(ctx context.Context, nodes []quorum.NodeID, tx *Tx, tx
 	}
 	rt.metrics.DecisionsDropped.Add(uint64(len(pending)))
 	rt.cfg.Tracer.Record(trace.KindFailover, tx.id, "decision delivery abandoned")
+}
+
+// firstID picks the first implicated object out of the invalid/busy reports,
+// the single-key witness an abort event carries.
+func firstID(invalid, busy []store.ObjectID) store.ObjectID {
+	if len(invalid) > 0 {
+		return invalid[0]
+	}
+	if len(busy) > 0 {
+		return busy[0]
+	}
+	return ""
+}
+
+// abortDetail renders an abort's trace detail: the reason plus, when known,
+// the implicated key and conflicting transaction. Only abort paths pay for
+// the string building.
+func abortDetail(ae *AbortError) string {
+	d := ae.Reason
+	if ae.Key != "" {
+		d += " key=" + string(ae.Key)
+	}
+	if ae.ConflictTx != "" {
+		d += " conflict=" + ae.ConflictTx
+	}
+	return d
 }

@@ -1,0 +1,192 @@
+package forensics
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRingWraparound pins the overwrite semantics: a ring of capacity C fed
+// N > C events keeps exactly the last C, oldest first, and still reports the
+// true total recorded.
+func TestRingWraparound(t *testing.T) {
+	const cap, total = 8, 27
+	r := NewRing[int](cap)
+	for i := 0; i < total; i++ {
+		r.Record(i)
+	}
+	if got := r.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	snap := r.Snapshot()
+	if len(snap) != cap {
+		t.Fatalf("Snapshot has %d events, want %d", len(snap), cap)
+	}
+	for i, v := range snap {
+		if want := total - cap + i; v != want {
+			t.Fatalf("slot %d = %d, want %d (not oldest-first)", i, v, want)
+		}
+	}
+}
+
+// TestRingFewerThanCapacity checks the pre-wrap path returns exactly what
+// was recorded, in order.
+func TestRingFewerThanCapacity(t *testing.T) {
+	r := NewRing[int](16)
+	for i := 0; i < 5; i++ {
+		r.Record(i)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("Snapshot has %d events, want 5", len(snap))
+	}
+	for i, v := range snap {
+		if v != i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestRingConcurrentRecord hammers a small ring from many goroutines while a
+// reader snapshots continuously — the -race acceptance for the lock-free
+// design. Every surviving slot must hold a value some producer actually
+// wrote, and the total must be exact.
+func TestRingConcurrentRecord(t *testing.T) {
+	const producers, perProducer = 8, 1000
+	r := NewRing[int](32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, v := range r.Snapshot() {
+					if v < 0 || v >= producers*perProducer {
+						panic(fmt.Sprintf("snapshot observed impossible value %d", v))
+					}
+				}
+			}
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r.Record(p*perProducer + i)
+			}
+		}(p)
+	}
+	// Wait for producers (reader still running) by polling the counter.
+	for r.Recorded() < producers*perProducer {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if got := r.Recorded(); got != producers*perProducer {
+		t.Fatalf("Recorded() = %d, want %d", got, producers*perProducer)
+	}
+	if got := len(r.Snapshot()); got != 32 {
+		t.Fatalf("post-storm snapshot has %d events, want 32", got)
+	}
+}
+
+// TestRecorderNilSafe: a nil recorder must absorb every call — this is the
+// disabled mode (-no-forensics) and must never panic.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.RecordAbort(AbortEvent{TxID: "t", Key: "k"})
+	r.RecordRecompose(RecomposeEvent{Trigger: "manual"})
+	r.NoteConflict("k")
+	if r.Aborts() != nil || r.Recomposes() != nil || r.HotKeys(5) != nil {
+		t.Fatal("nil recorder returned non-nil events")
+	}
+	if r.TotalAborts() != 0 || r.TotalRecomposes() != 0 {
+		t.Fatal("nil recorder counted events")
+	}
+	if s := r.Snapshot(4); s.TotalAborts != 0 || len(s.Aborts) != 0 {
+		t.Fatal("nil recorder produced a non-empty snapshot")
+	}
+}
+
+// TestRecorderAttribution checks RecordAbort stamps cause names, feeds the
+// hot-key tally, and HotKeys ranks by conflict count.
+func TestRecorderAttribution(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 5; i++ {
+		r.RecordAbort(AbortEvent{TxID: "a", Key: "hot", Cause: CauseLockConflict})
+	}
+	r.RecordAbort(AbortEvent{TxID: "b", Key: "warm", Cause: CauseReadValidation})
+	r.RecordAbort(AbortEvent{TxID: "c", Cause: CauseCommitRound}) // keyless: no tally
+	evs := r.Aborts()
+	if len(evs) != 7 {
+		t.Fatalf("got %d events, want 7", len(evs))
+	}
+	if evs[0].CauseName != "lock-conflict" || evs[5].CauseName != "read-validation" {
+		t.Fatalf("cause names not stamped: %+v", evs)
+	}
+	hot := r.HotKeys(1)
+	if len(hot) != 1 || hot[0].Key != "hot" || hot[0].Conflicts != 5 {
+		t.Fatalf("HotKeys(1) = %+v, want hot=5", hot)
+	}
+	if all := r.HotKeys(0); len(all) != 2 {
+		t.Fatalf("HotKeys(0) = %+v, want 2 keys", all)
+	}
+}
+
+// TestHotKeyRotation fills the live tally generation past its cap and
+// checks hot keys survive one rotation (prev generation still counts).
+func TestHotKeyRotation(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 10; i++ {
+		r.NoteConflict("stays-hot")
+	}
+	// Force a rotation by inserting hotKeysCap distinct keys.
+	for i := 0; i < hotKeysCap; i++ {
+		r.NoteConflict(fmt.Sprintf("filler-%d", i))
+	}
+	hot := r.HotKeys(1)
+	if len(hot) != 1 || hot[0].Key != "stays-hot" || hot[0].Conflicts != 10 {
+		t.Fatalf("rotation dropped the hot key: %+v", hot)
+	}
+}
+
+// TestSnapshotMerge checks the harness aggregation path: events append,
+// tallies merge by key, totals sum.
+func TestSnapshotMerge(t *testing.T) {
+	a, b := New(8), New(8)
+	a.RecordAbort(AbortEvent{TxID: "a1", Key: "k1", Cause: CauseLockConflict})
+	b.RecordAbort(AbortEvent{TxID: "b1", Key: "k1", Cause: CauseLockConflict})
+	b.RecordAbort(AbortEvent{TxID: "b2", Key: "k2", Cause: CauseReadValidation})
+	b.RecordRecompose(RecomposeEvent{Trigger: "interval", Applied: true})
+	s := a.Snapshot(8)
+	s.Merge(b.Snapshot(8))
+	if s.TotalAborts != 3 || len(s.Aborts) != 3 {
+		t.Fatalf("merged totals wrong: %+v", s)
+	}
+	if s.TotalRecomposes != 1 || len(s.Recomposes) != 1 {
+		t.Fatalf("merged recomposes wrong: %+v", s)
+	}
+	if len(s.HotKeys) != 2 || s.HotKeys[0].Key != "k1" || s.HotKeys[0].Conflicts != 2 {
+		t.Fatalf("merged hot keys wrong: %+v", s.HotKeys)
+	}
+}
+
+// TestRefusalReasonStamping checks RecordRecompose fills refusal reason
+// names for JSON consumers.
+func TestRefusalReasonStamping(t *testing.T) {
+	r := New(8)
+	r.RecordRecompose(RecomposeEvent{
+		Trigger:  "interval",
+		Refusals: []Refusal{{First: 0, Second: 1, Reason: RefusalShardHome}},
+	})
+	recs := r.Recomposes()
+	if len(recs) != 1 || recs[0].Refusals[0].ReasonName != "shard-home" {
+		t.Fatalf("refusal reason not stamped: %+v", recs)
+	}
+}

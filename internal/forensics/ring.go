@@ -1,0 +1,50 @@
+package forensics
+
+import "sync/atomic"
+
+// Ring is a bounded, lock-free multi-producer event buffer: a fixed array of
+// atomically-published slots plus a monotone cursor. Record is wait-free
+// (one fetch-add, one pointer store) and never blocks a producer on a
+// reader; when the ring is full the oldest slot is overwritten. Snapshot is
+// best-effort under concurrent recording — a reader racing a wrapping
+// writer may observe a slot's newer occupant — which is exactly the fidelity
+// a diagnostic ring needs and all a lock-free one can promise.
+type Ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64
+}
+
+// NewRing builds a ring with n slots (n < 1 is clamped to 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{slots: make([]atomic.Pointer[T], n)}
+}
+
+// Record publishes one event. The per-event allocation is deliberate:
+// only conflict paths record, so the conflict-free hot path pays nothing.
+func (r *Ring[T]) Record(e T) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&e)
+}
+
+// Recorded returns the number of events ever recorded (including ones the
+// ring has overwritten), so consumers can report drop counts.
+func (r *Ring[T]) Recorded() uint64 { return r.next.Load() }
+
+// Snapshot copies the buffered events, oldest first (best effort).
+func (r *Ring[T]) Snapshot() []T {
+	total := r.next.Load()
+	n := uint64(len(r.slots))
+	if total < n {
+		n = total
+	}
+	out := make([]T, 0, n)
+	for i := total - n; i < total; i++ {
+		if p := r.slots[i%uint64(len(r.slots))].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

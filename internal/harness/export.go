@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 
+	"qracn/internal/forensics"
 	"qracn/internal/metrics"
 )
 
@@ -60,6 +61,89 @@ type exportedSeries struct {
 	Overload *exportedOverload `json:"overload,omitempty"`
 	// Sharding is present only on sharded runs.
 	Sharding *exportedSharding `json:"sharding,omitempty"`
+	// Forensics is present whenever the run recorded any abort attribution
+	// or controller decision (absent on NoForensics runs with no aborts).
+	Forensics *exportedForensics `json:"forensics,omitempty"`
+}
+
+// forensicsEventCap bounds how many raw abort events the JSON export embeds;
+// the full rings stay queryable live via qracn-inspect forensics.
+const forensicsEventCap = 64
+
+// exportedForensics is the stable JSON schema for a run's abort attribution:
+// the per-cause and per-block counters, the partial-vs-full split, the
+// conflict hot-key ranking, and a bounded sample of raw events.
+type exportedForensics struct {
+	AbortsReadValidation uint64 `json:"aborts_read_validation"`
+	AbortsLockConflict   uint64 `json:"aborts_lock_conflict"`
+	AbortsCommitRound    uint64 `json:"aborts_commit_round"`
+	AbortsDeadline       uint64 `json:"aborts_deadline"`
+	AbortsOverload       uint64 `json:"aborts_overload"`
+	// BlockHistogram is aborts by Block position: [block 0, 1, 2, 3+].
+	BlockHistogram [4]uint64 `json:"block_histogram"`
+	// PartialRatio is partial aborts / all aborts (0 when no aborts).
+	PartialRatio float64 `json:"partial_ratio"`
+	// AttributionPct is the share of aborts carrying a concrete cause.
+	AttributionPct float64 `json:"attribution_pct"`
+	// Recomposes counts controller decisions; Applied the ones that swapped
+	// the composition; MergeRefusals the merges declined across all of them.
+	Recomposes        uint64 `json:"recomposes"`
+	RecomposesApplied uint64 `json:"recomposes_applied"`
+	MergeRefusals     uint64 `json:"merge_refusals"`
+	// HotKeys ranks the most conflicted object IDs (client + server tallies).
+	HotKeys []exportedHotKey `json:"hot_keys,omitempty"`
+	// Events is a bounded tail sample of the merged abort ring.
+	Events []forensics.AbortEvent `json:"events,omitempty"`
+}
+
+// exportedHotKey is one row of the conflict ranking.
+type exportedHotKey struct {
+	Key       string `json:"key"`
+	Conflicts uint64 `json:"conflicts"`
+}
+
+// exportForensics folds one series' counters and merged snapshot into the
+// JSON block (nil when the run recorded nothing forensic).
+func exportForensics(s *Series) *exportedForensics {
+	m := &s.Metrics
+	attributed := m.AbortsReadValidation + m.AbortsLockConflict +
+		m.AbortsCommitRound + m.AbortsDeadline + m.AbortsOverload
+	total := m.ParentAborts + m.SubAborts
+	if attributed == 0 && total == 0 && s.Forensics.TotalRecomposes == 0 {
+		return nil
+	}
+	ef := &exportedForensics{
+		AbortsReadValidation: m.AbortsReadValidation,
+		AbortsLockConflict:   m.AbortsLockConflict,
+		AbortsCommitRound:    m.AbortsCommitRound,
+		AbortsDeadline:       m.AbortsDeadline,
+		AbortsOverload:       m.AbortsOverload,
+		BlockHistogram: [4]uint64{
+			m.AbortsBlock0, m.AbortsBlock1, m.AbortsBlock2, m.AbortsBlock3Plus,
+		},
+		Recomposes: s.Forensics.TotalRecomposes,
+	}
+	if total > 0 {
+		ef.PartialRatio = float64(m.SubAborts) / float64(total)
+		// Synthetic deadline/overload events can attribute exits the abort
+		// counters never saw, so clamp at full coverage.
+		ef.AttributionPct = min(100, 100*float64(attributed)/float64(total))
+	}
+	for _, re := range s.Forensics.Recomposes {
+		if re.Applied {
+			ef.RecomposesApplied++
+		}
+		ef.MergeRefusals += uint64(len(re.Refusals))
+	}
+	for _, h := range s.Forensics.HotKeys {
+		ef.HotKeys = append(ef.HotKeys, exportedHotKey{Key: h.Key, Conflicts: h.Conflicts})
+	}
+	ev := s.Forensics.Aborts
+	if len(ev) > forensicsEventCap {
+		ev = ev[len(ev)-forensicsEventCap:]
+	}
+	ef.Events = ev
+	return ef
 }
 
 // exportedSharding is the stable JSON schema for a sharded run's routing
@@ -228,6 +312,7 @@ func (r *Result) ExportJSON() ([]byte, error) {
 			}
 			es.Sharding = sh
 		}
+		es.Forensics = exportForensics(s)
 		out.Series = append(out.Series, es)
 	}
 	return json.MarshalIndent(out, "", "  ")

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"qracn/internal/wal"
@@ -55,6 +57,10 @@ type Scale struct {
 	TxDeadline  time.Duration
 	RetryBudget int
 	HedgeAfter  time.Duration
+	// Forensics knobs, mirrored from Options: ring capacity per recorder
+	// (0: default) and the switch that turns attribution off entirely.
+	ForensicsRing int
+	NoForensics   bool
 }
 
 // DefaultScale is used by the benchmark suite.
@@ -95,6 +101,8 @@ func (s Scale) apply(o Options) Options {
 	o.TxDeadline = s.TxDeadline
 	o.RetryBudget = s.RetryBudget
 	o.HedgeAfter = s.HedgeAfter
+	o.ForensicsRing = s.ForensicsRing
+	o.NoForensics = s.NoForensics
 	return o
 }
 
@@ -199,6 +207,61 @@ func Figures() []Figure {
 			},
 		},
 	}
+}
+
+// PartialAbortRatio is one system's partial share of all aborts in a run:
+// SubAborts / (SubAborts + ParentAborts), 0 when the run never aborted. The
+// Figure-4 crossover story depends on it — QR-ACN wins exactly when this
+// ratio climbs, because only partial rollbacks avoid full re-execution.
+func (s *Series) PartialAbortRatio() float64 {
+	total := s.Metrics.ParentAborts + s.Metrics.SubAborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Metrics.SubAborts) / float64(total)
+}
+
+// AbortRatioTable renders the partial-vs-full abort split of every measured
+// system, one row per mode — the per-workload companion the figures output
+// prints next to each Figure-4 panel, fed from the forensic per-cause
+// counters (the dominant cause column says WHY the losing systems abort).
+func (r *Result) AbortRatioTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %9s %9s %14s  %s\n",
+		"system", "partial", "full", "partial-ratio", "dominant-cause")
+	for _, m := range AllModesWithCheckpoint {
+		s := r.Series[m]
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-7s %9d %9d %14.2f  %s\n",
+			m, s.Metrics.SubAborts, s.Metrics.ParentAborts,
+			s.PartialAbortRatio(), s.dominantCause())
+	}
+	return b.String()
+}
+
+// dominantCause names the abort cause with the highest forensic counter
+// ("none" when the run recorded no attributed abort).
+func (s *Series) dominantCause() string {
+	causes := []struct {
+		name string
+		n    uint64
+	}{
+		{"read-validation", s.Metrics.AbortsReadValidation},
+		{"lock-conflict", s.Metrics.AbortsLockConflict},
+		{"commit-round", s.Metrics.AbortsCommitRound},
+		{"deadline", s.Metrics.AbortsDeadline},
+		{"overload", s.Metrics.AbortsOverload},
+	}
+	best := "none"
+	var bestN uint64
+	for _, c := range causes {
+		if c.n > bestN {
+			best, bestN = c.name, c.n
+		}
+	}
+	return best
 }
 
 // FigureByID looks a panel up by label.

@@ -19,6 +19,7 @@ import (
 	"qracn/internal/acn"
 	"qracn/internal/cluster"
 	"qracn/internal/dtm"
+	"qracn/internal/forensics"
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/server"
@@ -172,6 +173,11 @@ type Options struct {
 	// HedgeAfter hedges quorum reads to one spare replica after this delay
 	// (0: off; negative: auto-derive from the observed p99 read latency).
 	HedgeAfter time.Duration
+	// ForensicsRing sizes every node's and client's forensic event rings
+	// (0: forensics.DefaultRingSize). NoForensics disables abort forensics
+	// outright — the A/B knob the allocation benchmarks compare against.
+	ForensicsRing int
+	NoForensics   bool
 }
 
 // FaultEvent takes a node down (or brings it back) at the start of the
@@ -222,6 +228,10 @@ func (o *Options) phaseFor(interval int) int {
 	return o.PhaseSchedule[interval]
 }
 
+// forensicsTopK bounds the hot-key ranking each recorder contributes to a
+// Series' merged forensic snapshot.
+const forensicsTopK = 16
+
 // Series is one system's measured curve.
 type Series struct {
 	Mode Mode
@@ -257,6 +267,10 @@ type Series struct {
 	// intervals (after Close or past the configured window) and therefore
 	// are absent from Throughput.
 	DroppedCommits uint64
+	// Forensics merges the abort-attribution rings of every client runtime
+	// and every node: structured abort events, controller decisions, and the
+	// hot-key conflict ranking (empty when the run set NoForensics).
+	Forensics forensics.Snapshot
 	// Shards is the per-shard outcome breakdown on sharded runs (nil
 	// otherwise), aggregated over all clients. A cross-shard transaction
 	// counts in every shard it touched.
@@ -335,6 +349,8 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		MaxInflight:   opts.MaxInflight,
 		QueueDepth:    opts.QueueDepth,
 		MaxQueueAge:   opts.MaxQueueAge,
+		ForensicsRing: opts.ForensicsRing,
+		NoForensics:   opts.NoForensics,
 	}
 	if opts.Durable {
 		// A fresh directory per run: replaying a previous run's log would
@@ -394,6 +410,8 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 			TxDeadline:    opts.TxDeadline,
 			RetryBudget:   opts.RetryBudget,
 			HedgeAfter:    opts.HedgeAfter,
+			ForensicsRing: opts.ForensicsRing,
+			NoForensics:   opts.NoForensics,
 		}
 		if opts.TraceCapacity > 0 {
 			dcfg.Tracer = trace.New(opts.TraceCapacity)
@@ -541,6 +559,12 @@ func runMode(ctx context.Context, opts Options, mode Mode) (*Series, error) {
 		stages.PrefetchBatch.Merge(&st.PrefetchBatch)
 		stages.Prepare.Merge(&st.Prepare)
 		stages.Commit.Merge(&st.Commit)
+		s.Forensics.Merge(cs.rt.Forensics().Snapshot(forensicsTopK))
+	}
+	// The nodes' recorders hold the server-side view: busy refusals noted
+	// against keys the clients retried through without ever aborting.
+	if fs := c.Forensics(forensicsTopK); fs != nil {
+		s.Forensics.Merge(*fs)
 	}
 	if s.Shards != nil && s.Metrics.Commits > 0 {
 		s.CrossShardRatio = float64(s.Metrics.CrossShardCommits) / float64(s.Metrics.Commits)

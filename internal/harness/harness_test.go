@@ -259,6 +259,69 @@ func TestSweepValidation(t *testing.T) {
 	}
 }
 
+func TestRunCollectsForensics(t *testing.T) {
+	// High write contention on few accounts: the run must abort often enough
+	// to exercise attribution end to end.
+	opts := smallOptions()
+	opts.Workload = bank.New(bank.Config{Branches: 2, Accounts: 8, WritePct: 90})
+	res, err := Run(context.Background(), opts, []Mode{ModeQRDTM, ModeQRACN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Mode{ModeQRDTM, ModeQRACN} {
+		s := res.Series[m]
+		mm := &s.Metrics
+		total := mm.ParentAborts + mm.SubAborts
+		if total == 0 {
+			t.Fatalf("%s: contended run recorded no aborts", m)
+		}
+		attributed := mm.AbortsReadValidation + mm.AbortsLockConflict +
+			mm.AbortsCommitRound + mm.AbortsDeadline + mm.AbortsOverload
+		if attributed == 0 {
+			t.Fatalf("%s: %d aborts, none attributed to a cause", m, total)
+		}
+		if s.Forensics.TotalAborts == 0 || len(s.Forensics.Aborts) == 0 {
+			t.Fatalf("%s: abort events missing from the merged snapshot", m)
+		}
+		if len(s.Forensics.HotKeys) == 0 {
+			t.Fatalf("%s: no hot keys despite %d aborts", m, total)
+		}
+	}
+	// The ACN series must audit its controller refreshes (applied or not).
+	if res.Series[ModeQRACN].Forensics.TotalRecomposes == 0 {
+		t.Fatal("QR-ACN run recorded no controller decisions")
+	}
+
+	data, err := res.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"forensics"`, `"aborts_read_validation"`, `"block_histogram"`, `"partial_ratio"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("export missing %s", want)
+		}
+	}
+	if s := res.Summary(); !strings.Contains(s, "forensics:") {
+		t.Fatalf("summary missing forensics line:\n%s", s)
+	}
+	table := res.AbortRatioTable()
+	for _, want := range []string{"partial-ratio", "dominant-cause", "QR-DTM", "QR-ACN"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("abort ratio table missing %q:\n%s", want, table)
+		}
+	}
+
+	// NoForensics keeps the pipeline silent but the run working.
+	opts.NoForensics = true
+	res2, err := Run(context.Background(), opts, []Mode{ModeQRDTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res2.Series[ModeQRDTM].Forensics.Aborts); n != 0 {
+		t.Fatalf("NoForensics run still buffered %d events", n)
+	}
+}
+
 func TestExportJSONRoundTrip(t *testing.T) {
 	res, err := Run(context.Background(), smallOptions(), []Mode{ModeQRDTM, ModeQRACN})
 	if err != nil {

@@ -141,6 +141,20 @@ func (r *Result) Summary() string {
 				a.Admitted, a.Shed, a.Expired,
 				mm.OverloadBackoffs, mm.BudgetExhausted, mm.HedgesFired, mm.HedgeWins)
 		}
+		if mm.AbortsReadValidation+mm.AbortsLockConflict+mm.AbortsCommitRound+
+			mm.AbortsDeadline+mm.AbortsOverload > 0 {
+			fmt.Fprintf(&b, "        forensics: read-val=%d lock=%d commit-round=%d deadline=%d overload=%d blocks=[%d %d %d %d]",
+				mm.AbortsReadValidation, mm.AbortsLockConflict, mm.AbortsCommitRound,
+				mm.AbortsDeadline, mm.AbortsOverload,
+				mm.AbortsBlock0, mm.AbortsBlock1, mm.AbortsBlock2, mm.AbortsBlock3Plus)
+			for i, h := range s.Forensics.HotKeys {
+				if i == 3 {
+					break
+				}
+				fmt.Fprintf(&b, " %s(%d)", h.Key, h.Conflicts)
+			}
+			fmt.Fprintln(&b)
+		}
 		if s.Shards != nil {
 			fmt.Fprintf(&b, "        cross-shard ratio=%.2f (single=%d cross=%d cross-aborts=%d)\n",
 				s.CrossShardRatio, s.Metrics.SingleShardCommits,

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"qracn/internal/contention"
+	"qracn/internal/forensics"
 	"qracn/internal/metrics"
 	"qracn/internal/quorum"
 	"qracn/internal/shard"
@@ -90,6 +91,14 @@ type Config struct {
 	// waited this long, released slots go to the NEWEST waiter and aged
 	// waiters are shed immediately (0: 100ms).
 	MaxQueueAge time.Duration
+	// ForensicsRing sizes the abort-forensics event rings
+	// (0: forensics.DefaultRingSize). Forensics is on by default: recording
+	// happens only on conflict paths (a Busy or validation-invalid answer),
+	// so the conflict-free hot path pays nothing.
+	ForensicsRing int
+	// NoForensics disables forensic event capture entirely (the recorder is
+	// nil; every producer call is a nil-safe no-op).
+	NoForensics bool
 }
 
 // Default termination-protocol deadlines (the zero values of
@@ -150,6 +159,11 @@ type Node struct {
 
 	shards *shard.Map
 
+	// forensics records conflict observations on the validation/lock paths:
+	// which key refused a read or prepare, and which transaction held it.
+	// nil when Config.NoForensics is set (every method is nil-safe).
+	forensics *forensics.Recorder
+
 	// gate is the admission limiter (nil: unbounded, Config.MaxInflight 0);
 	// admExpired counts deadline-expired-on-arrival rejections, which happen
 	// before the gate and regardless of whether one is configured.
@@ -179,6 +193,10 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 	if now == nil {
 		now = time.Now
 	}
+	var rec *forensics.Recorder
+	if !cfg.NoForensics {
+		rec = forensics.New(cfg.ForensicsRing)
+	}
 	return &Node{
 		id:            id,
 		site:          fmt.Sprintf("node-%d", id),
@@ -195,8 +213,46 @@ func NewNode(id quorum.NodeID, cfg Config) *Node {
 		resolveAfter:  cfg.ResolveAfter,
 		ttlAbortAfter: cfg.TTLAbortAfter,
 		shards:        cfg.Shards,
+		forensics:     rec,
 		gate:          newAdmissionGate(cfg.MaxInflight, cfg.QueueDepth, cfg.MaxQueueAge, now),
 	}
+}
+
+// Forensics exposes the node's conflict recorder (nil when disabled).
+func (n *Node) Forensics() *forensics.Recorder { return n.forensics }
+
+// shardFor maps a key to its shard index, or -1 on unsharded nodes.
+func (n *Node) shardFor(id store.ObjectID) int {
+	if n.shards == nil {
+		return -1
+	}
+	return n.shards.ShardFor(id)
+}
+
+// noteConflict records a server-side conflict observation: key refused
+// req.TxID because holder's protection was active (lock-conflict), or a
+// validation failure when holder is "" (read-validation). These are witness
+// events, not final aborts — the client may still retry and commit — so the
+// client-side recorder remains the authority on abort outcomes; the server
+// ring answers "which key, which holder" at the replica that refused.
+func (n *Node) noteConflict(req *wire.Request, key store.ObjectID, holder string) {
+	if n.forensics == nil {
+		return
+	}
+	cause := forensics.CauseLockConflict
+	if holder == "" {
+		cause = forensics.CauseReadValidation
+	}
+	n.forensics.RecordAbort(forensics.AbortEvent{
+		At:              n.now(),
+		TxID:            req.TxID,
+		BlockIndex:      -1,
+		UnitAnchorID:    -1,
+		Key:             string(key),
+		Shard:           n.shardFor(key),
+		Cause:           cause,
+		ConflictingTxID: holder,
+	})
 }
 
 // ID returns the node's quorum ID.
@@ -471,6 +527,8 @@ func (n *Node) dispatch(ctx context.Context, req *wire.Request, serveID uint64) 
 		return n.handleShardMap(req)
 	case wire.KindTraceFetch:
 		return n.handleTraceFetch(req)
+	case wire.KindForensics:
+		return n.handleForensics(req)
 	case wire.KindBatch:
 		// Sub-requests bypass the admission gate — the enclosing batch
 		// already holds the slot, and re-acquiring per sub would deadlock a
@@ -513,7 +571,13 @@ func (n *Node) handleRead(req *wire.Request) *wire.Response {
 	v, ver, err := n.store.Get(r.Object)
 	switch {
 	case errors.Is(err, store.ErrBusy):
-		return &wire.Response{Status: wire.StatusBusy, Read: resp}
+		// Piggyback the conflict witness: the holder whose protection made
+		// this read Busy. Looked up after Get under its own RLock — the
+		// protection could lapse between the two, leaving an empty witness,
+		// which old-peer-compatible encoding treats as "not present".
+		holder := n.store.ProtectedOwner(r.Object)
+		n.noteConflict(req, r.Object, holder)
+		return &wire.Response{Status: wire.StatusBusy, Read: resp, ConflictTx: holder}
 	case errors.Is(err, store.ErrNotFound):
 		return &wire.Response{Status: wire.StatusNotFound, Read: resp}
 	case err != nil:
@@ -554,8 +618,10 @@ func (n *Node) handlePrepare(req *wire.Request) *wire.Response {
 			switch {
 			case errors.Is(err, store.ErrBusy):
 				resp.Busy = append(resp.Busy, rd.ID)
+				holder := n.store.ProtectedOwner(rd.ID)
+				n.noteConflict(req, rd.ID, holder)
 				rollback()
-				return &wire.Response{Status: wire.StatusOK, Prepare: resp}
+				return &wire.Response{Status: wire.StatusOK, Prepare: resp, ConflictTx: holder}
 			case errors.Is(err, store.ErrNotFound):
 				// The replica never saw this object; it cannot vote on it,
 				// but some other quorum member will hold it. Skip.
@@ -568,6 +634,7 @@ func (n *Node) handlePrepare(req *wire.Request) *wire.Response {
 		}
 		if inv := n.store.Validate(p.Reads); len(inv) > 0 {
 			resp.Invalid = inv
+			n.noteConflict(req, inv[0], "")
 			rollback()
 			return &wire.Response{Status: wire.StatusOK, Prepare: resp}
 		}
@@ -597,6 +664,7 @@ func (n *Node) handlePrepare(req *wire.Request) *wire.Response {
 	// Read-only: validation-only vote, no protections.
 	if inv := n.store.Validate(p.Reads); len(inv) > 0 {
 		resp.Invalid = inv
+		n.noteConflict(req, inv[0], "")
 		return &wire.Response{Status: wire.StatusOK, Prepare: resp}
 	}
 	resp.Vote = true
@@ -636,6 +704,37 @@ func (n *Node) handleTraceFetch(req *wire.Request) *wire.Response {
 		resp.Events = n.tracer.Events()
 	}
 	return &wire.Response{Status: wire.StatusOK, Trace: resp}
+}
+
+// handleForensics drains the node's forensic rings for a client or
+// qracn-inspect. A node with forensics disabled answers with empty payloads
+// rather than an error, so a mixed fleet can still be swept (same contract
+// as handleTraceFetch on untraced nodes).
+func (n *Node) handleForensics(req *wire.Request) *wire.Response {
+	f := req.Forensics
+	if f == nil {
+		return &wire.Response{Status: wire.StatusError, Detail: "forensics request missing payload"}
+	}
+	topK := f.TopK
+	if topK <= 0 {
+		topK = 16
+	}
+	snap := n.forensics.Snapshot(topK)
+	if f.MaxEvents > 0 {
+		if len(snap.Aborts) > f.MaxEvents {
+			snap.Aborts = snap.Aborts[len(snap.Aborts)-f.MaxEvents:]
+		}
+		if len(snap.Recomposes) > f.MaxEvents {
+			snap.Recomposes = snap.Recomposes[len(snap.Recomposes)-f.MaxEvents:]
+		}
+	}
+	return &wire.Response{Status: wire.StatusOK, Forensics: &wire.ForensicsResponse{
+		Aborts:          snap.Aborts,
+		Recomposes:      snap.Recomposes,
+		HotKeys:         snap.HotKeys,
+		TotalAborts:     snap.TotalAborts,
+		TotalRecomposes: snap.TotalRecomposes,
+	}}
 }
 
 // handleShardMap serves the cluster's shard map. A client that already

@@ -147,6 +147,21 @@ func (s *Store) Get(id ObjectID) (Value, uint64, error) {
 	return v, o.Version, nil
 }
 
+// ProtectedOwner names the transaction holding an active protection on the
+// object, or "" when the object is absent, unprotected, or the protection's
+// TTL has lapsed. It is the conflict witness the forensics layer piggybacks
+// on Busy replies: the id returned here is exactly the owner whose Protect
+// would make a concurrent Get or Protect fail with ErrBusy.
+func (s *Store) ProtectedOwner(id ObjectID) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objs[id]
+	if !ok || !s.protectionActive(o) {
+		return ""
+	}
+	return o.ProtectedBy
+}
+
 // Version returns the replica-local version of an object, and false if the
 // object is absent. Protected objects still report their pre-commit version.
 func (s *Store) Version(id ObjectID) (uint64, bool) {

@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"qracn/internal/forensics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
@@ -87,6 +88,7 @@ const (
 	// — including every frame an old peer emits — stay byte-identical to
 	// the pre-deadline layout).
 	reqHasDeadline
+	reqHasForensics
 )
 
 // Response payload presence bits, wire order; uvarint-encoded like the
@@ -100,6 +102,13 @@ const (
 	respHasTrace
 	respHasTxStatus
 	respHasShardMap
+	// respHasConflict marks a non-empty Response.ConflictTx (the conflict
+	// witness on Busy replies — a header field like Request.Deadline, masked
+	// the same way so conflict-free replies, i.e. every frame an old peer
+	// emits, stay byte-identical to the pre-forensics layout even though
+	// this is the first bit that pushes the response mask past one byte).
+	respHasConflict
+	respHasForensics
 )
 
 // Value type tags.
@@ -364,6 +373,9 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 	if r.Deadline != 0 {
 		mask |= reqHasDeadline
 	}
+	if r.Forensics != nil {
+		mask |= reqHasForensics
+	}
 	dst = binary.AppendUvarint(dst, mask)
 	var err error
 	if r.Read != nil {
@@ -432,6 +444,10 @@ func appendRequest(dst []byte, r *Request, depth int) ([]byte, error) {
 	if r.Deadline != 0 {
 		dst = binary.AppendVarint(dst, r.Deadline)
 	}
+	if r.Forensics != nil {
+		dst = binary.AppendVarint(dst, int64(r.Forensics.TopK))
+		dst = binary.AppendVarint(dst, int64(r.Forensics.MaxEvents))
+	}
 	return dst, nil
 }
 
@@ -465,6 +481,12 @@ func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
 	}
 	if r.ShardMap != nil {
 		mask |= respHasShardMap
+	}
+	if r.ConflictTx != "" {
+		mask |= respHasConflict
+	}
+	if r.Forensics != nil {
+		mask |= respHasForensics
 	}
 	dst = binary.AppendUvarint(dst, mask)
 	var err error
@@ -522,6 +544,25 @@ func appendResponse(dst []byte, r *Response, depth int) ([]byte, error) {
 		for _, g := range r.ShardMap.Groups {
 			dst = appendNodeIDs(dst, g)
 		}
+	}
+	if r.ConflictTx != "" {
+		dst = appendString(dst, r.ConflictTx)
+	}
+	if r.Forensics != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Forensics.Aborts)))
+		for i := range r.Forensics.Aborts {
+			dst = appendAbortEvent(dst, &r.Forensics.Aborts[i])
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(r.Forensics.Recomposes)))
+		for i := range r.Forensics.Recomposes {
+			dst = appendRecomposeEvent(dst, &r.Forensics.Recomposes[i])
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(r.Forensics.HotKeys)))
+		for i := range r.Forensics.HotKeys {
+			dst = appendHotKeyEvent(dst, &r.Forensics.HotKeys[i])
+		}
+		dst = binary.AppendUvarint(dst, r.Forensics.TotalAborts)
+		dst = binary.AppendUvarint(dst, r.Forensics.TotalRecomposes)
 	}
 	return dst, nil
 }
@@ -617,6 +658,54 @@ func appendEvent(dst []byte, e *trace.Event) []byte {
 	dst = binary.AppendVarint(dst, int64(e.Kind))
 	dst = appendString(dst, e.TxID)
 	return appendString(dst, e.Detail)
+}
+
+// Forensic event layouts. CauseName/ReasonName are derived strings, but they
+// are carried verbatim rather than re-stamped on decode so the binary codec
+// stays decode-equivalent to the gob oracle on arbitrary structs.
+
+func appendAbortEvent(dst []byte, e *forensics.AbortEvent) []byte {
+	dst = appendTime(dst, e.At)
+	dst = appendString(dst, e.TxID)
+	dst = binary.AppendVarint(dst, int64(e.Incarnation))
+	dst = binary.AppendVarint(dst, int64(e.BlockIndex))
+	dst = binary.AppendVarint(dst, int64(e.BlockCount))
+	dst = binary.AppendVarint(dst, int64(e.UnitAnchorID))
+	dst = appendString(dst, e.Key)
+	dst = binary.AppendVarint(dst, int64(e.Shard))
+	dst = append(dst, byte(e.Cause))
+	dst = appendString(dst, e.CauseName)
+	dst = appendString(dst, e.ConflictingTxID)
+	dst = appendBool(dst, e.Partial)
+	return binary.AppendVarint(dst, int64(e.RetryDepth))
+}
+
+func appendRecomposeEvent(dst []byte, e *forensics.RecomposeEvent) []byte {
+	dst = appendTime(dst, e.At)
+	dst = appendString(dst, e.Trigger)
+	dst = appendString(dst, e.Before)
+	dst = appendString(dst, e.After)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Levels)))
+	for _, l := range e.Levels {
+		dst = binary.AppendVarint(dst, int64(l.Anchor))
+		dst = appendFloat64(dst, l.Level)
+	}
+	dst = binary.AppendVarint(dst, int64(e.Merges))
+	dst = binary.AppendVarint(dst, int64(e.Reorders))
+	dst = binary.AppendUvarint(dst, uint64(len(e.Refusals)))
+	for _, rf := range e.Refusals {
+		dst = binary.AppendVarint(dst, int64(rf.First))
+		dst = binary.AppendVarint(dst, int64(rf.Second))
+		dst = append(dst, byte(rf.Reason))
+		dst = appendString(dst, rf.ReasonName)
+	}
+	return appendBool(dst, e.Applied)
+}
+
+func appendHotKeyEvent(dst []byte, e *forensics.HotKeyEvent) []byte {
+	dst = appendTime(dst, e.At)
+	dst = appendString(dst, e.Key)
+	return binary.AppendUvarint(dst, e.Conflicts)
 }
 
 // valueBox wraps a Value so the gob escape hatch can encode the interface
@@ -959,6 +1048,19 @@ func (d *binReader) request() (*Request, error) {
 			return nil, err
 		}
 	}
+	if mask&reqHasForensics != 0 {
+		fr := &ForensicsRequest{}
+		var v int64
+		if v, err = d.varint(); err != nil {
+			return nil, err
+		}
+		fr.TopK = int(v)
+		if v, err = d.varint(); err != nil {
+			return nil, err
+		}
+		fr.MaxEvents = int(v)
+		r.Forensics = fr
+	}
 	return r, nil
 }
 
@@ -1103,6 +1205,55 @@ func (d *binReader) response() (*Response, error) {
 		}
 		r.ShardMap = sm
 	}
+	if mask&respHasConflict != 0 {
+		if r.ConflictTx, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if mask&respHasForensics != 0 {
+		fr := &ForensicsResponse{}
+		n, err := d.count("abort events")
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			fr.Aborts = make([]forensics.AbortEvent, n)
+			for i := 0; i < n; i++ {
+				if fr.Aborts[i], err = d.abortEvent(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if n, err = d.count("recompose events"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			fr.Recomposes = make([]forensics.RecomposeEvent, n)
+			for i := 0; i < n; i++ {
+				if fr.Recomposes[i], err = d.recomposeEvent(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if n, err = d.count("hot keys"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			fr.HotKeys = make([]forensics.HotKeyEvent, n)
+			for i := 0; i < n; i++ {
+				if fr.HotKeys[i], err = d.hotKeyEvent(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if fr.TotalAborts, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if fr.TotalRecomposes, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		r.Forensics = fr
+	}
 	return r, nil
 }
 
@@ -1230,6 +1381,142 @@ func (d *binReader) span() (trace.Span, error) {
 	}
 	s.Detail, err = d.str()
 	return s, err
+}
+
+func (d *binReader) abortEvent() (forensics.AbortEvent, error) {
+	var e forensics.AbortEvent
+	var err error
+	if e.At, err = d.timestamp(); err != nil {
+		return e, err
+	}
+	if e.TxID, err = d.str(); err != nil {
+		return e, err
+	}
+	var v int64
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.Incarnation = int(v)
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.BlockIndex = int(v)
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.BlockCount = int(v)
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.UnitAnchorID = int(v)
+	if e.Key, err = d.str(); err != nil {
+		return e, err
+	}
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.Shard = int(v)
+	var cause byte
+	if cause, err = d.u8(); err != nil {
+		return e, err
+	}
+	e.Cause = forensics.Cause(cause)
+	if e.CauseName, err = d.str(); err != nil {
+		return e, err
+	}
+	if e.ConflictingTxID, err = d.str(); err != nil {
+		return e, err
+	}
+	if e.Partial, err = d.boolean(); err != nil {
+		return e, err
+	}
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.RetryDepth = int(v)
+	return e, nil
+}
+
+func (d *binReader) recomposeEvent() (forensics.RecomposeEvent, error) {
+	var e forensics.RecomposeEvent
+	var err error
+	if e.At, err = d.timestamp(); err != nil {
+		return e, err
+	}
+	if e.Trigger, err = d.str(); err != nil {
+		return e, err
+	}
+	if e.Before, err = d.str(); err != nil {
+		return e, err
+	}
+	if e.After, err = d.str(); err != nil {
+		return e, err
+	}
+	n, err := d.count("anchor levels")
+	if err != nil {
+		return e, err
+	}
+	if n > 0 {
+		e.Levels = make([]forensics.AnchorLevel, n)
+		for i := range e.Levels {
+			var a int64
+			if a, err = d.varint(); err != nil {
+				return e, err
+			}
+			e.Levels[i].Anchor = int(a)
+			if e.Levels[i].Level, err = d.f64(); err != nil {
+				return e, err
+			}
+		}
+	}
+	var v int64
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.Merges = int(v)
+	if v, err = d.varint(); err != nil {
+		return e, err
+	}
+	e.Reorders = int(v)
+	if n, err = d.count("refusals"); err != nil {
+		return e, err
+	}
+	if n > 0 {
+		e.Refusals = make([]forensics.Refusal, n)
+		for i := range e.Refusals {
+			if v, err = d.varint(); err != nil {
+				return e, err
+			}
+			e.Refusals[i].First = int(v)
+			if v, err = d.varint(); err != nil {
+				return e, err
+			}
+			e.Refusals[i].Second = int(v)
+			var reason byte
+			if reason, err = d.u8(); err != nil {
+				return e, err
+			}
+			e.Refusals[i].Reason = forensics.RefusalReason(reason)
+			if e.Refusals[i].ReasonName, err = d.str(); err != nil {
+				return e, err
+			}
+		}
+	}
+	e.Applied, err = d.boolean()
+	return e, err
+}
+
+func (d *binReader) hotKeyEvent() (forensics.HotKeyEvent, error) {
+	var e forensics.HotKeyEvent
+	var err error
+	if e.At, err = d.timestamp(); err != nil {
+		return e, err
+	}
+	if e.Key, err = d.str(); err != nil {
+		return e, err
+	}
+	e.Conflicts, err = d.uvarint()
+	return e, err
 }
 
 func (d *binReader) event() (trace.Event, error) {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"qracn/internal/forensics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
@@ -128,6 +129,10 @@ func (r *Request) Clone() *Request {
 		sm := *r.ShardMap
 		out.ShardMap = &sm
 	}
+	if r.Forensics != nil {
+		fr := *r.Forensics
+		out.Forensics = &fr
+	}
 	return out
 }
 
@@ -136,7 +141,7 @@ func (r *Response) Clone() *Response {
 	if r == nil {
 		return nil
 	}
-	out := &Response{Status: r.Status, Detail: r.Detail}
+	out := &Response{Status: r.Status, Detail: r.Detail, ConflictTx: r.ConflictTx}
 	if r.Read != nil {
 		out.Read = &ReadResponse{
 			Version: r.Read.Version,
@@ -185,6 +190,31 @@ func (r *Response) Clone() *Response {
 			}
 		}
 		out.ShardMap = sm
+	}
+	if r.Forensics != nil {
+		fr := &ForensicsResponse{
+			TotalAborts:     r.Forensics.TotalAborts,
+			TotalRecomposes: r.Forensics.TotalRecomposes,
+		}
+		if r.Forensics.Aborts != nil {
+			fr.Aborts = append([]forensics.AbortEvent(nil), r.Forensics.Aborts...)
+		}
+		if r.Forensics.Recomposes != nil {
+			fr.Recomposes = make([]forensics.RecomposeEvent, len(r.Forensics.Recomposes))
+			for i, rc := range r.Forensics.Recomposes {
+				fr.Recomposes[i] = rc
+				if rc.Levels != nil {
+					fr.Recomposes[i].Levels = append([]forensics.AnchorLevel(nil), rc.Levels...)
+				}
+				if rc.Refusals != nil {
+					fr.Recomposes[i].Refusals = append([]forensics.Refusal(nil), rc.Refusals...)
+				}
+			}
+		}
+		if r.Forensics.HotKeys != nil {
+			fr.HotKeys = append([]forensics.HotKeyEvent(nil), r.Forensics.HotKeys...)
+		}
+		out.Forensics = fr
 	}
 	return out
 }

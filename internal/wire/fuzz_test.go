@@ -243,6 +243,23 @@ func normalizeResponse(r *Response, depth int) {
 			r.Trace.Events[i].At = normalizeTime(r.Trace.Events[i].At)
 		}
 	}
+	if r.Forensics != nil {
+		for i := range r.Forensics.Aborts {
+			r.Forensics.Aborts[i].At = normalizeTime(r.Forensics.Aborts[i].At)
+		}
+		for i := range r.Forensics.Recomposes {
+			rc := &r.Forensics.Recomposes[i]
+			rc.At = normalizeTime(rc.At)
+			for j := range rc.Levels {
+				if math.IsNaN(rc.Levels[j].Level) {
+					rc.Levels[j].Level = math.MaxFloat64
+				}
+			}
+		}
+		for i := range r.Forensics.HotKeys {
+			r.Forensics.HotKeys[i].At = normalizeTime(r.Forensics.HotKeys[i].At)
+		}
+	}
 }
 
 func normalizeWrites(writes []store.WriteDesc) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"qracn/internal/forensics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
@@ -90,6 +91,120 @@ var kindFixtures = map[Kind]*Request{
 		Kind:     KindShardMap,
 		ShardMap: &ShardMapRequest{HaveVersion: 3},
 	},
+	KindForensics: {
+		Kind:      KindForensics,
+		Forensics: &ForensicsRequest{TopK: 8, MaxEvents: 256},
+	},
+}
+
+// TestForensicsResponseRoundTrips covers the response side of the forensics
+// RPC through both codecs and Clone: every event type, including derived
+// name strings, slices inside events, and the running totals.
+func TestForensicsResponseRoundTrips(t *testing.T) {
+	at := time.Unix(1700000000, 42)
+	env := &Envelope{Seq: 11, IsResponse: true, Resp: &Response{
+		Status: StatusOK,
+		Forensics: &ForensicsResponse{
+			Aborts: []forensics.AbortEvent{{
+				At: at, TxID: "c1-t4-a2", Incarnation: 2, BlockIndex: 1,
+				BlockCount: 3, UnitAnchorID: 7, Key: "acct/9", Shard: 2,
+				Cause: forensics.CauseLockConflict, CauseName: "lock-conflict",
+				ConflictingTxID: "c2-t1-a0", Partial: true, RetryDepth: 4,
+			}, {
+				At: at, TxID: "c1-t5-a0", BlockIndex: -1, BlockCount: 2,
+				UnitAnchorID: -1, Shard: -1,
+				Cause: forensics.CauseCommitRound, CauseName: "commit-round",
+			}},
+			Recomposes: []forensics.RecomposeEvent{{
+				At: at, Trigger: "interval", Before: "[0 1][2]", After: "[0 1 2]",
+				Levels:  []forensics.AnchorLevel{{Anchor: 0, Level: 0.75}, {Anchor: 2, Level: 0.1}},
+				Merges:  1,
+				Refusals: []forensics.Refusal{{First: 1, Second: 2, Reason: forensics.RefusalShardHome, ReasonName: "shard-home"}},
+				Applied: true,
+			}},
+			HotKeys:         []forensics.HotKeyEvent{{At: at, Key: "acct/9", Conflicts: 17}},
+			TotalAborts:     23,
+			TotalRecomposes: 2,
+		},
+	}}
+	for _, codec := range Codecs() {
+		var buf bytes.Buffer
+		if err := codec.NewEncoder(&buf, false).Encode(env); err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		got, err := codec.NewDecoder(&buf).Decode()
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("%s: round trip mutated the envelope:\n got %+v\nwant %+v",
+				codec.Name(), got.Resp.Forensics, env.Resp.Forensics)
+		}
+	}
+	clone := env.Resp.Clone()
+	if !reflect.DeepEqual(clone, env.Resp) {
+		t.Fatalf("Clone dropped forensics fields:\n got %+v\nwant %+v", clone.Forensics, env.Resp.Forensics)
+	}
+	// Deep copy, not aliasing: mutating the clone's nested slices must not
+	// reach the original (the channel transport depends on this isolation).
+	clone.Forensics.Aborts[0].Key = "mutated"
+	clone.Forensics.Recomposes[0].Refusals[0].ReasonName = "mutated"
+	if env.Resp.Forensics.Aborts[0].Key == "mutated" ||
+		env.Resp.Forensics.Recomposes[0].Refusals[0].ReasonName == "mutated" {
+		t.Fatal("Clone aliases the original's event slices")
+	}
+}
+
+// TestConflictTxMixedVersionInterop pins the compatibility story for the
+// conflict-witness header on responses, in the same shape as the deadline
+// test on requests:
+//
+//  1. A reply WITHOUT a conflict witness encodes byte-identically to what a
+//     pre-forensics peer emits (the presence bit is only set for non-empty
+//     ConflictTx), so old-peer frames decode here with ConflictTx == "" and
+//     frames sent to an old peer carry nothing it would reject.
+//  2. The bit round-trips: a Busy reply carrying the holder's tx id survives
+//     encode/decode intact, including alongside a Prepare payload.
+func TestConflictTxMixedVersionInterop(t *testing.T) {
+	withCT := &Response{
+		Status:     StatusBusy,
+		ConflictTx: "c7-t3-a1",
+		Prepare:    &PrepareResponse{Busy: []store.ObjectID{store.ID("acct", 9)}},
+	}
+	noCT := withCT.Clone()
+	noCT.ConflictTx = ""
+
+	enc := func(r *Response) []byte {
+		var buf bytes.Buffer
+		if err := Binary.NewEncoder(&buf, false).Encode(&Envelope{Seq: 1, IsResponse: true, Resp: r}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	oldLayout := enc(noCT)
+	newLayout := enc(withCT)
+	if bytes.Equal(oldLayout, newLayout) {
+		t.Fatal("conflict witness did not change the encoding")
+	}
+
+	got, err := Binary.NewDecoder(bytes.NewReader(oldLayout)).Decode()
+	if err != nil {
+		t.Fatalf("decode old layout: %v", err)
+	}
+	if got.Resp.ConflictTx != "" {
+		t.Fatalf("old-layout decode invented conflict tx %q", got.Resp.ConflictTx)
+	}
+	if !reflect.DeepEqual(got.Resp, noCT) {
+		t.Fatalf("old-layout round trip mutated the response: %+v", got.Resp)
+	}
+
+	got, err = Binary.NewDecoder(bytes.NewReader(newLayout)).Decode()
+	if err != nil {
+		t.Fatalf("decode new layout: %v", err)
+	}
+	if got.Resp.ConflictTx != withCT.ConflictTx {
+		t.Fatalf("conflict tx mutated: got %q want %q", got.Resp.ConflictTx, withCT.ConflictTx)
+	}
 }
 
 // TestShardMapResponseRoundTrips covers the response side of the shard-map

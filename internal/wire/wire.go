@@ -15,6 +15,7 @@ import (
 	"io"
 	"sync"
 
+	"qracn/internal/forensics"
 	"qracn/internal/quorum"
 	"qracn/internal/store"
 	"qracn/internal/trace"
@@ -114,6 +115,12 @@ const (
 	// the map by version and send HaveVersion so an up-to-date cache costs a
 	// header-only reply.
 	KindShardMap
+	// KindForensics fetches a node's abort-forensics rings: the buffered
+	// AbortEvents its validation/lock paths recorded, the hot-key conflict
+	// tally, and running totals. Serving it is read-only and admission-gated
+	// like KindTraceFetch — a debug fetch must never starve transaction
+	// traffic.
+	KindForensics
 
 	// numKinds counts the Kind values. It MUST stay last: the wire
 	// round-trip test iterates [0, numKinds) and fails compilation-adjacent
@@ -147,6 +154,8 @@ func (k Kind) String() string {
 		return "resolve"
 	case KindShardMap:
 		return "shard-map"
+	case KindForensics:
+		return "forensics"
 	default:
 		return "ping"
 	}
@@ -187,6 +196,7 @@ type Request struct {
 	TxStatus   *TxStatusRequest
 	Resolve    *ResolveRequest
 	ShardMap   *ShardMapRequest
+	Forensics  *ForensicsRequest
 }
 
 // BatchRequest bundles independent sub-requests into one frame. Sub-requests
@@ -312,6 +322,26 @@ type ShardMapResponse struct {
 	Groups  [][]quorum.NodeID
 }
 
+// ForensicsRequest fetches a node's abort-forensics rings. TopK bounds the
+// hot-key table (0: server default); MaxEvents bounds the returned abort and
+// recompose event slices (0: everything still buffered).
+type ForensicsRequest struct {
+	TopK      int
+	MaxEvents int
+}
+
+// ForensicsResponse carries the node's buffered forensic state: the abort
+// events its validation/lock paths recorded, any recompose audits relayed to
+// it, the hot-key conflict ranking, and the running totals (which keep
+// counting past ring capacity, so consumers can report drops).
+type ForensicsResponse struct {
+	Aborts          []forensics.AbortEvent
+	Recomposes      []forensics.RecomposeEvent
+	HotKeys         []forensics.HotKeyEvent
+	TotalAborts     uint64
+	TotalRecomposes uint64
+}
+
 // StatsRequest asks for the contention level of specific objects.
 type StatsRequest struct {
 	Objects []store.ObjectID
@@ -357,16 +387,24 @@ type SyncResponse struct {
 
 // Response is a server-to-client message.
 type Response struct {
-	Status   Status
-	Detail   string
-	Read     *ReadResponse
-	Prepare  *PrepareResponse
-	Stats    *StatsResponse
-	Sync     *SyncResponse
-	Batch    *BatchResponse
-	Trace    *TraceFetchResponse
-	TxStatus *TxStatusResponse
-	ShardMap *ShardMapResponse
+	Status Status
+	Detail string
+	// ConflictTx names the transaction holding the protection that made a
+	// read or prepare answer Busy — the conflict witness, piggybacked on the
+	// reply under a presence bit exactly like Request.Deadline (empty keeps
+	// the frame byte-identical to the pre-forensics layout, so old peers
+	// interoperate). Clients thread it into the AbortEvent they record so an
+	// abort is attributable to the concrete holder, not just the key.
+	ConflictTx string
+	Read       *ReadResponse
+	Prepare    *PrepareResponse
+	Stats      *StatsResponse
+	Sync       *SyncResponse
+	Batch      *BatchResponse
+	Trace      *TraceFetchResponse
+	TxStatus   *TxStatusResponse
+	ShardMap   *ShardMapResponse
+	Forensics  *ForensicsResponse
 }
 
 // ReadResponse carries the object, the incremental-validation outcome, and
